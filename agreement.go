@@ -1,0 +1,65 @@
+package doall
+
+import (
+	"repro/internal/agreement"
+	"repro/internal/core"
+)
+
+// AgreementConfig parameterises the §5 Byzantine agreement reduction: the
+// general (process 0) broadcasts its value to the f+1 senders, which then
+// perform the "work" of informing all n processes using a work protocol.
+type AgreementConfig struct {
+	// Processes is n, the system size; Faults is t, the failure bound
+	// (processes 0..Faults are the senders).
+	Processes int
+	Faults    int
+	// Value is the general's input.
+	Value int
+	// Protocol picks the work protocol: ProtocolA, ProtocolB (default —
+	// O(n + t√t) messages in O(n) rounds, Bracha's bound made constructive)
+	// or ProtocolC (O(n + t log t) messages at exponential time).
+	Protocol Protocol
+	// Failures injects crash failures; nil means failure-free.
+	Failures Failures
+}
+
+// AgreementResult reports an agreement run.
+type AgreementResult struct {
+	// Decisions[i] is process i's decided value, or -1 if it crashed.
+	Decisions []int
+	// Value is the common decided value (the agreement property is
+	// verified; Run returns an error if any two survivors disagree).
+	Value int
+	// Metrics carries the run's cost.
+	Metrics Result
+}
+
+// RunAgreement executes one Byzantine agreement instance for crash faults.
+func RunAgreement(cfg AgreementConfig) (AgreementResult, error) {
+	proto := agreement.UseB
+	switch cfg.Protocol {
+	case ProtocolA:
+		proto = agreement.UseA
+	case ProtocolC, ProtocolCLowMsg:
+		proto = agreement.UseC
+	}
+	opt := core.RunOptions{DetailedMetrics: true, MaxActive: 1}
+	if cfg.Failures != nil {
+		opt.Adversary = cfg.Failures.adversary()
+	}
+	out, err := agreement.Run(agreement.Config{
+		N: cfg.Processes, F: cfg.Faults, Value: cfg.Value, Protocol: proto,
+	}, opt)
+	if err != nil {
+		return AgreementResult{}, err
+	}
+	v, err := out.Agreement()
+	if err != nil {
+		return AgreementResult{}, err
+	}
+	return AgreementResult{
+		Decisions: out.Decisions,
+		Value:     v,
+		Metrics:   newResult(out.Result),
+	}, nil
+}

@@ -1,0 +1,126 @@
+// Benchmarks, one per experiment in DESIGN.md's index (T1–T8, F1–F6,
+// X1–X3): each run regenerates the corresponding EXPERIMENTS.md table and
+// fails if any paper bound is violated, so `go test -bench=.` re-verifies
+// the whole reproduction. The Engine* benchmarks measure the simulator
+// substrate itself.
+package doall_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, run func() experiments.Table) {
+	b.Helper()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		t := run()
+		if t.Err != nil {
+			b.Fatal(t.Err)
+		}
+		if f := t.Failures(); f > 0 {
+			b.Fatalf("%d paper-bound failures", f)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkT1_ProtocolA(b *testing.B) { benchExperiment(b, experiments.T1ProtocolA) }
+func BenchmarkT2_ProtocolB(b *testing.B) { benchExperiment(b, experiments.T2ProtocolB) }
+func BenchmarkT3_ProtocolC(b *testing.B) { benchExperiment(b, experiments.T3ProtocolC) }
+func BenchmarkT4_ProtocolCLowMsg(b *testing.B) {
+	benchExperiment(b, experiments.T4ProtocolCLowMsg)
+}
+func BenchmarkT5_ProtocolD(b *testing.B)       { benchExperiment(b, experiments.T5ProtocolD) }
+func BenchmarkT6_ProtocolDRevert(b *testing.B) { benchExperiment(b, experiments.T6ProtocolDRevert) }
+func BenchmarkT7_ProtocolDFailureFree(b *testing.B) {
+	benchExperiment(b, experiments.T7ProtocolDFailureFree)
+}
+func BenchmarkT8_Agreement(b *testing.B) { benchExperiment(b, experiments.T8Agreement) }
+func BenchmarkT9_Bootstrap(b *testing.B) { benchExperiment(b, experiments.T9Bootstrap) }
+
+func BenchmarkF1_CheckpointFrequency(b *testing.B) {
+	benchExperiment(b, experiments.F1CheckpointFrequency)
+}
+func BenchmarkF2_NaiveVsC(b *testing.B) { benchExperiment(b, experiments.F2NaiveVsC) }
+func BenchmarkF3_EffortComparison(b *testing.B) {
+	benchExperiment(b, experiments.F3EffortComparison)
+}
+func BenchmarkF4_TimeDegradation(b *testing.B) {
+	benchExperiment(b, experiments.F4TimeDegradation)
+}
+func BenchmarkF5_SharedMemoryWriteAll(b *testing.B) {
+	benchExperiment(b, experiments.F5SharedMemory)
+}
+func BenchmarkF6_AsyncProtocolA(b *testing.B) {
+	benchExperiment(b, experiments.F6AsyncProtocolA)
+}
+func BenchmarkF7_DynamicWork(b *testing.B) { benchExperiment(b, experiments.F7DynamicWork) }
+
+func BenchmarkX1_FastForward(b *testing.B) { benchExperiment(b, experiments.X1FastForward) }
+func BenchmarkX2_PartialCheckpointAblation(b *testing.B) {
+	benchExperiment(b, experiments.X2PartialCheckpointAblation)
+}
+func BenchmarkX3_RevertThreshold(b *testing.B) {
+	benchExperiment(b, experiments.X3RevertThreshold)
+}
+
+// Engine micro-benchmarks: the cost of one simulated protocol run.
+
+func benchRun(b *testing.B, cfg doall.Config, failures func() doall.Failures) {
+	b.Helper()
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		if failures != nil {
+			cfg.Failures = failures()
+		}
+		res, err := doall.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Survivors > 0 && !res.Complete {
+			b.Fatal("incomplete")
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkEngineProtocolB(b *testing.B) {
+	benchRun(b, doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolB},
+		func() doall.Failures { return doall.CascadeFailures(16, 15) })
+}
+
+func BenchmarkEngineProtocolD(b *testing.B) {
+	benchRun(b, doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolD},
+		func() doall.Failures { return doall.RandomFailures(0.01, 15, 9) })
+}
+
+func BenchmarkEngineProtocolCFastForward(b *testing.B) {
+	// Exponential nominal rounds, tiny event count: the fast-forward path.
+	benchRun(b, doall.Config{Units: 24, Workers: 8, Protocol: doall.ProtocolC}, nil)
+}
+
+func BenchmarkEngineLargeT(b *testing.B) {
+	benchRun(b, doall.Config{Units: 1024, Workers: 256, Protocol: doall.ProtocolB},
+		func() doall.Failures { return doall.CascadeFailures(4, 255) })
+}
+
+func BenchmarkAgreementViaB(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := doall.RunAgreement(doall.AgreementConfig{
+			Processes: 64, Faults: 8, Value: 1, Protocol: doall.ProtocolB,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Value != 1 {
+			b.Fatal("validity broken")
+		}
+	}
+}

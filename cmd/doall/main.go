@@ -1,0 +1,172 @@
+// Command doall runs one work-performing protocol on an (n, t) instance
+// under a chosen failure pattern and prints the paper's cost measures.
+//
+// Usage:
+//
+//	doall -protocol B -units 256 -workers 16 -failures cascade
+//	doall -protocol C -units 16 -workers 8 -failures random -crash-p 0.05 -seed 7
+//	doall -protocol D -units 256 -workers 16 -failures schedule -crash 1@10 -crash 2@20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// crashFlags collects repeatable -crash PID@ROUND flags.
+type crashFlags []doall.Crash
+
+func (c *crashFlags) String() string { return fmt.Sprint(*c) }
+
+func (c *crashFlags) Set(v string) error {
+	pid, round, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("crash spec %q: want PID@ROUND", v)
+	}
+	p, err := strconv.Atoi(pid)
+	if err != nil {
+		return fmt.Errorf("crash spec %q: %w", v, err)
+	}
+	r, err := strconv.ParseInt(round, 10, 64)
+	if err != nil {
+		return fmt.Errorf("crash spec %q: %w", v, err)
+	}
+	*c = append(*c, doall.Crash{Process: p, Round: r})
+	return nil
+}
+
+var protocols = map[string]doall.Protocol{
+	"a":                 doall.ProtocolA,
+	"b":                 doall.ProtocolB,
+	"c":                 doall.ProtocolC,
+	"c-lowmsg":          doall.ProtocolCLowMsg,
+	"d":                 doall.ProtocolD,
+	"trivial":           doall.Trivial,
+	"single-checkpoint": doall.SingleCheckpoint,
+	"uniform":           doall.UniformCheckpoint,
+	"naive":             doall.NaiveSpread,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		protoName = flag.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|trivial|single-checkpoint|uniform|naive")
+		units     = flag.Int("units", 64, "number of work units (n)")
+		workers   = flag.Int("workers", 16, "number of processes (t)")
+		failures  = flag.String("failures", "none", "failure pattern: none|random|cascade|schedule")
+		crashP    = flag.Float64("crash-p", 0.02, "per-action crash probability (random)")
+		maxCrash  = flag.Int("max-crashes", -1, "max failures (-1 = workers-1)")
+		seed      = flag.Int64("seed", 1, "failure seed (random)")
+		between   = flag.Int("units-between", -1, "units before each crash (cascade; -1 = n/t)")
+		k         = flag.Int("k", 0, "checkpoint count (uniform protocol)")
+		verbose   = flag.Bool("v", false, "print per-worker stats")
+		showTrace = flag.Bool("trace", false, "print an ASCII execution timeline")
+		crashes   crashFlags
+	)
+	flag.Var(&crashes, "crash", "scheduled crash PID@ROUND (repeatable; schedule pattern)")
+	flag.Parse()
+
+	proto, ok := protocols[strings.ToLower(*protoName)]
+	if !ok {
+		return fmt.Errorf("unknown protocol %q", *protoName)
+	}
+	mc := *maxCrash
+	if mc < 0 {
+		mc = *workers - 1
+	}
+	ub := *between
+	if ub < 0 {
+		ub = maxInt(1, *units / *workers)
+	}
+	var f doall.Failures
+	switch *failures {
+	case "none":
+		f = doall.NoFailures()
+	case "random":
+		f = doall.RandomFailures(*crashP, mc, *seed)
+	case "cascade":
+		f = doall.CascadeFailures(ub, mc)
+	case "schedule":
+		f = doall.ScheduledFailures(crashes...)
+	default:
+		return fmt.Errorf("unknown failure pattern %q", *failures)
+	}
+
+	var rec *trace.Recorder
+	cfg := doall.Config{
+		Units: *units, Workers: *workers, Protocol: proto,
+		Failures: f, CheckpointK: *k, CheckInvariants: true,
+	}
+	if *showTrace {
+		rec = trace.NewRecorder(0)
+		hook := rec.Hook()
+		cfg.Tracer = func(e doall.TraceEvent) {
+			hook(sim.Event{
+				Round: e.Round, PID: e.Worker, Work: e.Work, Sent: e.Sent,
+				Crashed: e.Crashed, Halted: e.Halted,
+			})
+		}
+	}
+	res, err := doall.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("protocol:  %v (n=%d, t=%d, failures=%s)\n", proto, *units, *workers, *failures)
+	fmt.Printf("work:      %d performed (%d distinct of %d)\n", res.Work, res.WorkDistinct, *units)
+	fmt.Printf("messages:  %d", res.Messages)
+	if len(res.MessagesByKind) > 0 {
+		kinds := make([]string, 0, len(res.MessagesByKind))
+		for kind := range res.MessagesByKind {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, kind := range kinds {
+			parts[i] = fmt.Sprintf("%s=%d", kind, res.MessagesByKind[kind])
+		}
+		fmt.Printf("  (%s)", strings.Join(parts, " "))
+	}
+	fmt.Println()
+	fmt.Printf("effort:    %d\n", res.Effort())
+	fmt.Printf("rounds:    %d (simulated %d events)\n", res.Rounds, res.Events)
+	fmt.Printf("processes: %d survived, %d crashed\n", res.Survivors, res.Crashes)
+	fmt.Printf("complete:  %v\n", res.Complete)
+	if *verbose {
+		fmt.Println("\nworker  status      work  sent  retired@")
+		for i, w := range res.Workers {
+			fmt.Printf("%6d  %-10s  %4d  %4d  %d\n", i, w.Status, w.Work, w.Sent, w.RetireRound)
+		}
+	}
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Timeline(160))
+		fmt.Println()
+		fmt.Print(rec.Summary())
+	}
+	if res.Survivors > 0 && !res.Complete {
+		return fmt.Errorf("GUARANTEE VIOLATED: survivors exist but work incomplete")
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

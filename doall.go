@@ -1,0 +1,245 @@
+// Package doall implements the fault-tolerant work-performing protocols of
+// Dwork, Halpern and Waarts, "Performing Work Efficiently in the Presence of
+// Faults" (PODC 1992 / SIAM J. Comput.): t synchronous message-passing
+// processes subject to crash failures must perform n idempotent units of
+// work, and in every execution in which at least one process survives, all
+// the work must be done.
+//
+// Four protocols are provided, trading work, messages and time:
+//
+//   - ProtocolA: single active worker with partial (√t-group) and full
+//     checkpoints. O(n + t) work, O(t√t) messages, O(nt + t²) rounds.
+//   - ProtocolB: Protocol A with go-ahead polling at takeover. O(n + t)
+//     work, O(t√t) messages, O(n + t) rounds.
+//   - ProtocolC: most-knowledgeable takeover with recursive fault
+//     detection. O(n + t) work, n + O(t log t) messages, exponential time.
+//     ProtocolCLowMsg is the Corollary 3.9 variant with O(t log t) messages.
+//   - ProtocolD: parallel work with agreement phases. n/t + 2 rounds and
+//     ≤ 2t² messages when nothing fails; degrades gracefully, reverting to
+//     Protocol A if more than half the live processes die in one phase.
+//
+// Baselines from the paper's motivating discussion (Trivial,
+// SingleCheckpoint, UniformCheckpoint, NaiveSpread) are included for
+// comparison, as is the §5 Byzantine agreement application (RunAgreement)
+// and an asynchronous Protocol A over real goroutines with a failure
+// detector (see internal/asyncnet and the examples).
+package doall
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Protocol selects a work-performing strategy.
+type Protocol int
+
+const (
+	// ProtocolA is the checkpointing protocol of §2 (Theorem 2.3).
+	ProtocolA Protocol = iota + 1
+	// ProtocolB adds go-ahead polling for O(n + t) time (Theorem 2.8).
+	ProtocolB
+	// ProtocolC is the O(n + t log t)-message protocol of §3 (Theorem 3.8).
+	ProtocolC
+	// ProtocolCLowMsg is the Corollary 3.9 variant reporting every ⌈n/t⌉
+	// units: O(t log t) messages.
+	ProtocolCLowMsg
+	// ProtocolD alternates parallel work and agreement phases (§4,
+	// Theorem 4.1).
+	ProtocolD
+	// Trivial has every process perform every unit: tn work, no messages.
+	Trivial
+	// SingleCheckpoint has one worker checkpoint to everyone after every
+	// unit: n + t − 1 work, ~tn messages.
+	SingleCheckpoint
+	// UniformCheckpoint checkpoints to everyone every ⌈n/k⌉ units
+	// (Config.CheckpointK); the §2 strawman.
+	UniformCheckpoint
+	// NaiveSpread is §3's strawman: report unit u to process u mod t, most
+	// knowledgeable takes over, no fault detection; Θ(n + t²) worst-case
+	// effort.
+	NaiveSpread
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolA:
+		return "A"
+	case ProtocolB:
+		return "B"
+	case ProtocolC:
+		return "C"
+	case ProtocolCLowMsg:
+		return "C-lowmsg"
+	case ProtocolD:
+		return "D"
+	case Trivial:
+		return "trivial"
+	case SingleCheckpoint:
+		return "single-checkpoint"
+	case UniformCheckpoint:
+		return "uniform-checkpoint"
+	case NaiveSpread:
+		return "naive-spread"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// SingleActive reports whether the protocol maintains the at-most-one-
+// active-process invariant (checkable via Config.CheckInvariants).
+func (p Protocol) SingleActive() bool {
+	switch p {
+	case ProtocolA, ProtocolB, ProtocolC, ProtocolCLowMsg,
+		SingleCheckpoint, UniformCheckpoint, NaiveSpread:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config describes one run.
+type Config struct {
+	// Units is n, the number of idempotent work units (IDs 1..n).
+	Units int
+	// Workers is t, the number of processes (IDs 0..t-1).
+	Workers int
+	// Protocol selects the strategy (required).
+	Protocol Protocol
+	// Failures injects crash failures; nil means failure-free.
+	Failures Failures
+	// CheckpointK sets k for UniformCheckpoint (ignored otherwise).
+	CheckpointK int
+	// RevertFactor overrides Protocol D's revert threshold (0 = paper's 2).
+	RevertFactor float64
+	// DisableRevert turns off Protocol D's Protocol A fallback.
+	DisableRevert bool
+	// CheckInvariants enables the at-most-one-active check for
+	// single-active protocols.
+	CheckInvariants bool
+	// MaxRound aborts runaway executions (0 = no limit; note Protocol C's
+	// deadlines are exponential in n + t by design).
+	MaxRound int64
+	// Observer, when non-nil, is called once per performed unit of work
+	// with the worker and unit (e.g. to drive a workload.Workload).
+	Observer func(worker, unit int)
+	// Tracer, when non-nil, receives one event per committed action —
+	// feed it to a trace recorder to render execution timelines.
+	Tracer func(TraceEvent)
+}
+
+// TraceEvent describes one committed action of one worker.
+type TraceEvent struct {
+	Round   int64
+	Worker  int
+	Work    int // unit performed this round (0 = none)
+	Sent    int // messages transmitted this round
+	Crashed bool
+	Halted  bool
+}
+
+// Run executes the configured protocol and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	scripts, err := buildScripts(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	opt := core.RunOptions{
+		MaxRound:        cfg.MaxRound,
+		DetailedMetrics: true,
+	}
+	if cfg.Tracer != nil {
+		tr := cfg.Tracer
+		opt.Tracer = func(e sim.Event) {
+			tr(TraceEvent{
+				Round: e.Round, Worker: e.PID, Work: e.Work, Sent: e.Sent,
+				Crashed: e.Crashed, Halted: e.Halted,
+			})
+		}
+	}
+	if cfg.Failures != nil {
+		opt.Adversary = cfg.Failures.adversary()
+	}
+	if cfg.CheckInvariants && cfg.Protocol.SingleActive() {
+		opt.MaxActive = 1
+	}
+	res, err := core.Run(cfg.Units, cfg.Workers, scripts, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return newResult(res), nil
+}
+
+func buildScripts(cfg Config) (func(int) sim.Script, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("doall: Workers = %d, need at least one", cfg.Workers)
+	}
+	if cfg.Units < 0 {
+		return nil, fmt.Errorf("doall: Units = %d, need non-negative", cfg.Units)
+	}
+	exec := execFor(cfg)
+	switch cfg.Protocol {
+	case ProtocolA:
+		return core.ProtocolAScripts(core.ABConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+	case ProtocolB:
+		return core.ProtocolBScripts(core.ABConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+	case ProtocolC:
+		return core.ProtocolCScripts(core.CConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+	case ProtocolCLowMsg:
+		every := (cfg.Units + cfg.Workers - 1) / max(cfg.Workers, 1)
+		return core.ProtocolCScripts(core.CConfig{
+			N: cfg.Units, T: cfg.Workers, Exec: exec, ReportEvery: max(every, 1),
+		})
+	case ProtocolD:
+		return core.ProtocolDScripts(core.DConfig{
+			N: cfg.Units, T: cfg.Workers, Exec: exec,
+			RevertFactor: cfg.RevertFactor, DisableRevert: cfg.DisableRevert,
+		})
+	case Trivial:
+		if cfg.Observer == nil {
+			return core.TrivialScripts(cfg.Units, cfg.Workers), nil
+		}
+		return trivialObserved(cfg), nil
+	case SingleCheckpoint:
+		return core.UniformCheckpointScripts(core.UniformConfig{
+			N: cfg.Units, T: cfg.Workers, K: max(cfg.Units, 1), Exec: exec,
+		})
+	case UniformCheckpoint:
+		if cfg.CheckpointK <= 0 {
+			return nil, fmt.Errorf("doall: UniformCheckpoint needs CheckpointK > 0")
+		}
+		return core.UniformCheckpointScripts(core.UniformConfig{
+			N: cfg.Units, T: cfg.Workers, K: cfg.CheckpointK, Exec: exec,
+		})
+	case NaiveSpread:
+		return core.NaiveSpreadScripts(core.NaiveConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+	default:
+		return nil, fmt.Errorf("doall: unknown protocol %v", cfg.Protocol)
+	}
+}
+
+// execFor wires the user's Observer into the protocol's work executor.
+func execFor(cfg Config) core.WorkExecutor {
+	if cfg.Observer == nil {
+		return nil
+	}
+	obs := cfg.Observer
+	return func(p *sim.Proc, unit int) {
+		p.StepWork(unit)
+		obs(p.ID(), unit)
+	}
+}
+
+func trivialObserved(cfg Config) func(int) sim.Script {
+	obs := cfg.Observer
+	return func(id int) sim.Script {
+		return func(p *sim.Proc) {
+			for u := 1; u <= cfg.Units; u++ {
+				p.StepWork(u)
+				obs(id, u)
+			}
+		}
+	}
+}

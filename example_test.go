@@ -1,0 +1,71 @@
+package doall_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The basic flow: pick a protocol, a failure pattern, and run.
+func ExampleRun() {
+	res, err := doall.Run(doall.Config{
+		Units:    64,
+		Workers:  16,
+		Protocol: doall.ProtocolB,
+		Failures: doall.CascadeFailures(4, 15),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("complete:", res.Complete, "distinct:", res.WorkDistinct, "survivors:", res.Survivors)
+	// Output: complete: true distinct: 64 survivors: 1
+}
+
+// Failure-free Protocol D matches the paper's exact n/t + 2 round count.
+func ExampleRun_protocolD() {
+	res, err := doall.Run(doall.Config{
+		Units:    64,
+		Workers:  8,
+		Protocol: doall.ProtocolD,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rounds:", res.Rounds, "work:", res.Work)
+	// Output: rounds: 10 work: 64
+}
+
+// Scheduled failures give exact control over crash timing, including
+// crash-mid-broadcast delivery subsets.
+func ExampleScheduledFailures() {
+	res, err := doall.Run(doall.Config{
+		Units:    16,
+		Workers:  4,
+		Protocol: doall.ProtocolA,
+		Failures: doall.ScheduledFailures(
+			doall.Crash{Process: 0, Round: 3},
+			doall.Crash{Process: 1, AtAction: 2, KeepWork: true},
+		),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("complete:", res.Complete, "crashes:", res.Crashes)
+	// Output: complete: true crashes: 2
+}
+
+// Byzantine agreement for crash faults (§5): all survivors decide the
+// general's value.
+func ExampleRunAgreement() {
+	out, err := doall.RunAgreement(doall.AgreementConfig{
+		Processes: 16,
+		Faults:    3,
+		Value:     7,
+		Protocol:  doall.ProtocolB,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("decided:", out.Value)
+	// Output: decided: 7
+}

@@ -1,0 +1,72 @@
+package doall
+
+import (
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// Failures describes a crash-failure pattern for a run. Implementations are
+// single-use: build a fresh value per Run call.
+type Failures interface {
+	adversary() sim.Adversary
+}
+
+type failureSpec struct {
+	adv sim.Adversary
+}
+
+func (f failureSpec) adversary() sim.Adversary { return f.adv }
+
+// NoFailures is the failure-free environment.
+func NoFailures() Failures { return failureSpec{adv: adversary.None()} }
+
+// RandomFailures crashes each committed action with probability p, at most
+// maxCrashes times (use Workers-1 to preserve a survivor). Crash points
+// inside a round (work kept or lost, broadcast prefix delivered) are chosen
+// randomly; runs are reproducible for a fixed seed.
+func RandomFailures(p float64, maxCrashes int, seed int64) Failures {
+	return failureSpec{adv: adversary.NewRandom(p, maxCrashes, seed)}
+}
+
+// CascadeFailures crashes every process at its first send after it has
+// performed unitsBetween units of work, keeping the work but suppressing the
+// broadcast: the adversarial pattern behind the paper's worst-case redo
+// chains.
+func CascadeFailures(unitsBetween, maxCrashes int) Failures {
+	return failureSpec{adv: adversary.NewCascade(unitsBetween, maxCrashes)}
+}
+
+// Crash is one planned failure for ScheduledFailures. Exactly one of Round /
+// AtAction triggers it: Round ≥ 0 crashes the process at the start of that
+// round, AtAction > 0 crashes it while committing its AtAction-th action,
+// with KeepWork controlling whether a work unit in that action survives and
+// Deliver selecting which messages of the broadcast escape.
+type Crash struct {
+	Process  int
+	Round    int64
+	AtAction int
+	KeepWork bool
+	Deliver  []bool
+}
+
+// ScheduledFailures executes a fixed crash plan.
+func ScheduledFailures(crashes ...Crash) Failures {
+	converted := make([]adversary.Crash, len(crashes))
+	for i, c := range crashes {
+		converted[i] = adversary.Crash{
+			PID: c.Process, Round: c.Round, AtAction: c.AtAction,
+			KeepWork: c.KeepWork, Deliver: c.Deliver,
+		}
+	}
+	return failureSpec{adv: adversary.NewSchedule(converted...)}
+}
+
+// CombinedFailures chains several failure patterns; the first crash verdict
+// wins and scheduled crashes are unioned.
+func CombinedFailures(specs ...Failures) Failures {
+	advs := make([]sim.Adversary, len(specs))
+	for i, s := range specs {
+		advs[i] = s.adversary()
+	}
+	return failureSpec{adv: adversary.NewChain(advs...)}
+}

@@ -1,0 +1,259 @@
+// Package adversary provides crash-failure strategies for the synchronous
+// simulator: explicit schedules, seeded random crashes, and the structured
+// worst cases used in the paper's analyses (crash-after-work cascades and
+// checkpoint suppression).
+package adversary
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// None is the failure-free adversary.
+func None() sim.Adversary { return sim.NopAdversary{} }
+
+// Crash describes one planned failure. Exactly one of Round / AtAction
+// selects the trigger:
+//   - Round >= 0 crashes the process at the start of that round (even while
+//     it sleeps);
+//   - AtAction > 0 crashes the process as it commits its AtAction-th action,
+//     with KeepWork and Deliver controlling what survives of that action.
+type Crash struct {
+	PID      int
+	Round    int64
+	AtAction int
+	KeepWork bool
+	Deliver  []bool
+}
+
+// Schedule executes a fixed list of planned crashes.
+type Schedule struct {
+	byRound  map[int64][]int
+	byAction map[int]*actionCrash
+	counts   map[int]int
+}
+
+type actionCrash struct {
+	at       int
+	keepWork bool
+	deliver  []bool
+}
+
+var _ sim.Adversary = (*Schedule)(nil)
+
+// NewSchedule builds a Schedule from planned crashes. At most one
+// action-triggered crash per PID is supported (one crash kills for good).
+func NewSchedule(crashes ...Crash) *Schedule {
+	s := &Schedule{
+		byRound:  make(map[int64][]int),
+		byAction: make(map[int]*actionCrash),
+		counts:   make(map[int]int),
+	}
+	for _, c := range crashes {
+		if c.AtAction > 0 {
+			s.byAction[c.PID] = &actionCrash{at: c.AtAction, keepWork: c.KeepWork, deliver: c.Deliver}
+		} else {
+			s.byRound[c.Round] = append(s.byRound[c.Round], c.PID)
+		}
+	}
+	return s
+}
+
+// OnAction implements sim.Adversary.
+func (s *Schedule) OnAction(_ int64, pid int, _ sim.Action) sim.Verdict {
+	ac := s.byAction[pid]
+	if ac == nil {
+		return sim.Survive()
+	}
+	s.counts[pid]++
+	if s.counts[pid] == ac.at {
+		return sim.Verdict{Crash: true, KeepWork: ac.keepWork, Deliver: ac.deliver}
+	}
+	return sim.Survive()
+}
+
+// ScheduledCrashes implements sim.Adversary.
+func (s *Schedule) ScheduledCrashes(r int64) []int {
+	pids := s.byRound[r]
+	sort.Ints(pids)
+	return pids
+}
+
+// NextScheduledCrash implements sim.Adversary.
+func (s *Schedule) NextScheduledCrash(after int64) int64 {
+	next := int64(-1)
+	for r := range s.byRound {
+		if r > after && (next < 0 || r < next) {
+			next = r
+		}
+	}
+	return next
+}
+
+// Random crashes each committed action with probability P, up to MaxCrashes
+// failures. On a crash, the work unit survives with probability 1/2 and each
+// outgoing message is transmitted with probability 1/2, modelling arbitrary
+// crash points inside a round. Runs are reproducible for a fixed seed.
+type Random struct {
+	sim.NopAdversary
+	rng        *rand.Rand
+	p          float64
+	maxCrashes int
+	crashed    int
+}
+
+var _ sim.Adversary = (*Random)(nil)
+
+// NewRandom builds a Random adversary; maxCrashes should be at most t-1 to
+// preserve the one-survivor guarantee.
+func NewRandom(p float64, maxCrashes int, seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed)), p: p, maxCrashes: maxCrashes}
+}
+
+// OnAction implements sim.Adversary.
+func (r *Random) OnAction(_ int64, _ int, a sim.Action) sim.Verdict {
+	if r.crashed >= r.maxCrashes || r.rng.Float64() >= r.p {
+		return sim.Survive()
+	}
+	r.crashed++
+	v := sim.Verdict{Crash: true, KeepWork: r.rng.Intn(2) == 0}
+	if len(a.Sends) > 0 {
+		v.Deliver = make([]bool, len(a.Sends))
+		for i := range v.Deliver {
+			v.Deliver[i] = r.rng.Intn(2) == 0
+		}
+	}
+	return v
+}
+
+// Crashes reports how many failures have been injected so far.
+func (r *Random) Crashes() int { return r.crashed }
+
+// Cascade is the work-wasting adversary behind the worst cases of §2: it
+// lets each process perform Units units of work and then crashes it at its
+// next send, suppressing the entire broadcast. The work is kept but never
+// reported, so every successor must redo it. MaxCrashes bounds the failures
+// (use t-1 to preserve a survivor).
+type Cascade struct {
+	sim.NopAdversary
+	units      int
+	maxCrashes int
+	crashed    int
+	work       map[int]int
+}
+
+var _ sim.Adversary = (*Cascade)(nil)
+
+// NewCascade builds a Cascade adversary.
+func NewCascade(units, maxCrashes int) *Cascade {
+	return &Cascade{units: units, maxCrashes: maxCrashes, work: make(map[int]int)}
+}
+
+// OnAction implements sim.Adversary.
+func (c *Cascade) OnAction(_ int64, pid int, a sim.Action) sim.Verdict {
+	if a.WorkUnit > 0 {
+		c.work[pid]++
+	}
+	if c.crashed >= c.maxCrashes {
+		return sim.Survive()
+	}
+	if len(a.Sends) > 0 && c.work[pid] >= c.units {
+		c.crashed++
+		return sim.Verdict{Crash: true, KeepWork: true}
+	}
+	return sim.Survive()
+}
+
+// Crashes reports how many failures have been injected so far.
+func (c *Cascade) Crashes() int { return c.crashed }
+
+// KindCount crashes a process as it sends its Nth message of payload kind
+// Kind, delivering the prefix of the broadcast of length Prefix (0 = nothing
+// is delivered). It models crashing in the middle of a specific checkpoint.
+type KindCount struct {
+	sim.NopAdversary
+	PID    int
+	Kind   string
+	N      int
+	Prefix int
+	seen   int
+}
+
+var _ sim.Adversary = (*KindCount)(nil)
+
+// OnAction implements sim.Adversary.
+func (k *KindCount) OnAction(_ int64, pid int, a sim.Action) sim.Verdict {
+	if pid != k.PID || len(a.Sends) == 0 {
+		return sim.Survive()
+	}
+	match := false
+	for _, s := range a.Sends {
+		if kindOf(s.Payload) == k.Kind {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return sim.Survive()
+	}
+	k.seen++
+	if k.seen != k.N {
+		return sim.Survive()
+	}
+	deliver := make([]bool, len(a.Sends))
+	for i := 0; i < k.Prefix && i < len(deliver); i++ {
+		deliver[i] = true
+	}
+	return sim.Verdict{Crash: true, KeepWork: true, Deliver: deliver}
+}
+
+func kindOf(p any) string {
+	if kk, ok := p.(interface{ Kind() string }); ok {
+		return kk.Kind()
+	}
+	return ""
+}
+
+// Chain composes several adversaries; the first non-surviving verdict wins,
+// and scheduled crashes are unioned.
+type Chain struct {
+	Advs []sim.Adversary
+}
+
+var _ sim.Adversary = (*Chain)(nil)
+
+// NewChain composes adversaries.
+func NewChain(advs ...sim.Adversary) *Chain { return &Chain{Advs: advs} }
+
+// OnAction implements sim.Adversary.
+func (c *Chain) OnAction(r int64, pid int, a sim.Action) sim.Verdict {
+	for _, adv := range c.Advs {
+		if v := adv.OnAction(r, pid, a); v.Crash {
+			return v
+		}
+	}
+	return sim.Survive()
+}
+
+// ScheduledCrashes implements sim.Adversary.
+func (c *Chain) ScheduledCrashes(r int64) []int {
+	var pids []int
+	for _, adv := range c.Advs {
+		pids = append(pids, adv.ScheduledCrashes(r)...)
+	}
+	sort.Ints(pids)
+	return pids
+}
+
+// NextScheduledCrash implements sim.Adversary.
+func (c *Chain) NextScheduledCrash(after int64) int64 {
+	next := int64(-1)
+	for _, adv := range c.Advs {
+		if n := adv.NextScheduledCrash(after); n >= 0 && (next < 0 || n < next) {
+			next = n
+		}
+	}
+	return next
+}

@@ -1,0 +1,213 @@
+// Package agreement implements the paper's §5 application: Byzantine
+// agreement for crash failures built on the work protocols. The general
+// (process 0) broadcasts its value to the f+1 senders; the senders then
+// perform the "work" of informing all n processes, where performing unit u
+// means sending the general's value to process u−1. Every process decides
+// its current value at a predetermined round by which the work protocol has
+// provably terminated.
+//
+// Using Protocol B this yields O(n + t√t) messages and O(n) rounds — the
+// bound of Bracha's nonconstructive protocol, made constructive. Using
+// Protocol C it yields O(n + t log t) messages at exponential time.
+package agreement
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// WorkProtocol selects which work protocol the senders run.
+type WorkProtocol int
+
+const (
+	// UseA runs Protocol A.
+	UseA WorkProtocol = iota + 1
+	// UseB runs Protocol B.
+	UseB
+	// UseC runs Protocol C with value piggybacking on ordinary messages.
+	UseC
+)
+
+// String implements fmt.Stringer.
+func (w WorkProtocol) String() string {
+	switch w {
+	case UseA:
+		return "A"
+	case UseB:
+		return "B"
+	case UseC:
+		return "C"
+	default:
+		return fmt.Sprintf("WorkProtocol(%d)", int(w))
+	}
+}
+
+// ValueMsg informs a process of the general's value: both the general's
+// initial broadcast to the senders and the per-unit informs.
+type ValueMsg struct {
+	V int
+}
+
+// Kind implements sim.Kinder.
+func (ValueMsg) Kind() string { return "value" }
+
+// Config parameterises an agreement instance.
+type Config struct {
+	// N is the number of processes; unit u informs process u-1.
+	N int
+	// F bounds the number of crash failures; processes 0..F are the
+	// senders (F+1 of them, so at least one survives).
+	F int
+	// Value is the general's input value. Processes start with value 0, so
+	// a general that crashes before informing anyone yields decision 0.
+	Value int
+	// Protocol selects the work protocol (default UseB).
+	Protocol WorkProtocol
+}
+
+// Outcome reports the decisions of an agreement run.
+type Outcome struct {
+	// Decisions[i] is process i's decided value; -1 if it crashed before
+	// deciding.
+	Decisions []int
+	// Result carries the run's cost metrics.
+	Result sim.Result
+}
+
+// Agreement verifies the agreement property: every decided value is the
+// same. It returns the common value.
+func (o Outcome) Agreement() (int, error) {
+	v, seen := 0, false
+	for pid, d := range o.Decisions {
+		if d < 0 {
+			continue
+		}
+		if seen && d != v {
+			return 0, fmt.Errorf("agreement violated: process %d decided %d, others %d", pid, d, v)
+		}
+		v, seen = d, true
+	}
+	return v, nil
+}
+
+// Run executes one agreement instance under the given failure adversary.
+func Run(cfg Config, opt core.RunOptions) (Outcome, error) {
+	if cfg.N <= 0 {
+		return Outcome{}, fmt.Errorf("agreement: n = %d", cfg.N)
+	}
+	if cfg.F < 0 || cfg.F >= cfg.N {
+		return Outcome{}, fmt.Errorf("agreement: f = %d out of range [0,%d)", cfg.F, cfg.N)
+	}
+	proto := cfg.Protocol
+	if proto == 0 {
+		proto = UseB
+	}
+	senders := cfg.F + 1
+	decisions := make([]int, cfg.N)
+	values := make([]int, cfg.N)
+	for i := range decisions {
+		decisions[i] = -1
+	}
+	// Stage 1 occupies round 0; the work protocol starts at round 1.
+	var tEnd int64
+	switch proto {
+	case UseA:
+		tEnd = 1 + core.ProtocolARoundBound(cfg.N, senders)
+	case UseB:
+		tEnd = 1 + core.ProtocolBRoundBound(cfg.N, senders)
+	case UseC:
+		tEnd = satAdd64(1, core.ProtocolCRoundBound(cfg.N, senders, 1))
+	default:
+		return Outcome{}, fmt.Errorf("agreement: unknown protocol %v", proto)
+	}
+
+	workers := make([]int, senders)
+	for i := range workers {
+		workers[i] = i
+	}
+	scripts := func(id int) sim.Script {
+		return func(p *sim.Proc) {
+			adopt := func(m sim.Message) {
+				switch pl := m.Payload.(type) {
+				case ValueMsg:
+					values[id] = pl.V
+				case core.COrdinary:
+					if v, ok := pl.Value.(int); ok {
+						values[id] = v
+					}
+				}
+			}
+			p.SetTap(adopt)
+			if id == 0 {
+				// The general: stage 1 broadcast to the other senders.
+				values[0] = cfg.Value
+				sends := make([]sim.Send, 0, senders-1)
+				for s := 1; s < senders; s++ {
+					sends = append(sends, sim.Send{To: s, Payload: ValueMsg{V: cfg.Value}})
+				}
+				p.StepSend(sends...)
+			}
+			if id < senders {
+				runWork(p, cfg, proto, workers, values, id)
+				decisions[id] = values[id]
+				return
+			}
+			// Non-senders wait for the decision round, adopting values as
+			// informs arrive (via the tap).
+			for p.Now() < tEnd {
+				p.WaitUntil(tEnd)
+			}
+			decisions[id] = values[id]
+		}
+	}
+	res, err := core.Run(cfg.N, cfg.N, scripts, opt)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Decisions: decisions, Result: res}, nil
+}
+
+// runWork runs the chosen work protocol among the senders; performing unit
+// u sends the sender's current value to process u-1 in the same round.
+func runWork(p *sim.Proc, cfg Config, proto WorkProtocol, workers []int, values []int, pos int) {
+	exec := func(pp *sim.Proc, unit int) {
+		pp.StepWorkSend(unit, sim.Send{To: unit - 1, Payload: ValueMsg{V: values[pp.ID()]}})
+	}
+	switch proto {
+	case UseA:
+		abCfg := core.ABConfig{
+			N: cfg.N, T: len(workers),
+			Assign:     core.Assignment{Workers: workers},
+			StartRound: 1,
+			Exec:       exec,
+		}
+		_ = core.RunProtocolA(p, abCfg, pos)
+	case UseB:
+		abCfg := core.ABConfig{
+			N: cfg.N, T: len(workers),
+			Assign:     core.Assignment{Workers: workers},
+			StartRound: 1,
+			Exec:       exec,
+		}
+		_ = core.RunProtocolB(p, abCfg, pos)
+	case UseC:
+		cCfg := core.CConfig{
+			N: cfg.N, T: len(workers),
+			Assign:     core.Assignment{Workers: workers},
+			StartRound: 1,
+			Exec:       exec,
+			// §5: Protocol C's checkpointing messages carry the value.
+			PiggybackSend: func() any { return values[p.ID()] },
+		}
+		_ = core.RunProtocolC(p, cCfg, pos)
+	}
+}
+
+func satAdd64(a, b int64) int64 {
+	if a > sim.Forever-b {
+		return sim.Forever
+	}
+	return a + b
+}

@@ -1,0 +1,140 @@
+package agreement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func runAgreement(t *testing.T, cfg Config, adv sim.Adversary) Outcome {
+	t.Helper()
+	out, err := Run(cfg, core.RunOptions{Adversary: adv, MaxActive: 1, DetailedMetrics: true})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := out.Agreement(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAgreementFailureFreeValidity(t *testing.T) {
+	for _, proto := range []WorkProtocol{UseA, UseB, UseC} {
+		n, f := 12, 3
+		if proto == UseC {
+			n, f = 10, 3 // keep n+t small: C's decision round is exponential
+		}
+		out := runAgreement(t, Config{N: n, F: f, Value: 7, Protocol: proto}, nil)
+		for pid, d := range out.Decisions {
+			if d != 7 {
+				t.Fatalf("%v: process %d decided %d, want the general's 7", proto, pid, d)
+			}
+		}
+	}
+}
+
+func TestAgreementGeneralCrashesMidBroadcast(t *testing.T) {
+	// The general reaches only a subset of senders in stage 1; agreement
+	// must still hold (validity is vacuous: the general is faulty).
+	for _, proto := range []WorkProtocol{UseA, UseB, UseC} {
+		n, f := 10, 3
+		for prefix := 0; prefix <= 3; prefix++ {
+			adv := adversary.NewSchedule(adversary.Crash{
+				PID: 0, AtAction: 1,
+				Deliver: prefixMask(3, prefix),
+			})
+			out := runAgreement(t, Config{N: n, F: f, Value: 1, Protocol: proto}, adv)
+			v, _ := out.Agreement()
+			if v != 0 && v != 1 {
+				t.Fatalf("%v prefix=%d: decided %d", proto, prefix, v)
+			}
+			if out.Decisions[0] != -1 {
+				t.Fatalf("crashed general decided %d", out.Decisions[0])
+			}
+		}
+	}
+}
+
+func prefixMask(n, k int) []bool {
+	m := make([]bool, n)
+	for i := 0; i < k && i < n; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+func TestAgreementSenderCascade(t *testing.T) {
+	// Senders crash one after another mid-work; the survivors must still
+	// drive every process to the same decision.
+	for _, proto := range []WorkProtocol{UseA, UseB} {
+		n, f := 16, 4
+		adv := adversary.NewCascade(3, f)
+		out := runAgreement(t, Config{N: n, F: f, Value: 5, Protocol: proto}, adv)
+		v, _ := out.Agreement()
+		if v != 5 {
+			// The general survived stage 1 (cascade crashes after 3 work
+			// units), so validity must hold.
+			t.Fatalf("%v: decided %d, want 5", proto, v)
+		}
+	}
+}
+
+func TestAgreementRandomSweep(t *testing.T) {
+	for _, proto := range []WorkProtocol{UseA, UseB} {
+		for seed := int64(0); seed < 10; seed++ {
+			runAgreement(t, Config{N: 14, F: 4, Value: 2, Protocol: proto},
+				adversary.NewRandom(0.02, 4, seed))
+		}
+	}
+}
+
+func TestAgreementMessageBounds(t *testing.T) {
+	// §5: via B the message count is O(n + t√t); via C it is O(n + t log t).
+	n, f := 24, 3
+	outB := runAgreement(t, Config{N: n, F: f, Value: 1, Protocol: UseB}, nil)
+	tSenders := float64(f + 1)
+	boundB := float64(n) + 1 + tSenders + 10*tSenders*math.Sqrt(tSenders)
+	if float64(outB.Result.Messages) > boundB {
+		t.Fatalf("B: messages = %d > %v", outB.Result.Messages, boundB)
+	}
+	outC := runAgreement(t, Config{N: 16, F: 3, Value: 1, Protocol: UseC}, nil)
+	// n informs + general's broadcast + C overhead 8t log t + decision-time
+	// slack.
+	boundC := int64(16 + 4 + 8*4*2 + 16)
+	if outC.Result.Messages > boundC {
+		t.Fatalf("C: messages = %d > %d", outC.Result.Messages, boundC)
+	}
+}
+
+func TestAgreementTimeViaB(t *testing.T) {
+	// Via B the agreement runs in O(n) rounds for the senders; non-senders
+	// decide at the predetermined bound.
+	n, f := 24, 3
+	out := runAgreement(t, Config{N: n, F: f, Value: 1, Protocol: UseB}, nil)
+	bound := 1 + core.ProtocolBRoundBound(n, f+1)
+	if out.Result.Rounds > bound {
+		t.Fatalf("rounds = %d > %d", out.Result.Rounds, bound)
+	}
+}
+
+func TestAgreementZeroFaultBound(t *testing.T) {
+	// f = 0: the general alone informs everyone.
+	out := runAgreement(t, Config{N: 8, F: 0, Value: 3, Protocol: UseB}, nil)
+	for pid, d := range out.Decisions {
+		if d != 3 {
+			t.Fatalf("process %d decided %d", pid, d)
+		}
+	}
+}
+
+func TestAgreementConfigValidation(t *testing.T) {
+	if _, err := Run(Config{N: 0, F: 0}, core.RunOptions{}); err == nil {
+		t.Fatal("want error for n=0")
+	}
+	if _, err := Run(Config{N: 4, F: 4}, core.RunOptions{}); err == nil {
+		t.Fatal("want error for f>=n")
+	}
+}

@@ -1,0 +1,225 @@
+// Package asyncnet implements the paper's §2.1 remark: Protocol A "can be
+// easily modified to run in a completely asynchronous system equipped with a
+// failure detection mechanism". Processes are real goroutines exchanging
+// messages over channels with arbitrary (seeded-random) delays; a sound
+// failure detector — it never reports a live process as retired, and
+// eventually reports every retired one — replaces the synchronous deadlines:
+// process j becomes active once the detector has reported processes 0..j−1
+// retired, instead of waiting until round DD(j).
+package asyncnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Message is a routed protocol message.
+type Message struct {
+	From    int
+	To      int
+	Payload any
+}
+
+// Network routes messages between processes with per-message random delays,
+// modelling full asynchrony. It is safe for concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	inboxes  []chan Message
+	maxDelay time.Duration
+	sent     int64
+	wg       sync.WaitGroup
+	inflight []sync.WaitGroup // per-sender in-flight deliveries
+	closed   bool
+}
+
+// NewNetwork builds a network for t processes. maxDelay bounds the random
+// per-message delivery delay; seed makes delay choices reproducible.
+func NewNetwork(t int, maxDelay time.Duration, seed int64) *Network {
+	n := &Network{
+		rng:      rand.New(rand.NewSource(seed)),
+		inboxes:  make([]chan Message, t),
+		maxDelay: maxDelay,
+		inflight: make([]sync.WaitGroup, t),
+	}
+	for i := range n.inboxes {
+		// Generous buffering: a checkpoint burst is at most t messages and
+		// senders must never block on a crashed recipient's inbox.
+		n.inboxes[i] = make(chan Message, 4*t+16)
+	}
+	return n
+}
+
+// Send routes a message with a random delay. Messages to out-of-range or
+// closed destinations vanish, as messages to crashed processes do.
+func (n *Network) Send(from, to int, payload any) {
+	if to < 0 || to >= len(n.inboxes) {
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	delay := time.Duration(0)
+	if n.maxDelay > 0 {
+		delay = time.Duration(n.rng.Int63n(int64(n.maxDelay)))
+	}
+	n.sent++
+	n.wg.Add(1)
+	if from >= 0 && from < len(n.inflight) {
+		n.inflight[from].Add(1)
+	}
+	n.mu.Unlock()
+
+	deliver := func() {
+		defer n.wg.Done()
+		if from >= 0 && from < len(n.inflight) {
+			defer n.inflight[from].Done()
+		}
+		select {
+		case n.inboxes[to] <- Message{From: from, To: to, Payload: payload}:
+		default:
+			// Inbox full: the recipient stopped draining (retired); drop.
+		}
+	}
+	if delay == 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(delay, deliver)
+}
+
+// FlushFrom blocks until every message already sent by `from` has been
+// delivered (or dropped). The cluster calls it before reporting a
+// retirement, so failure-detector reports never overtake the retiree's own
+// messages — the asynchronous analogue of the synchronous model's guarantee
+// that a round's messages land before the next round's deadlines. Without
+// this ordering, a successor can take over knowing nothing and the 3n work
+// bound of Theorem 2.3 degenerates to O(nt) (see DESIGN.md §6).
+func (n *Network) FlushFrom(from int) {
+	if from < 0 || from >= len(n.inflight) {
+		return
+	}
+	// Safe: the sender has stopped, so no concurrent Add can race the Wait.
+	n.inflight[from].Wait()
+}
+
+// Inbox returns the receive channel of process id.
+func (n *Network) Inbox(id int) <-chan Message { return n.inboxes[id] }
+
+// Sent returns the number of messages handed to the network so far.
+func (n *Network) Sent() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent
+}
+
+// Close waits for in-flight deliveries and stops accepting sends.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Detector is a sound and eventually-complete failure detector: Retired(p)
+// is reported only after p has actually crashed or terminated, and every
+// retirement is eventually reported to every subscriber.
+type Detector struct {
+	mu      sync.Mutex
+	retired []bool
+	waiters []chan struct{}
+}
+
+// NewDetector builds a detector for t processes.
+func NewDetector(t int) *Detector {
+	return &Detector{retired: make([]bool, t)}
+}
+
+// MarkRetired records that process p has crashed or terminated. Only the
+// runtime that actually observed the retirement may call it (soundness).
+func (d *Detector) MarkRetired(p int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.retired[p] {
+		return
+	}
+	d.retired[p] = true
+	for _, w := range d.waiters {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Retired reports whether p is known retired.
+func (d *Detector) Retired(p int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.retired[p]
+}
+
+// AllRetiredBelow reports whether every process with ID < p is known
+// retired.
+func (d *Detector) AllRetiredBelow(p int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < p; i++ {
+		if !d.retired[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Subscribe returns a channel that receives a token whenever some process
+// retires. The channel has capacity 1 and coalesces notifications.
+func (d *Detector) Subscribe() <-chan struct{} {
+	ch := make(chan struct{}, 1)
+	d.mu.Lock()
+	d.waiters = append(d.waiters, ch)
+	d.mu.Unlock()
+	return ch
+}
+
+// WorkLog records performed work units with multiplicity; it is safe for
+// concurrent use.
+type WorkLog struct {
+	mu    sync.Mutex
+	done  []bool
+	total int64
+	dist  int
+}
+
+// NewWorkLog builds a log over units 1..n.
+func NewWorkLog(n int) *WorkLog {
+	return &WorkLog{done: make([]bool, n+1)}
+}
+
+// Perform records one execution of unit u.
+func (w *WorkLog) Perform(u int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.total++
+	if u >= 1 && u < len(w.done) && !w.done[u] {
+		w.done[u] = true
+		w.dist++
+	}
+}
+
+// Totals returns (units performed with multiplicity, distinct units).
+func (w *WorkLog) Totals() (int64, int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total, w.dist
+}
+
+// Complete reports whether every unit has been performed.
+func (w *WorkLog) Complete() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dist == len(w.done)-1
+}

@@ -1,0 +1,266 @@
+package asyncnet
+
+import (
+	"sync"
+
+	"repro/internal/group"
+)
+
+// Checkpoint payloads mirror the synchronous Protocol A messages.
+
+// PartialCP is "(c)": subchunk c complete, sent to the sender's group
+// remainder.
+type PartialCP struct{ C int }
+
+// FullCP is "(c, g)": group g informed that subchunk c is complete.
+type FullCP struct{ C, G int }
+
+// Config parameterises an asynchronous Protocol A cluster.
+type Config struct {
+	// N is the number of work units, T the number of worker goroutines.
+	N, T int
+	// Perform executes a unit of work; nil just records it in the log.
+	Perform func(worker, unit int)
+}
+
+// Cluster runs Protocol A over real goroutines. Create with NewCluster,
+// start with Start, optionally Crash workers, then Wait.
+type Cluster struct {
+	cfg Config
+	net *Network
+	fd  *Detector
+	log *WorkLog
+	q   group.Sqrt
+
+	wg      sync.WaitGroup
+	crashCh []chan struct{}
+	crashMu sync.Mutex
+	crashed []bool
+}
+
+// NewCluster builds a cluster with the given message-delay bound and seed.
+func NewCluster(cfg Config, net *Network) *Cluster {
+	c := &Cluster{
+		cfg:     cfg,
+		net:     net,
+		fd:      NewDetector(cfg.T),
+		log:     NewWorkLog(cfg.N),
+		q:       group.NewSqrt(cfg.T),
+		crashCh: make([]chan struct{}, cfg.T),
+		crashed: make([]bool, cfg.T),
+	}
+	for i := range c.crashCh {
+		c.crashCh[i] = make(chan struct{})
+	}
+	return c
+}
+
+// Log exposes the shared work log.
+func (c *Cluster) Log() *WorkLog { return c.log }
+
+// Detector exposes the failure detector.
+func (c *Cluster) Detector() *Detector { return c.fd }
+
+// Start launches every worker goroutine.
+func (c *Cluster) Start() {
+	for j := 0; j < c.cfg.T; j++ {
+		c.wg.Add(1)
+		go c.worker(j)
+	}
+}
+
+// Crash kills worker j (idempotent). The failure detector learns of it when
+// the worker goroutine actually stops — never before — preserving
+// soundness.
+func (c *Cluster) Crash(j int) {
+	c.crashMu.Lock()
+	defer c.crashMu.Unlock()
+	if j < 0 || j >= c.cfg.T || c.crashed[j] {
+		return
+	}
+	c.crashed[j] = true
+	close(c.crashCh[j])
+}
+
+// Wait blocks until every worker has retired and reports whether all work
+// was performed.
+func (c *Cluster) Wait() bool {
+	c.wg.Wait()
+	c.net.Close()
+	return c.log.Complete()
+}
+
+// worker is the asynchronous Protocol A body for worker j: wait until the
+// failure detector reports every lower-numbered worker retired (instead of
+// the synchronous deadline DD(j)), then take over from the last checkpoint
+// heard.
+func (c *Cluster) worker(j int) {
+	defer c.wg.Done()
+	defer c.fd.MarkRetired(j)
+	// Retirement must not be reported before j's sent messages land (see
+	// Network.FlushFrom); j has stopped sending once this defer runs.
+	defer c.net.FlushFrom(j)
+	retireNotify := c.fd.Subscribe()
+	inbox := c.net.Inbox(j)
+	var lastC int
+	var lastFull *FullCP
+	var lastFrom int
+	handle := func(m Message) bool {
+		switch pl := m.Payload.(type) {
+		case PartialCP:
+			if c.isTermination(j, pl.C, 0, false) {
+				return true
+			}
+			if pl.C >= lastC {
+				lastC, lastFull, lastFrom = pl.C, nil, m.From
+			}
+		case FullCP:
+			if c.isTermination(j, pl.C, pl.G, true) {
+				return true
+			}
+			if pl.C >= lastC {
+				cp := pl
+				lastC, lastFull, lastFrom = pl.C, &cp, m.From
+			}
+		}
+		return false
+	}
+	for j != 0 {
+		// Prefer pending checkpoints over activation: a termination
+		// indication queued behind the failure detector's report must win
+		// (detector reports cover voluntary termination too).
+		select {
+		case m := <-inbox:
+			if handle(m) {
+				return
+			}
+			continue
+		default:
+		}
+		if c.fd.AllRetiredBelow(j) {
+			break
+		}
+		select {
+		case <-c.crashCh[j]:
+			return
+		case m := <-inbox:
+			if handle(m) {
+				return
+			}
+		case <-retireNotify:
+			// Re-check the takeover condition.
+		}
+	}
+	c.doWork(j, lastC, lastFull, lastFrom)
+}
+
+func (c *Cluster) isTermination(j, cp, g int, full bool) bool {
+	if cp != c.cfg.T {
+		return false
+	}
+	return !full || g == c.q.GroupOf(j)
+}
+
+// doWork mirrors the synchronous DoWork (Fig. 1): takeover chores from the
+// last checkpoint heard, then the remaining subchunks with partial and full
+// checkpoints.
+func (c *Cluster) doWork(j, lastC int, lastFull *FullCP, lastFrom int) {
+	gj := c.q.GroupOf(j)
+	switch {
+	case lastC == 0 && lastFull == nil:
+		// Nothing heard: start from scratch.
+	case lastFull == nil:
+		if !c.partialCheckpoint(j, lastC) {
+			return
+		}
+		if c.chunkBoundary(lastC) && !c.fullCheckpoint(j, lastC, gj+1) {
+			return
+		}
+	case c.q.GroupOf(lastFrom) != gj:
+		if !c.partialCheckpoint(j, lastC) {
+			return
+		}
+		if !c.fullCheckpoint(j, lastC, gj+1) {
+			return
+		}
+	default:
+		if !c.echo(j, *lastFull) {
+			return
+		}
+		if !c.fullCheckpoint(j, lastC, lastFull.G+1) {
+			return
+		}
+	}
+	w := (c.cfg.N + c.cfg.T - 1) / c.cfg.T
+	for sc := lastC + 1; sc <= c.cfg.T; sc++ {
+		lo, hi := (sc-1)*w+1, min(sc*w, c.cfg.N)
+		for u := lo; u <= hi; u++ {
+			if c.isCrashed(j) {
+				return
+			}
+			c.log.Perform(u)
+			if c.cfg.Perform != nil {
+				c.cfg.Perform(j, u)
+			}
+		}
+		if !c.partialCheckpoint(j, sc) {
+			return
+		}
+		if c.chunkBoundary(sc) && !c.fullCheckpoint(j, sc, gj+1) {
+			return
+		}
+	}
+}
+
+func (c *Cluster) chunkBoundary(sc int) bool {
+	return sc > 0 && (sc%c.q.S == 0 || sc == c.cfg.T)
+}
+
+// partialCheckpoint broadcasts "(c)" to j's group remainder; false means j
+// crashed mid-broadcast.
+func (c *Cluster) partialCheckpoint(j, cp int) bool {
+	return c.broadcast(j, c.q.Remainder(j), PartialCP{C: cp})
+}
+
+func (c *Cluster) echo(j int, payload any) bool {
+	return c.broadcast(j, c.q.Remainder(j), payload)
+}
+
+// fullCheckpoint informs groups fromG.. and checkpoints each notification to
+// j's own group.
+func (c *Cluster) fullCheckpoint(j, cp, fromG int) bool {
+	for g := fromG; g <= c.q.G; g++ {
+		if !c.broadcast(j, c.q.Members(g), FullCP{C: cp, G: g}) {
+			return false
+		}
+		if !c.echo(j, FullCP{C: cp, G: g}) {
+			return false
+		}
+	}
+	return true
+}
+
+// broadcast sends to each recipient individually, checking for a crash
+// between sends — an asynchronous crash mid-broadcast reaches an arbitrary
+// prefix of the recipients, matching the paper's failure model.
+func (c *Cluster) broadcast(j int, to []int, payload any) bool {
+	for _, dst := range to {
+		if dst == j {
+			continue
+		}
+		if c.isCrashed(j) {
+			return false
+		}
+		c.net.Send(j, dst, payload)
+	}
+	return !c.isCrashed(j)
+}
+
+func (c *Cluster) isCrashed(j int) bool {
+	select {
+	case <-c.crashCh[j]:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,187 @@
+package asyncnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAsyncFailureFree(t *testing.T) {
+	// Zero delay makes deliveries synchronous, so termination indications
+	// always land before the failure detector's report: exactly n units.
+	n, tt := 64, 16
+	net := NewNetwork(tt, 0, 1)
+	c := NewCluster(Config{N: n, T: tt}, net)
+	c.Start()
+	if !c.Wait() {
+		t.Fatal("work incomplete")
+	}
+	total, dist := c.Log().Totals()
+	if dist != n {
+		t.Fatalf("distinct = %d, want %d", dist, n)
+	}
+	if total != int64(n) {
+		t.Fatalf("work = %d, want exactly n (only worker 0 acts)", total)
+	}
+}
+
+func TestAsyncFailureFreeDelayed(t *testing.T) {
+	// With real delays a detector report may overtake in-flight
+	// checkpoints, so successors can redo trailing chunks — the work
+	// bound 3n still holds.
+	n, tt := 64, 16
+	net := NewNetwork(tt, 200*time.Microsecond, 1)
+	c := NewCluster(Config{N: n, T: tt}, net)
+	c.Start()
+	if !c.Wait() {
+		t.Fatal("work incomplete")
+	}
+	total, dist := c.Log().Totals()
+	if dist != n {
+		t.Fatalf("distinct = %d, want %d", dist, n)
+	}
+	if total > int64(3*n) {
+		t.Fatalf("work = %d, want ≤ 3n", total)
+	}
+}
+
+func TestAsyncCrashCascade(t *testing.T) {
+	n, tt := 64, 16
+	net := NewNetwork(tt, 100*time.Microsecond, 2)
+	perf := make(chan int, 4*n)
+	cfg := Config{N: n, T: tt, Perform: func(w, u int) { perf <- w }}
+	c := NewCluster(cfg, net)
+	c.Start()
+	// Crash each active worker shortly after it begins working, up to t-1
+	// failures; the timeout exits once the surviving workers finish.
+	crashed := 0
+	seen := make(map[int]bool)
+injection:
+	for crashed < tt-1 {
+		select {
+		case w := <-perf:
+			if !seen[w] && w != tt-1 { // the last worker must survive
+				seen[w] = true
+				c.Crash(w)
+				crashed++
+			}
+		case <-time.After(200 * time.Millisecond):
+			break injection
+		}
+	}
+	go func() {
+		for range perf { // drain so workers never block; exits on close
+		}
+	}()
+	if !c.Wait() {
+		t.Fatal("work incomplete despite a survivor")
+	}
+	// All workers have stopped, so no further Perform calls can race the
+	// close.
+	close(perf)
+	total, _ := c.Log().Totals()
+	// Work-optimality: O(n + t) with the paper's constant 3 (plus the
+	// crashed workers' partial subchunks).
+	if total > int64(3*n+tt) {
+		t.Fatalf("work = %d, want ≤ 3n + t = %d", total, 3*n+tt)
+	}
+}
+
+func TestAsyncAllButOneCrashBeforeStart(t *testing.T) {
+	n, tt := 32, 8
+	net := NewNetwork(tt, 50*time.Microsecond, 3)
+	c := NewCluster(Config{N: n, T: tt}, net)
+	for j := 0; j < tt-1; j++ {
+		c.Crash(j)
+	}
+	c.Start()
+	if !c.Wait() {
+		t.Fatal("survivor did not finish the work")
+	}
+}
+
+func TestAsyncDetectorSoundness(t *testing.T) {
+	d := NewDetector(4)
+	if d.Retired(2) {
+		t.Fatal("fresh detector reports retirement")
+	}
+	if d.AllRetiredBelow(1) {
+		t.Fatal("process 0 not retired yet")
+	}
+	d.MarkRetired(0)
+	if !d.AllRetiredBelow(1) || d.AllRetiredBelow(2) {
+		t.Fatal("AllRetiredBelow wrong")
+	}
+	sub := d.Subscribe()
+	d.MarkRetired(1)
+	select {
+	case <-sub:
+	case <-time.After(time.Second):
+		t.Fatal("no retirement notification")
+	}
+}
+
+func TestAsyncNetworkDelivery(t *testing.T) {
+	net := NewNetwork(2, 0, 4)
+	net.Send(0, 1, "x")
+	select {
+	case m := <-net.Inbox(1):
+		if m.Payload != "x" || m.From != 0 {
+			t.Fatalf("message = %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+	if net.Sent() != 1 {
+		t.Fatalf("sent = %d", net.Sent())
+	}
+	// Out-of-range destinations vanish silently.
+	net.Send(0, 9, "y")
+	net.Close()
+}
+
+func TestAsyncWorkLog(t *testing.T) {
+	w := NewWorkLog(3)
+	w.Perform(1)
+	w.Perform(1)
+	w.Perform(2)
+	total, dist := w.Totals()
+	if total != 3 || dist != 2 {
+		t.Fatalf("totals = %d/%d", total, dist)
+	}
+	if w.Complete() {
+		t.Fatal("not complete yet")
+	}
+	w.Perform(3)
+	if !w.Complete() {
+		t.Fatal("should be complete")
+	}
+}
+
+func TestAsyncMessageBound(t *testing.T) {
+	// Messages stay O(t√t) in the failure-free case (no work reports are
+	// sent over the network, only checkpoints).
+	n, tt := 64, 16
+	net := NewNetwork(tt, 0, 5)
+	c := NewCluster(Config{N: n, T: tt}, net)
+	c.Start()
+	c.Wait()
+	if net.Sent() > int64(9*tt*4) { // 9·t·√t with √16 = 4
+		t.Fatalf("messages = %d > 9t√t", net.Sent())
+	}
+}
+
+func TestAsyncRepeatedRuns(t *testing.T) {
+	// Stress many seeds/delays for ordering robustness (run with -race).
+	for seed := int64(0); seed < 8; seed++ {
+		n, tt := 16, 4
+		net := NewNetwork(tt, 30*time.Microsecond, seed)
+		c := NewCluster(Config{N: n, T: tt}, net)
+		c.Start()
+		if seed%2 == 0 {
+			c.Crash(0)
+		}
+		if !c.Wait() {
+			t.Fatalf("seed %d incomplete", seed)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package bitset provides the small dense integer sets used by Protocol D
+// and the dynamic-work variant for their S (outstanding units) and T (live
+// processes) sets.
+package bitset
+
+// Set is a dense set over 0..size-1.
+type Set struct {
+	bits  []bool
+	count int
+}
+
+// New builds a set over 0..size-1, optionally full.
+func New(size int, full bool) *Set {
+	s := &Set{bits: make([]bool, size)}
+	if full {
+		for i := range s.bits {
+			s.bits[i] = true
+		}
+		s.count = size
+	}
+	return s
+}
+
+// From builds a set from raw bits.
+func From(bits []bool) *Set {
+	s := &Set{bits: make([]bool, len(bits))}
+	copy(s.bits, bits)
+	for _, b := range s.bits {
+		if b {
+			s.count++
+		}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s *Set) Has(i int) bool { return i >= 0 && i < len(s.bits) && s.bits[i] }
+
+// Add inserts i.
+func (s *Set) Add(i int) {
+	if !s.bits[i] {
+		s.bits[i] = true
+		s.count++
+	}
+}
+
+// Remove deletes i.
+func (s *Set) Remove(i int) {
+	if s.bits[i] {
+		s.bits[i] = false
+		s.count--
+	}
+}
+
+// Clone copies the set.
+func (s *Set) Clone() *Set {
+	c := &Set{bits: make([]bool, len(s.bits)), count: s.count}
+	copy(c.bits, s.bits)
+	return c
+}
+
+// Snapshot returns a copy of the raw bits for embedding in messages.
+func (s *Set) Snapshot() []bool {
+	b := make([]bool, len(s.bits))
+	copy(b, s.bits)
+	return b
+}
+
+// Members lists the elements in increasing order.
+func (s *Set) Members() []int {
+	m := make([]int, 0, s.count)
+	for i, b := range s.bits {
+		if b {
+			m = append(m, i)
+		}
+	}
+	return m
+}
+
+// RankOf returns the paper's grade: the number of members less than i.
+func (s *Set) RankOf(i int) int {
+	r := 0
+	for k := 0; k < i && k < len(s.bits); k++ {
+		if s.bits[k] {
+			r++
+		}
+	}
+	return r
+}
+
+// Intersect removes every element absent from other (the paper's S ∩ Sᵢ).
+func (s *Set) Intersect(other []bool) {
+	for i := range s.bits {
+		if s.bits[i] && (i >= len(other) || !other[i]) {
+			s.bits[i] = false
+			s.count--
+		}
+	}
+}
+
+// Union adds every element of other (the paper's T ∪ Tᵢ).
+func (s *Set) Union(other []bool) {
+	for i, b := range other {
+		if b && i < len(s.bits) {
+			s.Add(i)
+		}
+	}
+}
+
+// Equal reports set equality.
+func (s *Set) Equal(o *Set) bool {
+	if s.count != o.count {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != o.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of members.
+func (s *Set) Count() int { return s.count }

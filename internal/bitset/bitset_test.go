@@ -1,0 +1,131 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(8, false)
+	if s.Count() != 0 || s.Has(3) {
+		t.Fatal("fresh set not empty")
+	}
+	s.Add(3)
+	s.Add(3)
+	s.Add(5)
+	if s.Count() != 2 || !s.Has(3) || !s.Has(5) || s.Has(4) {
+		t.Fatalf("after adds: %v", s.Members())
+	}
+	s.Remove(3)
+	s.Remove(3)
+	if s.Count() != 1 || s.Has(3) {
+		t.Fatal("remove broken")
+	}
+	full := New(4, true)
+	if full.Count() != 4 {
+		t.Fatal("full set wrong")
+	}
+}
+
+func TestMembersAndRank(t *testing.T) {
+	s := New(8, false)
+	for _, x := range []int{6, 1, 4} {
+		s.Add(x)
+	}
+	m := s.Members()
+	if len(m) != 3 || m[0] != 1 || m[1] != 4 || m[2] != 6 {
+		t.Fatalf("members = %v", m)
+	}
+	if s.RankOf(1) != 0 || s.RankOf(4) != 1 || s.RankOf(6) != 2 || s.RankOf(7) != 3 {
+		t.Fatal("ranks wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(4, true)
+	c := s.Clone()
+	c.Remove(0)
+	if !s.Has(0) || c.Has(0) {
+		t.Fatal("clone aliases")
+	}
+	if !s.Equal(s.Clone()) || s.Equal(c) {
+		t.Fatal("equal wrong")
+	}
+}
+
+func TestSnapshotAndFrom(t *testing.T) {
+	s := New(5, false)
+	s.Add(2)
+	s.Add(4)
+	r := From(s.Snapshot())
+	if !r.Equal(s) {
+		t.Fatal("roundtrip broken")
+	}
+	// Snapshot is a copy.
+	snap := s.Snapshot()
+	s.Add(0)
+	if snap[0] {
+		t.Fatal("snapshot aliases")
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := New(6, false)
+	for _, x := range []int{1, 2, 3} {
+		a.Add(x)
+	}
+	b := New(6, false)
+	for _, x := range []int{2, 3, 4} {
+		b.Add(x)
+	}
+	i := a.Clone()
+	i.Intersect(b.Snapshot())
+	if len(i.Members()) != 2 || !i.Has(2) || !i.Has(3) {
+		t.Fatalf("intersect = %v", i.Members())
+	}
+	u := a.Clone()
+	u.Union(b.Snapshot())
+	if u.Count() != 4 {
+		t.Fatalf("union = %v", u.Members())
+	}
+	// Shorter other slices are handled.
+	c := a.Clone()
+	c.Intersect([]bool{false, true})
+	if c.Count() != 1 || !c.Has(1) {
+		t.Fatalf("short intersect = %v", c.Members())
+	}
+}
+
+func TestSetLawsProperty(t *testing.T) {
+	// Intersection is a lower bound, union an upper bound, counts agree
+	// with membership.
+	f := func(aBits, bBits uint16) bool {
+		a, b := fromMask(aBits), fromMask(bBits)
+		i := a.Clone()
+		i.Intersect(b.Snapshot())
+		u := a.Clone()
+		u.Union(b.Snapshot())
+		for x := 0; x < 16; x++ {
+			if i.Has(x) != (a.Has(x) && b.Has(x)) {
+				return false
+			}
+			if u.Has(x) != (a.Has(x) || b.Has(x)) {
+				return false
+			}
+		}
+		return i.Count() == len(i.Members()) && u.Count() == len(u.Members())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fromMask(m uint16) *Set {
+	s := New(16, false)
+	for x := 0; x < 16; x++ {
+		if m&(1<<x) != 0 {
+			s.Add(x)
+		}
+	}
+	return s
+}

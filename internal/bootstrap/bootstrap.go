@@ -1,0 +1,165 @@
+// Package bootstrap removes the paper's initial-common-knowledge assumption
+// (§1): "if even one process knows about this work, then it can act as a
+// general, run Byzantine agreement on the pool of work using one of the
+// three algorithms, and then the actual work is performed by running the
+// same algorithm a second time on the real work. If n, the amount of actual
+// work, is Ω(t), then the overall cost at most doubles."
+//
+// Stage 1 runs the §5 agreement reduction with the pool description as the
+// value; stage 2 runs the same work protocol over the agreed pool, starting
+// at the predetermined round by which stage 1 has terminated.
+package bootstrap
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// PoolMsg informs a process of the work pool (stage 1's "value").
+type PoolMsg struct {
+	Units []int
+}
+
+// Kind implements sim.Kinder.
+func (PoolMsg) Kind() string { return "pool" }
+
+// Config parameterises a bootstrapped run.
+type Config struct {
+	// Pool is the work only the general initially knows: engine unit IDs.
+	Pool []int
+	// T is the number of processes; F bounds failures (senders 0..F run the
+	// pool agreement).
+	T, F int
+	// Protocol selects the work protocol for both stages: "A" or "B".
+	// (Protocol C works identically but its exponential stage boundary
+	// makes composed runs impractical to simulate at interesting sizes.)
+	Protocol string
+	// Exec performs one unit of real work in stage 2.
+	Exec core.WorkExecutor
+}
+
+// Result reports a bootstrapped run.
+type Result struct {
+	Sim sim.Result
+	// Stage1End is the predetermined round at which stage 2 began.
+	Stage1End int64
+	// PoolAgreed reports whether at least one survivor knew the pool (when
+	// false, the general crashed before informing anyone, and no work was
+	// required).
+	PoolAgreed bool
+}
+
+// Run executes the two-stage bootstrapped protocol.
+func Run(cfg Config, opt core.RunOptions) (Result, error) {
+	if cfg.T <= 0 {
+		return Result{}, fmt.Errorf("bootstrap: t = %d", cfg.T)
+	}
+	if cfg.F < 0 || cfg.F >= cfg.T {
+		return Result{}, fmt.Errorf("bootstrap: f = %d out of range [0,%d)", cfg.F, cfg.T)
+	}
+	n := len(cfg.Pool)
+	senders := cfg.F + 1
+	runWork := core.RunProtocolB
+	bound := core.ProtocolBRoundBound
+	switch cfg.Protocol {
+	case "", "B", "b":
+	case "A", "a":
+		runWork = core.RunProtocolA
+		bound = core.ProtocolARoundBound
+	default:
+		return Result{}, fmt.Errorf("bootstrap: unsupported protocol %q", cfg.Protocol)
+	}
+
+	// Stage 1: the general informs the senders (round 0), the senders run
+	// the work protocol where unit u means "send the pool to process u-1";
+	// it terminates by stage1End for every failure pattern.
+	stage1End := 1 + bound(cfg.T, senders) + 1
+	pools := make([][]int, cfg.T) // per-process learned pool
+	agreed := false
+
+	scripts := func(id int) sim.Script {
+		return func(p *sim.Proc) {
+			p.SetTap(func(m sim.Message) {
+				if pm, ok := m.Payload.(PoolMsg); ok {
+					pools[id] = pm.Units
+				}
+			})
+			if id == 0 {
+				// The general knows the pool.
+				pools[0] = cfg.Pool
+				sends := make([]sim.Send, 0, senders-1)
+				for s := 1; s < senders; s++ {
+					sends = append(sends, sim.Send{To: s, Payload: PoolMsg{Units: cfg.Pool}})
+				}
+				p.StepSend(sends...)
+			}
+			if id < senders {
+				// Stage 1 work: logical unit u means "inform process u-1 of
+				// the pool"; its engine unit ID is n+u so the informs never
+				// collide with real units in the completion accounting.
+				workers := idRange(senders)
+				informExec := func(pp *sim.Proc, unit int) {
+					pp.StepWorkSend(unit, sim.Send{
+						To: unit - n - 1, Payload: PoolMsg{Units: pools[pp.ID()]},
+					})
+				}
+				abCfg := core.ABConfig{
+					N: cfg.T, T: senders,
+					Assign:     core.Assignment{Workers: workers, Units: stageOneUnits(cfg.T, n)},
+					StartRound: 1,
+					Exec:       informExec,
+				}
+				_ = runWork(p, abCfg, id)
+			}
+			// Everyone waits out stage 1's deadline, then runs stage 2 on
+			// the pool it learned.
+			for p.Now() < stage1End {
+				p.WaitUntil(stage1End)
+			}
+			pool := pools[id]
+			if len(pool) == 0 {
+				// The general crashed before any survivor learned the pool:
+				// no process is obliged to (or can) do the work.
+				return
+			}
+			agreed = true
+			abCfg := core.ABConfig{
+				N: len(pool), T: cfg.T,
+				Assign:     core.Assignment{Units: pool},
+				StartRound: stage1End,
+				Exec:       cfg.Exec,
+			}
+			_ = runWork(p, abCfg, id)
+		}
+	}
+	res, err := core.Run(n, cfg.T, scripts, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Sim: res, Stage1End: stage1End, PoolAgreed: agreed}
+	if agreed && res.Survivors > 0 && !res.Complete() {
+		return out, fmt.Errorf("bootstrap: pool agreed and %d survivors but work incomplete", res.Survivors)
+	}
+	return out, nil
+}
+
+// stageOneUnits allocates stage-1 unit IDs that cannot collide with real
+// (stage-2) units: informs are "work" for accounting, but only real units
+// count toward completion, so they map above the n real unit IDs.
+func stageOneUnits(t, n int) []int {
+	units := make([]int, t)
+	for i := range units {
+		units[i] = n + 1 + i
+	}
+	return units
+}
+
+func idRange(k int) []int {
+	ids := make([]int, k)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}

@@ -1,0 +1,43 @@
+package core
+
+// Worst-case round bounds exported for callers that must pick a
+// "predetermined time by which the underlying work protocol is guaranteed to
+// have terminated" (the §5 Byzantine agreement reduction) or a simulation
+// round cap. All bounds use this reproduction's model-adjusted constants and
+// saturate at sim.Forever.
+
+// ProtocolARoundBound bounds the retirement round of every process in a
+// Protocol A run started at round 0 (Theorem 2.3(c): nt + 3t² with paper
+// constants).
+func ProtocolARoundBound(n, t int) int64 {
+	tm := newABTimeouts(n, t)
+	return satMul(int64(t), tm.activeLife())
+}
+
+// ProtocolBRoundBound bounds the retirement round of every process in a
+// Protocol B run started at round 0 (Theorem 2.8(c): 3n + 8t with paper
+// constants): the chain performs at most n + 3t useful rounds plus the
+// transition time of the last possible takeover plus one active lifetime.
+func ProtocolBRoundBound(n, t int) int64 {
+	tm := newABTimeouts(n, t)
+	b := satAdd(int64(n)+3*int64(t), tm.tt(t-1, 0))
+	return satAdd(b, tm.activeLife())
+}
+
+// ProtocolCRoundBound bounds the retirement round of every process in a
+// Protocol C run started at round 0 (Theorem 3.8(c) / Corollary 3.9:
+// t·K·(n+t)·2^(n+t)).
+func ProtocolCRoundBound(n, t, reportEvery int) int64 {
+	ct := newCTimeouts(n, t, reportEvery)
+	return satMul(int64(t), satMul(ct.k, satMul(int64(n+t), pow2(n+t))))
+}
+
+// ProtocolDRoundBound bounds the retirement round of every process in a
+// Protocol D run with at most f failures (Theorem 4.1: (f+1)n/t + 4f + 2,
+// plus the Protocol A revert tail when more than half a phase's processes
+// die).
+func ProtocolDRoundBound(n, t, f int) int64 {
+	w := int64(subchunkWidth(n, t))
+	base := satAdd(satMul(int64(f+1), w), int64(4*f+2))
+	return satAdd(base, ProtocolARoundBound(n, t))
+}

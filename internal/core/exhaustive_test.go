@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// Exhaustive single-crash sweeps: for a small instance, crash each process
+// at each of its first K actions — every combination of (victim, action
+// index, keep-work, delivery prefix) — and verify the completion guarantee
+// and the at-most-one-active invariant in every single execution. This
+// systematically covers crash positions that targeted tests can miss:
+// mid-broadcast cuts, crash-after-work-before-checkpoint, crash during
+// takeover chores, crash while preactive, crash while answering a poll.
+
+type protoCase struct {
+	name    string
+	n, t    int
+	actions int // actions per victim to sweep
+	scripts func() (func(int) sim.Script, error)
+}
+
+func exhaustiveCases() []protoCase {
+	return []protoCase{
+		{
+			name: "A", n: 12, t: 4, actions: 10,
+			scripts: func() (func(int) sim.Script, error) {
+				return ProtocolAScripts(ABConfig{N: 12, T: 4})
+			},
+		},
+		{
+			name: "B", n: 12, t: 4, actions: 10,
+			scripts: func() (func(int) sim.Script, error) {
+				return ProtocolBScripts(ABConfig{N: 12, T: 4})
+			},
+		},
+		{
+			name: "C", n: 8, t: 4, actions: 8,
+			scripts: func() (func(int) sim.Script, error) {
+				return ProtocolCScripts(CConfig{N: 8, T: 4})
+			},
+		},
+		{
+			name: "D", n: 12, t: 4, actions: 8,
+			scripts: func() (func(int) sim.Script, error) {
+				return ProtocolDScripts(DConfig{N: 12, T: 4})
+			},
+		},
+		{
+			name: "single-checkpoint", n: 8, t: 4, actions: 8,
+			scripts: func() (func(int) sim.Script, error) {
+				return SingleCheckpointScripts(8, 4)
+			},
+		},
+		{
+			name: "naive", n: 8, t: 4, actions: 8,
+			scripts: func() (func(int) sim.Script, error) {
+				return NaiveSpreadScripts(NaiveConfig{N: 8, T: 4})
+			},
+		},
+	}
+}
+
+func TestExhaustiveSingleCrashSweep(t *testing.T) {
+	for _, pc := range exhaustiveCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			for victim := 0; victim < pc.t; victim++ {
+				for at := 1; at <= pc.actions; at++ {
+					for _, keep := range []bool{false, true} {
+						scripts, err := pc.scripts()
+						if err != nil {
+							t.Fatal(err)
+						}
+						adv := adversary.NewSchedule(adversary.Crash{
+							PID: victim, AtAction: at, KeepWork: keep,
+						})
+						opt := RunOptions{Adversary: adv}
+						if pc.name != "D" {
+							opt.MaxActive = 1
+						}
+						res, err := Run(pc.n, pc.t, scripts, opt)
+						if err != nil {
+							t.Fatalf("victim=%d at=%d keep=%v: %v", victim, at, keep, err)
+						}
+						if err := CheckCompletion(res); err != nil {
+							t.Fatalf("victim=%d at=%d keep=%v: %v", victim, at, keep, err)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExhaustiveBroadcastCutSweep(t *testing.T) {
+	// Crash process 0 at each of its broadcasts, delivering every possible
+	// prefix of the cut broadcast.
+	for _, pc := range exhaustiveCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			for at := 1; at <= pc.actions; at++ {
+				for prefix := 0; prefix <= pc.t-1; prefix++ {
+					scripts, err := pc.scripts()
+					if err != nil {
+						t.Fatal(err)
+					}
+					adv := adversary.NewSchedule(adversary.Crash{
+						PID: 0, AtAction: at, KeepWork: true,
+						Deliver: prefixMaskN(pc.t, prefix),
+					})
+					opt := RunOptions{Adversary: adv}
+					if pc.name != "D" {
+						opt.MaxActive = 1
+					}
+					res, err := Run(pc.n, pc.t, scripts, opt)
+					if err != nil {
+						t.Fatalf("at=%d prefix=%d: %v", at, prefix, err)
+					}
+					if err := CheckCompletion(res); err != nil {
+						t.Fatalf("at=%d prefix=%d: %v", at, prefix, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func prefixMaskN(n, k int) []bool {
+	m := make([]bool, n)
+	for i := 0; i < k && i < n; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+func TestExhaustiveDoubleCrashSweep(t *testing.T) {
+	// Two crashes: process 0 at action i, process 1 at action j — the
+	// takeover-during-takeover cases.
+	if testing.Short() {
+		t.Skip("quadratic sweep")
+	}
+	for _, pc := range exhaustiveCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			for i := 1; i <= pc.actions; i += 2 {
+				for j := 1; j <= pc.actions; j += 2 {
+					scripts, err := pc.scripts()
+					if err != nil {
+						t.Fatal(err)
+					}
+					adv := adversary.NewSchedule(
+						adversary.Crash{PID: 0, AtAction: i, KeepWork: i%2 == 0},
+						adversary.Crash{PID: 1, AtAction: j, KeepWork: j%2 == 1},
+					)
+					opt := RunOptions{Adversary: adv}
+					if pc.name != "D" {
+						opt.MaxActive = 1
+					}
+					res, err := Run(pc.n, pc.t, scripts, opt)
+					if err != nil {
+						t.Fatalf("i=%d j=%d: %v", i, j, err)
+					}
+					if err := CheckCompletion(res); err != nil {
+						t.Fatalf("i=%d j=%d: %v", i, j, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExhaustiveScheduledRoundCrashes(t *testing.T) {
+	// Crash pairs of processes at every pair of early rounds, covering
+	// simultaneous and staggered sleeping-process crashes.
+	for _, pc := range exhaustiveCases() {
+		pc := pc
+		if pc.name == "C" || pc.name == "naive" {
+			continue // exponential deadlines make round-indexed sweeps moot
+		}
+		t.Run(pc.name, func(t *testing.T) {
+			for r1 := int64(0); r1 < 6; r1 += 2 {
+				for r2 := r1; r2 < 8; r2 += 3 {
+					scripts, err := pc.scripts()
+					if err != nil {
+						t.Fatal(err)
+					}
+					adv := adversary.NewSchedule(
+						adversary.Crash{PID: 1, Round: r1},
+						adversary.Crash{PID: 2, Round: r2},
+					)
+					opt := RunOptions{Adversary: adv}
+					if pc.name != "D" {
+						opt.MaxActive = 1
+					}
+					res, err := Run(pc.n, pc.t, scripts, opt)
+					if err != nil {
+						t.Fatalf("r1=%d r2=%d: %v", r1, r2, err)
+					}
+					if err := CheckCompletion(res); err != nil {
+						t.Fatalf("r1=%d r2=%d: %v", r1, r2, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExhaustiveWorkConservationProperty(t *testing.T) {
+	// Across the single-crash sweep of Protocol B, work never exceeds the
+	// theorem bound and never misses a unit: a tighter joint property than
+	// the individual tests.
+	n, tt := 12, 4
+	for victim := 0; victim < tt; victim++ {
+		for at := 1; at <= 12; at++ {
+			scripts, err := ProtocolBScripts(ABConfig{N: n, T: tt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(n, tt, scripts, RunOptions{
+				Adversary: adversary.NewSchedule(adversary.Crash{
+					PID: victim, AtAction: at, KeepWork: true,
+				}),
+				MaxActive: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.WorkDistinct != n {
+				t.Fatalf("victim=%d at=%d: %d distinct", victim, at, res.WorkDistinct)
+			}
+			if res.WorkTotal > int64(3*n) {
+				t.Fatalf("victim=%d at=%d: work %d > 3n", victim, at, res.WorkTotal)
+			}
+		}
+	}
+}
+
+// TestCrashAtEveryRoundProtocolB hammers the takeover window: crash the
+// active process at every round of a short run, one run per round.
+func TestCrashAtEveryRoundProtocolB(t *testing.T) {
+	n, tt := 8, 4
+	probe, err := ProtocolBScripts(ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(n, tt, probe, RunOptions{MaxActive: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(0); r <= base.Rounds; r++ {
+		scripts, err := ProtocolBScripts(ABConfig{N: n, T: tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(n, tt, scripts, RunOptions{
+			Adversary: adversary.NewSchedule(adversary.Crash{PID: 0, Round: r}),
+			MaxActive: 1,
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if err := CheckCompletion(res); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+}
+
+func ExampleCheckCompletion() {
+	scripts, _ := ProtocolBScripts(ABConfig{N: 4, T: 2})
+	res, _ := Run(4, 2, scripts, RunOptions{})
+	fmt.Println(CheckCompletion(res) == nil, res.WorkDistinct)
+	// Output: true 4
+}

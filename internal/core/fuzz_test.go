@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// Fuzzing: interpret arbitrary bytes as a crash schedule and check that the
+// completion guarantee and single-active invariant hold for every input.
+// Each byte triple (pid, trigger, detail) plans one crash; at most t-1
+// crashes are kept so a survivor always exists.
+
+func scheduleFromBytes(data []byte, t int, actions int) sim.Adversary {
+	var crashes []adversary.Crash
+	seen := make(map[int]bool)
+	for i := 0; i+2 < len(data) && len(crashes) < t-1; i += 3 {
+		pid := int(data[i]) % t
+		if seen[pid] {
+			continue
+		}
+		seen[pid] = true
+		c := adversary.Crash{PID: pid, KeepWork: data[i+2]&1 == 1}
+		if data[i+1]&1 == 0 {
+			c.Round = int64(data[i+2] % 64)
+		} else {
+			c.AtAction = 1 + int(data[i+2])%actions
+			deliver := make([]bool, t)
+			for k := range deliver {
+				deliver[k] = data[i+1]>>(k%8)&1 == 1
+			}
+			c.Deliver = deliver
+		}
+		crashes = append(crashes, c)
+	}
+	return adversary.NewSchedule(crashes...)
+}
+
+func fuzzProtocol(f *testing.F, name string, n, t int, scripts func() (func(int) sim.Script, error), single bool) {
+	f.Helper()
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{0, 1, 5, 1, 0, 9, 2, 1, 3})
+	f.Add([]byte{3, 1, 255, 2, 0, 20, 1, 1, 7, 0, 0, 1})
+	f.Fuzz(func(t_ *testing.T, data []byte) {
+		sc, err := scripts()
+		if err != nil {
+			t_.Fatal(err)
+		}
+		opt := RunOptions{Adversary: scheduleFromBytes(data, t, 12)}
+		if single {
+			opt.MaxActive = 1
+		}
+		res, err := Run(n, t, sc, opt)
+		if err != nil {
+			t_.Fatalf("%s: %v", name, err)
+		}
+		if err := CheckCompletion(res); err != nil {
+			t_.Fatalf("%s: %v", name, err)
+		}
+	})
+}
+
+func FuzzProtocolA(f *testing.F) {
+	fuzzProtocol(f, "A", 12, 4, func() (func(int) sim.Script, error) {
+		return ProtocolAScripts(ABConfig{N: 12, T: 4})
+	}, true)
+}
+
+func FuzzProtocolB(f *testing.F) {
+	fuzzProtocol(f, "B", 12, 4, func() (func(int) sim.Script, error) {
+		return ProtocolBScripts(ABConfig{N: 12, T: 4})
+	}, true)
+}
+
+func FuzzProtocolC(f *testing.F) {
+	fuzzProtocol(f, "C", 8, 4, func() (func(int) sim.Script, error) {
+		return ProtocolCScripts(CConfig{N: 8, T: 4})
+	}, true)
+}
+
+func FuzzProtocolD(f *testing.F) {
+	fuzzProtocol(f, "D", 12, 4, func() (func(int) sim.Script, error) {
+		return ProtocolDScripts(DConfig{N: 12, T: 4})
+	}, false)
+}

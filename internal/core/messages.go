@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// PartialCP is the paper's "(c)" message: subchunk c is complete, broadcast
+// to the remainder of the sender's own group.
+type PartialCP struct {
+	C int
+}
+
+// Kind implements sim.Kinder.
+func (PartialCP) Kind() string { return "partial-cp" }
+
+// String implements fmt.Stringer.
+func (m PartialCP) String() string { return fmt.Sprintf("(%d)", m.C) }
+
+// FullCP is the paper's "(c, g)" message: chunk-boundary subchunk c is
+// complete and group g has been (or is being) informed of that fact. It is
+// sent both to group g itself and, as a checkpoint of the checkpoint, to the
+// remainder of the sender's own group.
+type FullCP struct {
+	C int
+	G int
+}
+
+// Kind implements sim.Kinder.
+func (FullCP) Kind() string { return "full-cp" }
+
+// String implements fmt.Stringer.
+func (m FullCP) String() string { return fmt.Sprintf("(%d,%d)", m.C, m.G) }
+
+// GoAhead is Protocol B's wake-up poll: "if you are alive, you (or a process
+// below you) should be the active process".
+type GoAhead struct{}
+
+// Kind implements sim.Kinder.
+func (GoAhead) Kind() string { return "go-ahead" }
+
+// AreYouAlive is Protocol C's fault-detection poll.
+type AreYouAlive struct{}
+
+// Kind implements sim.Kinder.
+func (AreYouAlive) Kind() string { return "are-you-alive" }
+
+// Alive is the response to AreYouAlive.
+type Alive struct{}
+
+// Kind implements sim.Kinder.
+func (Alive) Kind() string { return "alive" }

@@ -1,0 +1,121 @@
+// Package core implements the four work-performing protocols of Dwork,
+// Halpern and Waarts — Protocol A (checkpointing), Protocol B (checkpointing
+// with go-ahead polling), Protocol C (most-knowledgeable takeover with
+// recursive fault detection) and Protocol D (parallel work with agreement
+// phases) — together with the baseline strategies the paper compares against.
+//
+// Every protocol is written as a plain script function over the simulator in
+// internal/sim, so protocols can run standalone or be embedded as
+// subroutines (Protocol D reverts to Protocol A; the Byzantine agreement
+// application of §5 wraps any of A, B, C).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// WorkExecutor performs one logical unit of work, consuming exactly one
+// round. The default executor calls p.StepWork(unit); applications may remap
+// the unit or attach messages (the Byzantine agreement reduction performs a
+// unit by sending the general's value to a process in the same round).
+type WorkExecutor func(p *sim.Proc, unit int)
+
+func defaultExec(p *sim.Proc, unit int) { p.StepWork(unit) }
+
+// Assignment maps a protocol run onto engine resources. Logical worker
+// positions 0..T-1 are mapped to engine PIDs and logical units 1..N to
+// engine unit IDs, so a protocol can run on a subset of processes over a
+// subset of the work (Protocol D's revert does exactly that).
+type Assignment struct {
+	// Workers lists engine PIDs in logical position order; nil means the
+	// identity assignment 0..T-1.
+	Workers []int
+	// Units lists engine unit IDs so that logical unit i is Units[i-1]; nil
+	// means the identity assignment 1..N.
+	Units []int
+}
+
+// resolve fills in identity defaults and builds the reverse worker map.
+type assignment struct {
+	n, t    int
+	workers []int
+	units   []int
+	posOf   map[int]int // engine pid -> logical position
+}
+
+func resolveAssignment(n, t int, a Assignment) (assignment, error) {
+	if t <= 0 {
+		return assignment{}, fmt.Errorf("core: t = %d, need at least one process", t)
+	}
+	if n < 0 {
+		return assignment{}, fmt.Errorf("core: n = %d, need non-negative work", n)
+	}
+	r := assignment{n: n, t: t, workers: a.Workers, units: a.Units}
+	if r.workers == nil {
+		r.workers = make([]int, t)
+		for i := range r.workers {
+			r.workers[i] = i
+		}
+	}
+	if len(r.workers) != t {
+		return assignment{}, fmt.Errorf("core: %d workers for t = %d", len(r.workers), t)
+	}
+	if r.units == nil {
+		r.units = make([]int, n)
+		for i := range r.units {
+			r.units[i] = i + 1
+		}
+	}
+	if len(r.units) != n {
+		return assignment{}, fmt.Errorf("core: %d units for n = %d", len(r.units), n)
+	}
+	r.posOf = make(map[int]int, t)
+	for pos, pid := range r.workers {
+		r.posOf[pid] = pos
+	}
+	return r, nil
+}
+
+// unitID translates a logical unit (1-based) to its engine unit ID.
+func (a assignment) unitID(logical int) int { return a.units[logical-1] }
+
+// pid translates a logical position to its engine PID.
+func (a assignment) pid(pos int) int { return a.workers[pos] }
+
+// pos translates an engine PID to a logical position (ok=false for
+// non-participants, whose messages the protocols ignore).
+func (a assignment) pos(pid int) (int, bool) {
+	p, ok := a.posOf[pid]
+	return p, ok
+}
+
+// pids maps a slice of logical positions to engine PIDs.
+func (a assignment) pids(positions []int) []int {
+	out := make([]int, len(positions))
+	for i, p := range positions {
+		out[i] = a.pid(p)
+	}
+	return out
+}
+
+// subchunkWidth returns w = ⌈n/P⌉, the number of units per subchunk.
+func subchunkWidth(n, subchunks int) int {
+	if subchunks <= 0 {
+		return 0
+	}
+	return (n + subchunks - 1) / subchunks
+}
+
+// subchunkRange returns the inclusive logical-unit interval [lo, hi] of
+// subchunk c ∈ 1..P; empty subchunks (possible when n < P) return lo > hi.
+func subchunkRange(n, subchunks, c int) (lo, hi int) {
+	w := subchunkWidth(n, subchunks)
+	lo = (c-1)*w + 1
+	hi = c * w
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunProtocolB executes logical position j of Protocol B inside the given
+// process script. It returns when the process terminates.
+//
+// Protocol B (paper §2.3) keeps Protocol A's DoWork but replaces the
+// absolute deadlines DD(j) with relative ones: after hearing its last
+// ordinary message from process i at round r′, process j becomes *preactive*
+// at round r′ + DDB(j, i) — by which point every process in earlier groups
+// has provably retired — and then polls the not-yet-excluded lower-numbered
+// processes of its own group with go-ahead messages, spaced PTO rounds
+// apart. A living recipient becomes active immediately (and its first
+// broadcast reaches the poller, sending it back to sleep); if nobody
+// answers, j becomes active itself. This cuts the running time from
+// O(nt + t²) to O(n + t).
+func RunProtocolB(p *sim.Proc, cfg ABConfig, j int) error {
+	ab, err := newABState(cfg)
+	if err != nil {
+		return err
+	}
+	if j < 0 || j >= cfg.T {
+		return fmt.Errorf("core: position %d out of range [0,%d)", j, cfg.T)
+	}
+	if j == 0 {
+		ab.doWork(p, j, nil)
+		return nil
+	}
+	// The fictitious round-0 ordinary message "(0, g)" from process 0
+	// (paper §2.3): it exists only to seed the deadline computation.
+	last := &ordMsg{from: 0, sentAt: cfg.StartRound - 1, c: 0}
+	lastRecv := cfg.StartRound
+	for {
+		deadline := lastRecv + ab.tm.ddb(j, last.from)
+		msgs := p.WaitUntil(deadline)
+		ord, goAhead, term := ab.scanInbox(msgs, j, last)
+		if term {
+			return nil
+		}
+		if ord != nil {
+			last = ord
+			lastRecv = ord.sentAt + 1
+		}
+		if goAhead {
+			// Become active right away if work remains (paper: "if j
+			// receives a go ahead message at round r and c < t"). A
+			// concurrently delivered ordinary message has already updated
+			// `last`, so the takeover resumes from the freshest knowledge.
+			if last.c < ab.tm.p {
+				ab.doWork(p, j, realOrNil(last))
+				return nil
+			}
+			continue
+		}
+		if ord != nil || p.Now() < deadline {
+			continue
+		}
+		done, err := ab.preactive(p, j, &last, &lastRecv)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+}
+
+// realOrNil strips the fictitious seed message: DoWork must not run takeover
+// chores for a message that was never actually sent.
+func realOrNil(om *ordMsg) *ordMsg {
+	if om.c == 0 && !om.full {
+		return nil
+	}
+	return om
+}
+
+// scanInbox classifies a batch of delivered messages: the newest ordinary
+// message (if any), whether a go-ahead arrived, and whether a termination
+// indication arrived.
+func (ab *abState) scanInbox(msgs []sim.Message, j int, last *ordMsg) (*ordMsg, bool, bool) {
+	var newest *ordMsg
+	goAhead := false
+	for i := range msgs {
+		om, ga, ok := ab.parse(msgs[i])
+		if !ok {
+			continue
+		}
+		if ga {
+			goAhead = true
+			continue
+		}
+		if ab.isTermination(om, j) {
+			return nil, false, true
+		}
+		if newer(last, om) && newer(newest, om) {
+			newest = om
+		}
+	}
+	return newest, goAhead, false
+}
+
+// preactive runs the paper's PreactivePhase: probe the lower-numbered,
+// not-yet-cleared processes of j's own group with go-ahead messages, PTO
+// rounds apart. Returns done=true when the process retired (it became active
+// and finished, or it learned of termination); otherwise the process went
+// passive again after hearing an ordinary message (recorded in *last).
+func (ab *abState) preactive(p *sim.Proc, j int, last **ordMsg, lastRecv *int64) (bool, error) {
+	gj := ab.q.GroupOf(j)
+	var iPrime int
+	if ab.q.GroupOf((*last).from) != gj {
+		lo, _ := ab.q.Bounds(gj)
+		iPrime = lo
+	} else {
+		iPrime = (*last).from + 1
+	}
+	for iPrime < j {
+		p.StepSend(sim.Send{To: ab.as.pid(iPrime), Payload: GoAhead{}})
+		probeDeadline := p.Now() - 1 + ab.tm.pto() // PTO rounds between probes
+		for {
+			msgs := p.WaitUntil(probeDeadline)
+			ord, goAhead, term := ab.scanInbox(msgs, j, *last)
+			if term {
+				return true, nil
+			}
+			if ord != nil {
+				*last = ord
+				*lastRecv = ord.sentAt + 1
+			}
+			if goAhead {
+				if (*last).c < ab.tm.p {
+					ab.doWork(p, j, realOrNil(*last))
+					return true, nil
+				}
+				return false, nil
+			}
+			if ord != nil {
+				// The probed process (or another) woke up: back to passive.
+				return false, nil
+			}
+			// Foreign payloads (e.g. application messages produced by the
+			// work itself) may wake the wait early; keep waiting out the
+			// full probe interval.
+			if p.Now() >= probeDeadline {
+				break
+			}
+		}
+		iPrime++
+	}
+	ab.doWork(p, j, realOrNil(*last))
+	return true, nil
+}
+
+// ProtocolBScripts builds the per-process scripts of a standalone Protocol B
+// run over engine PIDs 0..T-1.
+func ProtocolBScripts(cfg ABConfig) (func(id int) sim.Script, error) {
+	if _, err := newABState(cfg); err != nil {
+		return nil, err
+	}
+	return func(id int) sim.Script {
+		return func(p *sim.Proc) {
+			_ = RunProtocolB(p, cfg, id)
+		}
+	}, nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunOptions configures a standalone protocol run.
+type RunOptions struct {
+	// Adversary injects crash failures (nil: failure-free).
+	Adversary sim.Adversary
+	// MaxActive, when > 0, enables the at-most-MaxActive-active invariant
+	// check (Protocols A, B, C use 1; Protocol D is inherently parallel).
+	MaxActive int
+	// MaxRound aborts runaway executions (0 = engine default).
+	MaxRound int64
+	// DetailedMetrics enables per-kind message counting.
+	DetailedMetrics bool
+	// Tracer receives one event per committed action when non-nil.
+	Tracer func(sim.Event)
+}
+
+// Run executes scripts for an (n, t) instance and returns the metrics.
+func Run(n, t int, scripts func(id int) sim.Script, opt RunOptions) (sim.Result, error) {
+	eng := sim.New(sim.Config{
+		NumProcs:        t,
+		NumUnits:        n,
+		Adversary:       opt.Adversary,
+		MaxRound:        opt.MaxRound,
+		MaxActive:       opt.MaxActive,
+		DetailedMetrics: opt.DetailedMetrics,
+		Tracer:          opt.Tracer,
+	}, scripts)
+	return eng.Run()
+}
+
+// CheckCompletion enforces the paper's core guarantee: if at least one
+// process survives (terminates voluntarily), all work must have been
+// performed.
+func CheckCompletion(res sim.Result) error {
+	if res.Survivors > 0 && !res.Complete() {
+		return fmt.Errorf("core: %d survivors but only %d distinct units done",
+			res.Survivors, res.WorkDistinct)
+	}
+	return nil
+}

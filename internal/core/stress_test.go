@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// Scale stress: the theorem bounds must hold far beyond the sizes the
+// targeted tests use.
+
+func TestProtocolAScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	n, tt := 4096, 256
+	scripts, err := ProtocolAScripts(ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(n, tt, scripts, RunOptions{
+		Adversary: adversary.NewCascade(n/tt, tt-1),
+		MaxActive: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCompletion(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkTotal > int64(3*n) {
+		t.Fatalf("work = %d > 3n", res.WorkTotal)
+	}
+	if float64(res.Messages) > 9*float64(tt)*math.Sqrt(float64(tt)) {
+		t.Fatalf("messages = %d > 9t√t", res.Messages)
+	}
+}
+
+func TestProtocolBScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	n, tt := 4096, 256
+	scripts, err := ProtocolBScripts(ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(n, tt, scripts, RunOptions{
+		Adversary: adversary.NewCascade(n/tt, tt-1),
+		MaxActive: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCompletion(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkTotal > int64(3*n) {
+		t.Fatalf("work = %d > 3n", res.WorkTotal)
+	}
+	if res.Rounds > ProtocolBRoundBound(n, tt) {
+		t.Fatalf("rounds = %d > bound %d", res.Rounds, ProtocolBRoundBound(n, tt))
+	}
+}
+
+func TestProtocolDScaleWithPhaseFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	n, tt := 4096, 64
+	var crashes []adversary.Crash
+	for k := 0; k < 20; k++ {
+		crashes = append(crashes, adversary.Crash{PID: k + 1, Round: int64(3 * k)})
+	}
+	scripts, err := ProtocolDScripts(DConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(n, tt, scripts, RunOptions{Adversary: adversary.NewSchedule(crashes...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCompletion(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.WorkTotal > int64(2*n) {
+		t.Fatalf("work = %d > 2n", res.WorkTotal)
+	}
+}
+
+// TestProtocolBGoAheadChainTorture kills processes so that takeover has to
+// walk whole groups with go-ahead probes repeatedly: crash every group's
+// lower half up front, then cascade the survivors.
+func TestProtocolBGoAheadChainTorture(t *testing.T) {
+	n, tt := 64, 16
+	var crashes []adversary.Crash
+	// In each √t-group {4g..4g+3}, kill the two lowest members at round 0.
+	for g := 0; g < 4; g++ {
+		crashes = append(crashes,
+			adversary.Crash{PID: 4 * g, Round: 0},
+			adversary.Crash{PID: 4*g + 1, Round: 0},
+		)
+	}
+	adv := adversary.NewChain(
+		adversary.NewSchedule(crashes...),
+		adversary.NewCascade(n/tt, 7), // then cascade the survivors
+	)
+	scripts, err := ProtocolBScripts(ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(n, tt, scripts, RunOptions{Adversary: adv, MaxActive: 1, DetailedMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCompletion(res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 15 {
+		t.Fatalf("crashes = %d, want 15", res.Crashes)
+	}
+	if res.MessagesByKind["go-ahead"] == 0 {
+		t.Fatal("torture run produced no go-ahead probes")
+	}
+}
+
+// TestProtocolCManySeedsSmall drives Protocol C through a broad seed sweep
+// at a size where full-run time is still cheap.
+func TestProtocolCManySeedsSmall(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		scripts, err := ProtocolCScripts(CConfig{N: 12, T: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(12, 4, scripts, RunOptions{
+			Adversary: adversary.NewRandom(0.04, 3, seed),
+			MaxActive: 1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckCompletion(res); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.WorkTotal > int64(12+2*4) {
+			t.Fatalf("seed %d: work %d > n+2t", seed, res.WorkTotal)
+		}
+	}
+}
+
+// TestAllProtocolsManySeeds is a broad completion sweep across every
+// protocol and 20 random adversaries each.
+func TestAllProtocolsManySeeds(t *testing.T) {
+	type mk struct {
+		name    string
+		n, t    int
+		scripts func(n, tt int) (func(int) sim.Script, error)
+		single  bool
+	}
+	cases := []mk{
+		{"A", 48, 12, func(n, tt int) (func(int) sim.Script, error) {
+			return ProtocolAScripts(ABConfig{N: n, T: tt})
+		}, true},
+		{"B", 48, 12, func(n, tt int) (func(int) sim.Script, error) {
+			return ProtocolBScripts(ABConfig{N: n, T: tt})
+		}, true},
+		{"D", 48, 12, func(n, tt int) (func(int) sim.Script, error) {
+			return ProtocolDScripts(DConfig{N: n, T: tt})
+		}, false},
+		{"uniform-8", 48, 12, func(n, tt int) (func(int) sim.Script, error) {
+			return UniformCheckpointScripts(UniformConfig{N: n, T: tt, K: 8})
+		}, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for seed := int64(0); seed < 20; seed++ {
+				scripts, err := c.scripts(c.n, c.t)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opt := RunOptions{Adversary: adversary.NewRandom(0.03, c.t-1, seed)}
+				if c.single {
+					opt.MaxActive = 1
+				}
+				res, err := Run(c.n, c.t, scripts, opt)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := CheckCompletion(res); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"repro/internal/group"
+	"repro/internal/sim"
+)
+
+// Timeout derivations.
+//
+// The paper's constants assume a model in which a message can be sent and
+// received within one time unit. This reproduction uses the standard
+// synchronous model (delivery at round r+1; see DESIGN.md §2), which adds one
+// round of latency per activation-chain link, so each constant carries a
+// small additive slack. Enlarging a deadline can only preserve the
+// at-most-one-active safety invariant — a process that waits longer sees
+// strictly more of the execution before taking over — at the cost of O(t)
+// extra rounds, leaving every asymptotic bound intact. The simulator checks
+// the invariant mechanically in the test suite.
+
+// abTimeouts bundles the deadline functions of Protocols A and B for one
+// (n, t) instance.
+type abTimeouts struct {
+	q group.Sqrt
+	n int
+	w int // ⌈n/t⌉, rounds of work per subchunk
+	p int // number of subchunks (= t)
+}
+
+func newABTimeouts(n, t int) abTimeouts {
+	return abTimeouts{q: group.NewSqrt(t), n: n, w: subchunkWidth(n, t), p: t}
+}
+
+// activeLife bounds the number of rounds from activation to retirement:
+// n work rounds + P partial-checkpoint rounds + ⌈P/S⌉ full checkpoints of at
+// most 2G broadcast rounds each, plus slack. For canonical parameters this is
+// the paper's n + 3t (Lemma 2.1) plus 2.
+func (tm abTimeouts) activeLife() int64 {
+	chunks := (tm.p + tm.q.S - 1) / tm.q.S
+	return int64(tm.n) + int64(tm.p) + int64(chunks)*int64(2*tm.q.G) + 2
+}
+
+// dd is Protocol A's absolute activation deadline, the paper's
+// DD(j) = j(n + 3t): by round DD(j) every process below j has retired.
+func (tm abTimeouts) dd(j int) int64 {
+	return int64(j) * tm.activeLife()
+}
+
+// pto is Protocol B's process timeout: an upper bound (plus one) on the gap
+// between successive messages that a same-group process hears from the
+// active process. Paper value n/t + 2; ours adds slack for the +1 delivery
+// latency (a go-ahead answered by a freshly-activated process that must first
+// perform a full subchunk arrives after w + 2 rounds, so PTO-1 must be at
+// least w + 3).
+func (tm abTimeouts) pto() int64 {
+	return int64(tm.w) + 4
+}
+
+// gto is Protocol B's group timeout, the paper's
+// GTO(i) = n/√t + 3√t + (√t − ī − 1)·PTO + 1: an upper bound (plus one) on
+// how long a process in a later group can go without hearing from group gᵢ
+// while any process ≥ i of gᵢ is active. Generalised to ragged groups:
+// chunk work (S·w) + S partial checkpoints + 2G full-checkpoint broadcasts +
+// remaining go-ahead probes, plus slack.
+func (tm abTimeouts) gto(i int) int64 {
+	bar := int64(tm.q.Offset(i))
+	s := int64(tm.q.S)
+	return s*int64(tm.w) + s + 2*int64(tm.q.G) + (s-bar-1)*tm.pto() + 3
+}
+
+// ddb is Protocol B's relative deadline DDB(j, i): how long j waits after
+// hearing from i before going preactive.
+func (tm abTimeouts) ddb(j, i int) int64 {
+	gj, gi := tm.q.GroupOf(j), tm.q.GroupOf(i)
+	if gj != gi {
+		return tm.gto(i) + int64(gj-gi-1)*tm.gto(0)
+	}
+	return tm.pto()
+}
+
+// tt is the paper's transition time TT(j, i): an upper bound on how long
+// after last hearing from i process j takes to become active (preactive wait
+// plus its go-ahead probes). Used in tests to bound Protocol B's running
+// time.
+func (tm abTimeouts) tt(j, i int) int64 {
+	gj, gi := tm.q.GroupOf(j), tm.q.GroupOf(i)
+	jbar, ibar := int64(tm.q.Offset(j)), int64(tm.q.Offset(i))
+	if gj != gi {
+		return tm.ddb(j, i) + jbar*tm.pto()
+	}
+	return (jbar - ibar) * tm.pto()
+}
+
+// Saturating arithmetic for Protocol C's exponential deadlines. Everything
+// caps at sim.Forever, far below int64 overflow even after repeated
+// addition to round numbers.
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > sim.Forever/b {
+		return sim.Forever
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a > sim.Forever-b {
+		return sim.Forever
+	}
+	return a + b
+}
+
+// pow2 returns 2^e, saturating.
+func pow2(e int) int64 {
+	if e < 0 {
+		return 1
+	}
+	if e >= 61 {
+		return sim.Forever
+	}
+	return int64(1) << uint(e)
+}
+
+// cTimeouts bundles Protocol C's deadline function for one (n, t) instance.
+type cTimeouts struct {
+	n, t int
+	k    int64 // the paper's K, adjusted for the delivery model
+}
+
+// newCTimeouts derives K. For the per-unit-reporting protocol (reportEvery
+// == 1) the paper's K = 5t + 2·log t bounds the rounds an active process
+// needs before every non-retired process has heard from it; for the
+// Corollary 3.9 variant (reportEvery = ⌈n/t⌉) the bound becomes
+// 2n + 3t + 2·log t. Both get +2 slack for delivery latency.
+func newCTimeouts(n, t, reportEvery int) cTimeouts {
+	logT := int64(group.CeilLog2(t))
+	var k int64
+	if reportEvery <= 1 {
+		k = int64(5*t) + 2*logT + 2
+	} else {
+		k = int64(2*n) + int64(3*t) + 2*logT + 2
+	}
+	return cTimeouts{n: n, t: t, k: k}
+}
+
+// deadline is the paper's D(i, m): the number of rounds process i waits
+// after first obtaining reduced view m before becoming active.
+//
+//	D(i, m) = K(n + t − m)·2^(n+t−1−m)          for m ≥ 1
+//	D(i, 0) = K(t − i)(n + t)·2^(n+t−1)          otherwise
+//
+// Values saturate at sim.Forever.
+func (ct cTimeouts) deadline(i, m int) int64 {
+	nt := ct.n + ct.t
+	if m >= 1 {
+		return satMul(ct.k, satMul(int64(nt-m), pow2(nt-1-m)))
+	}
+	return satMul(ct.k, satMul(int64(ct.t-i), satMul(int64(nt), pow2(nt-1))))
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestDDLadderSeparation(t *testing.T) {
+	// Protocol A's safety hinges on DD(j) − DD(j−1) ≥ active lifetime, so
+	// a process activating at its deadline has provably outlived every
+	// lower-numbered process's whole tenure.
+	for _, c := range []struct{ n, tt int }{{16, 4}, {64, 16}, {100, 25}, {7, 3}, {5, 10}} {
+		tm := newABTimeouts(c.n, c.tt)
+		for j := 1; j < c.tt; j++ {
+			if tm.dd(j)-tm.dd(j-1) < tm.activeLife() {
+				t.Fatalf("n=%d t=%d: DD gap at %d below active lifetime", c.n, c.tt, j)
+			}
+		}
+	}
+}
+
+func TestActiveLifeCoversCanonicalPaper(t *testing.T) {
+	// For canonical parameters the model-adjusted lifetime is the paper's
+	// n + 3t plus the documented slack of 2.
+	tm := newABTimeouts(64, 16)
+	if got := tm.activeLife(); got != 64+3*16+2 {
+		t.Fatalf("activeLife = %d, want n+3t+2 = %d", got, 64+3*16+2)
+	}
+}
+
+func TestTTComposition(t *testing.T) {
+	// Lemma 2.5(a): TT(j,k) + TT(l,j) = TT(l,k) for l > j > k, the
+	// telescoping identity behind Protocol B's chain argument.
+	for _, c := range []struct{ n, tt int }{{64, 16}, {144, 9}, {100, 25}} {
+		tm := newABTimeouts(c.n, c.tt)
+		for k := 0; k < c.tt; k++ {
+			for j := k + 1; j < c.tt; j++ {
+				for l := j + 1; l < c.tt; l++ {
+					if tm.tt(j, k)+tm.tt(l, j) != tm.tt(l, k) {
+						t.Fatalf("n=%d t=%d: TT(%d,%d)+TT(%d,%d) != TT(%d,%d)",
+							c.n, c.tt, j, k, l, j, l, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDDBComposition(t *testing.T) {
+	// Lemma 2.5(b): TT(j,k) + DDB(l,j) = DDB(l,k) when g_j < g_l.
+	for _, c := range []struct{ n, tt int }{{64, 16}, {144, 9}} {
+		tm := newABTimeouts(c.n, c.tt)
+		for k := 0; k < c.tt; k++ {
+			for j := k + 1; j < c.tt; j++ {
+				for l := j + 1; l < c.tt; l++ {
+					if tm.q.GroupOf(j) >= tm.q.GroupOf(l) {
+						continue
+					}
+					if tm.tt(j, k)+tm.ddb(l, j) != tm.ddb(l, k) {
+						t.Fatalf("n=%d t=%d: Lemma 2.5(b) fails at k=%d j=%d l=%d",
+							c.n, c.tt, k, j, l)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGTODecreasesWithOffset(t *testing.T) {
+	// GTO(i) shrinks as i sits later in its group: fewer go-ahead probes
+	// remain ahead of it.
+	tm := newABTimeouts(64, 16)
+	for i := 1; i < 4; i++ {
+		if tm.gto(i) >= tm.gto(i-1) {
+			t.Fatalf("GTO(%d) = %d not below GTO(%d) = %d", i, tm.gto(i), i-1, tm.gto(i-1))
+		}
+	}
+}
+
+func TestTimeoutPropertiesQuick(t *testing.T) {
+	// Property over random instances: deadlines are positive, DD is
+	// strictly increasing, DDB is positive, and TT(j,i) ≥ DDB(j,i) − PTO
+	// slackness never goes negative.
+	f := func(rawN, rawT uint8) bool {
+		n := int(rawN%200) + 1
+		tt := int(rawT%30) + 2
+		tm := newABTimeouts(n, tt)
+		if tm.activeLife() <= 0 || tm.pto() <= 2 {
+			return false
+		}
+		for j := 1; j < tt; j++ {
+			if tm.dd(j) <= tm.dd(j-1) {
+				return false
+			}
+			if tm.ddb(j, 0) <= 0 || tm.tt(j, 0) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDeadlineDominatesActiveLifetime(t *testing.T) {
+	// Protocol C's smallest deadline D(i, n+t-1) = K must exceed the time
+	// an active process needs to contact everyone (Lemma 3.2's K).
+	for _, c := range []struct{ n, tt int }{{16, 4}, {24, 8}, {16, 16}} {
+		ct := newCTimeouts(c.n, c.tt, 1)
+		minD := ct.deadline(0, c.n+c.tt-1)
+		if minD != ct.k {
+			t.Fatalf("n=%d t=%d: D(·, max) = %d, want K = %d", c.n, c.tt, minD, ct.k)
+		}
+	}
+}
+
+func TestCVariantKLarger(t *testing.T) {
+	// Corollary 3.9's K (report every ⌈n/t⌉ units) exceeds the per-unit K
+	// whenever reports are actually batched.
+	perUnit := newCTimeouts(64, 8, 1)
+	batched := newCTimeouts(64, 8, 8)
+	if batched.k <= perUnit.k {
+		t.Fatalf("batched K = %d not above per-unit K = %d", batched.k, perUnit.k)
+	}
+}
+
+func TestRoundBoundsExported(t *testing.T) {
+	if ProtocolARoundBound(64, 16) <= 0 || ProtocolBRoundBound(64, 16) <= 0 {
+		t.Fatal("A/B bounds must be positive")
+	}
+	if ProtocolBRoundBound(64, 16) >= ProtocolARoundBound(64, 16) {
+		t.Fatal("B's bound should be far below A's")
+	}
+	if ProtocolCRoundBound(16, 4, 1) <= ProtocolBRoundBound(16, 4) {
+		t.Fatal("C's bound should dwarf B's")
+	}
+	if ProtocolCRoundBound(100, 100, 1) != sim.Forever {
+		t.Fatal("C's bound must saturate for large n+t")
+	}
+	if ProtocolDRoundBound(64, 16, 2) <= 0 {
+		t.Fatal("D bound must be positive")
+	}
+}

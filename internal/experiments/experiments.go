@@ -1,0 +1,125 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the worst-case bound theorems (T1–T8), the motivating
+// complexity comparisons (F1–F6) and reproduction-specific ablations
+// (X1–X3). DESIGN.md carries the experiment index; cmd/experiments renders
+// the output of All into EXPERIMENTS.md; bench_test.go exposes each
+// experiment as a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cell is one measured (or bound) value in a table.
+type Cell struct {
+	Value string
+	// OK records bound checks: nil for plain values, otherwise whether the
+	// measured value respects the paper's bound.
+	OK *bool
+}
+
+// V formats a plain value cell.
+func V(v any) Cell { return Cell{Value: fmt.Sprint(v)} }
+
+// B formats a "measured vs bound" cell and records the check.
+func B(measured, bound int64) Cell {
+	ok := measured <= bound
+	return Cell{Value: fmt.Sprintf("%d ≤ %d", measured, bound), OK: &ok}
+}
+
+// Eq formats a "measured = expected" cell and records the check.
+func Eq(measured, expected int64) Cell {
+	ok := measured == expected
+	return Cell{Value: fmt.Sprintf("%d = %d", measured, expected), OK: &ok}
+}
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being reproduced
+	Columns []string
+	Rows    [][]Cell
+	Notes   []string
+	Err     error
+}
+
+// Failures counts bound cells that did not hold.
+func (t Table) Failures() int {
+	n := 0
+	for _, row := range t.Rows {
+		for _, c := range row {
+			if c.OK != nil && !*c.OK {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "Paper claim: %s\n\n", t.Claim)
+	if t.Err != nil {
+		fmt.Fprintf(&b, "**ERROR:** %v\n\n", t.Err)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "| %s |\n", strings.Join(t.Columns, " | "))
+	fmt.Fprintf(&b, "|%s\n", strings.Repeat("---|", len(t.Columns)))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = c.Value
+			if c.OK != nil {
+				if *c.OK {
+					cells[i] += " ✓"
+				} else {
+					cells[i] += " ✗"
+				}
+			}
+		}
+		fmt.Fprintf(&b, "| %s |\n", strings.Join(cells, " | "))
+	}
+	b.WriteString("\n")
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "- %s\n", n)
+	}
+	if len(t.Notes) > 0 {
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func() Table
+}
+
+// All lists every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", T1ProtocolA},
+		{"T2", T2ProtocolB},
+		{"T3", T3ProtocolC},
+		{"T4", T4ProtocolCLowMsg},
+		{"T5", T5ProtocolD},
+		{"T6", T6ProtocolDRevert},
+		{"T7", T7ProtocolDFailureFree},
+		{"T8", T8Agreement},
+		{"T9", T9Bootstrap},
+		{"F1", F1CheckpointFrequency},
+		{"F2", F2NaiveVsC},
+		{"F3", F3EffortComparison},
+		{"F4", F4TimeDegradation},
+		{"F5", F5SharedMemory},
+		{"F6", F6AsyncProtocolA},
+		{"F7", F7DynamicWork},
+		{"X1", X1FastForward},
+		{"X2", X2PartialCheckpointAblation},
+		{"X3", X3RevertThreshold},
+	}
+}

@@ -1,0 +1,143 @@
+package group
+
+import "fmt"
+
+// Span is a half-open interval [Lo, Hi) of process IDs forming one group of
+// the Protocol C level tree.
+type Span struct {
+	Lo, Hi int
+}
+
+// Size returns the number of processes in the span.
+func (s Span) Size() int { return s.Hi - s.Lo }
+
+// Contains reports whether process i belongs to the span.
+func (s Span) Contains(i int) bool { return i >= s.Lo && i < s.Hi }
+
+// GroupID identifies a group in the Protocol C level structure: level 0 is
+// the work (G0); levels 1..L are process groups, coarsest (the whole set)
+// at level 1, pairs at level L.
+type GroupID struct {
+	Level int
+	Index int
+}
+
+// String implements fmt.Stringer.
+func (g GroupID) String() string { return fmt.Sprintf("G(%d,%d)", g.Level, g.Index) }
+
+// G0 is the identifier of the work "group" (level 0).
+var G0 = GroupID{Level: 0, Index: 0}
+
+// Levels is the recursive halving structure of Protocol C. For t a power of
+// two, level h has t/2^(L-h+1) groups of size 2^(L-h+1), exactly as in the
+// paper; for general t the left half of each split takes the ceiling, so
+// groups may be ragged but every process belongs to exactly one group per
+// level.
+type Levels struct {
+	T int
+	L int // number of levels, ceil(log2 T); 0 when T == 1
+	// spans[h] lists the groups of level h+1 in index order.
+	spans [][]Span
+}
+
+// NewLevels builds the Protocol C level tree for t processes.
+func NewLevels(t int) Levels {
+	if t <= 0 {
+		panic(fmt.Sprintf("group: NewLevels(%d): t must be positive", t))
+	}
+	l := CeilLog2(t)
+	lv := Levels{T: t, L: l, spans: make([][]Span, l)}
+	cur := []Span{{Lo: 0, Hi: t}}
+	for h := 1; h <= l; h++ {
+		lv.spans[h-1] = cur
+		next := make([]Span, 0, 2*len(cur))
+		for _, s := range cur {
+			if s.Size() <= 1 {
+				next = append(next, s)
+				continue
+			}
+			mid := s.Lo + (s.Size()+1)/2
+			next = append(next, Span{Lo: s.Lo, Hi: mid}, Span{Lo: mid, Hi: s.Hi})
+		}
+		cur = next
+	}
+	return lv
+}
+
+// CeilLog2 returns ⌈log₂ x⌉ for x ≥ 1.
+func CeilLog2(x int) int {
+	if x < 1 {
+		panic(fmt.Sprintf("group: CeilLog2(%d)", x))
+	}
+	l := 0
+	for v := 1; v < x; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// Groups returns the spans of level h (1 ≤ h ≤ L) in index order.
+func (lv Levels) Groups(h int) []Span {
+	lv.checkLevel(h)
+	return lv.spans[h-1]
+}
+
+// GroupOf returns the GroupID and Span of process i's level-h group, the
+// paper's Gⁱ_h.
+func (lv Levels) GroupOf(i, h int) (GroupID, Span) {
+	lv.checkLevel(h)
+	if i < 0 || i >= lv.T {
+		panic(fmt.Sprintf("group: pid %d out of range [0,%d)", i, lv.T))
+	}
+	for idx, s := range lv.spans[h-1] {
+		if s.Contains(i) {
+			return GroupID{Level: h, Index: idx}, s
+		}
+	}
+	panic("group: unreachable: process in no group")
+}
+
+// Span returns the span of a GroupID (level ≥ 1).
+func (lv Levels) Span(g GroupID) Span {
+	lv.checkLevel(g.Level)
+	spans := lv.spans[g.Level-1]
+	if g.Index < 0 || g.Index >= len(spans) {
+		panic(fmt.Sprintf("group: %v index out of range", g))
+	}
+	return spans[g.Index]
+}
+
+// AllGroups enumerates every GroupID of every level, coarsest level first.
+func (lv Levels) AllGroups() []GroupID {
+	var ids []GroupID
+	for h := 1; h <= lv.L; h++ {
+		for idx := range lv.spans[h-1] {
+			ids = append(ids, GroupID{Level: h, Index: idx})
+		}
+	}
+	return ids
+}
+
+func (lv Levels) checkLevel(h int) {
+	if h < 1 || h > lv.L {
+		panic(fmt.Sprintf("group: level %d out of range [1,%d]", h, lv.L))
+	}
+}
+
+// CyclicSuccessor returns the first process after j in the cyclic order on
+// [lo, hi) that is not excluded, the paper's "i-successor". It returns
+// (-1, false) when every candidate is excluded. j itself is a valid result
+// if it is not excluded and every other member is.
+func CyclicSuccessor(lo, hi, j int, excluded func(int) bool) (int, bool) {
+	n := hi - lo
+	if n <= 0 || j < lo || j >= hi {
+		panic(fmt.Sprintf("group: CyclicSuccessor(%d,%d,%d)", lo, hi, j))
+	}
+	for step := 1; step <= n; step++ {
+		c := lo + (j-lo+step)%n
+		if !excluded(c) {
+			return c, true
+		}
+	}
+	return -1, false
+}

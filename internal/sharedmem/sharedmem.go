@@ -1,0 +1,128 @@
+// Package sharedmem reproduces the paper's §1.1 comparison point: in the
+// shared-memory model there is a straightforward algorithm — sequential
+// work with a progress register as the checkpoint — achieving optimal
+// O(n + t) effort (counting reads, writes and work) in O(nt) time, in
+// contrast to the message-passing model where checkpointing costs the
+// t√t/t·log t message terms of Protocols A–C.
+//
+// The substrate runs on the synchronous simulator: one shared-memory
+// operation (read or write of one register) occupies one round, exactly like
+// one unit of work or one broadcast in the message model.
+package sharedmem
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Memory is a bank of shared registers accessible by all processes. The
+// lock-step engine serialises access, so plain fields suffice.
+type Memory struct {
+	cells  []int
+	reads  int64
+	writes int64
+}
+
+// NewMemory builds a register bank of the given size.
+func NewMemory(size int) *Memory {
+	return &Memory{cells: make([]int, size)}
+}
+
+// Read returns the value of a register, consuming one round. A process that
+// crashes during the round never observes the value.
+func (m *Memory) Read(p *sim.Proc, addr int) int {
+	p.StepIdle()
+	m.reads++
+	return m.cells[addr]
+}
+
+// Write stores a value into a register, consuming one round. The write does
+// not take effect if the process crashes during the round (the engine kills
+// the script before the store).
+func (m *Memory) Write(p *sim.Proc, addr, v int) {
+	p.StepIdle()
+	m.writes++
+	m.cells[addr] = v
+}
+
+// Ops returns (reads, writes) performed so far.
+func (m *Memory) Ops() (int64, int64) { return m.reads, m.writes }
+
+// Config parameterises a Write-All run.
+type Config struct {
+	// N is the number of work units, T the number of processes.
+	N, T int
+}
+
+// progressAddr is the single checkpoint register: the highest unit known
+// complete.
+const progressAddr = 0
+
+// Scripts builds the Write-All scripts over a fresh memory; it returns the
+// memory so callers can inspect operation counts.
+//
+// The algorithm: process 0 performs units in order, writing the progress
+// register after each unit (work round + write round). Process j wakes at
+// deadline j·(2n+4) — by which time all lower processes have retired — reads
+// the progress register, and either halts (all done) or takes over from the
+// recorded unit. Effort: n work + n writes + ≤ t reads + ≤ t redone units.
+func Scripts(cfg Config) (*Memory, func(id int) sim.Script, error) {
+	if cfg.T <= 0 || cfg.N < 0 {
+		return nil, nil, fmt.Errorf("sharedmem: invalid config n=%d t=%d", cfg.N, cfg.T)
+	}
+	mem := NewMemory(1)
+	life := int64(2*cfg.N + 4)
+	active := func(p *sim.Proc, from int) {
+		p.SetActive(true)
+		defer p.SetActive(false)
+		for u := from + 1; u <= cfg.N; u++ {
+			p.StepWork(u)
+			mem.Write(p, progressAddr, u)
+		}
+	}
+	scripts := func(j int) sim.Script {
+		return func(p *sim.Proc) {
+			if j == 0 {
+				active(p, 0)
+				return
+			}
+			p.WaitUntil(int64(j) * life)
+			done := mem.Read(p, progressAddr)
+			if done >= cfg.N {
+				return
+			}
+			active(p, done)
+		}
+	}
+	return mem, scripts, nil
+}
+
+// Result extends the simulator metrics with shared-memory effort.
+type Result struct {
+	Sim    sim.Result
+	Reads  int64
+	Writes int64
+}
+
+// Effort counts work plus reads plus writes, the §1.1 measure.
+func (r Result) Effort() int64 { return r.Sim.WorkTotal + r.Reads + r.Writes }
+
+// Run executes a Write-All instance under the given adversary.
+func Run(cfg Config, adv sim.Adversary) (Result, error) {
+	mem, scripts, err := Scripts(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := sim.New(sim.Config{
+		NumProcs:  cfg.T,
+		NumUnits:  cfg.N,
+		Adversary: adv,
+		MaxActive: 1,
+	}, scripts).Run()
+	if err != nil {
+		return Result{}, err
+	}
+	reads, writes := mem.Ops()
+	return Result{Sim: res, Reads: reads, Writes: writes}, nil
+}

@@ -1,0 +1,115 @@
+package sharedmem
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+func TestWriteAllFailureFree(t *testing.T) {
+	n, tt := 32, 8
+	res, err := Run(Config{N: n, T: tt}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sim.Complete() {
+		t.Fatal("incomplete")
+	}
+	if res.Sim.WorkTotal != int64(n) {
+		t.Fatalf("work = %d, want n", res.Sim.WorkTotal)
+	}
+	// n writes by the worker + t-1 reads by the watchers.
+	if res.Writes != int64(n) || res.Reads != int64(tt-1) {
+		t.Fatalf("reads/writes = %d/%d, want %d/%d", res.Reads, res.Writes, tt-1, n)
+	}
+	// Effort O(n + t): here exactly 2n + t - 1.
+	if res.Effort() != int64(2*n+tt-1) {
+		t.Fatalf("effort = %d, want %d", res.Effort(), 2*n+tt-1)
+	}
+}
+
+func TestWriteAllEffortBoundUnderCascade(t *testing.T) {
+	// §1.1: O(n + t) effort even with t-1 failures — each takeover costs one
+	// read plus at most one redone unit plus its write.
+	n, tt := 64, 16
+	adv := adversary.NewCascade(1, tt-1)
+	res, err := Run(Config{N: n, T: tt}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkComplete(res.Sim); err != nil {
+		t.Fatal(err)
+	}
+	bound := int64(2*n + 4*tt)
+	if res.Effort() > bound {
+		t.Fatalf("effort = %d > %d (O(n+t))", res.Effort(), bound)
+	}
+}
+
+func TestWriteAllTimeIsNT(t *testing.T) {
+	// The price of the shared-memory simplicity is O(nt) time when failures
+	// force late deadlines to pass.
+	n, tt := 32, 8
+	var crashes []adversary.Crash
+	for pid := 0; pid < tt-1; pid++ {
+		crashes = append(crashes, adversary.Crash{PID: pid, Round: 0})
+	}
+	res, err := Run(Config{N: n, T: tt}, adversary.NewSchedule(crashes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkComplete(res.Sim); err != nil {
+		t.Fatal(err)
+	}
+	wantMin := int64(tt-1) * int64(2*n+4)
+	if res.Sim.Rounds < wantMin {
+		t.Fatalf("rounds = %d, want ≥ %d (deadline of the last process)", res.Sim.Rounds, wantMin)
+	}
+}
+
+func TestWriteAllRandomSweep(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := Run(Config{N: 24, T: 6}, adversary.NewRandom(0.05, 5, seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := checkComplete(res.Sim); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestWriteAllCrashBetweenWorkAndWrite(t *testing.T) {
+	// The classic hazard: the unit is performed but the checkpoint write is
+	// lost, so the taker redoes exactly that unit.
+	n, tt := 16, 4
+	adv := adversary.NewSchedule(adversary.Crash{PID: 0, AtAction: 4, KeepWork: true})
+	// Action 4 is the write after unit 2 (work,write,work,write...).
+	res, err := Run(Config{N: n, T: tt}, adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sim.WorkTotal != int64(n+1) {
+		t.Fatalf("work = %d, want n+1 (one redone unit)", res.Sim.WorkTotal)
+	}
+}
+
+func TestWriteAllValidation(t *testing.T) {
+	if _, err := Run(Config{N: 4, T: 0}, nil); err == nil {
+		t.Fatal("want error for t=0")
+	}
+}
+
+func checkComplete(res sim.Result) error {
+	if res.Survivors > 0 && !res.Complete() {
+		return errIncomplete
+	}
+	return nil
+}
+
+var errIncomplete = errorString("survivors but incomplete work")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,56 @@
+package sim
+
+// Verdict is the adversary's ruling on a single committed action.
+type Verdict struct {
+	// Crash kills the process at this round.
+	Crash bool
+	// KeepWork, meaningful only when Crash is set, records whether the work
+	// unit of the action completed before the crash. (A process may crash
+	// "immediately after performing a unit of work, before reporting it".)
+	KeepWork bool
+	// Deliver, meaningful only when Crash is set, selects which of the
+	// action's sends are transmitted: Deliver[i] corresponds to
+	// Action.Sends[i]. nil delivers nothing. This models crashing in the
+	// middle of a broadcast, where an arbitrary subset of the recipients
+	// receives the message.
+	Deliver []bool
+}
+
+// Survive is the verdict that lets the whole action through.
+func Survive() Verdict { return Verdict{} }
+
+// Adversary decides crash failures. Implementations must be deterministic
+// functions of their own state and the observed execution so that runs are
+// reproducible.
+type Adversary interface {
+	// OnAction is consulted every time a running process commits an action.
+	// The returned verdict may crash the process, possibly mid-broadcast.
+	OnAction(round int64, pid int, action Action) Verdict
+
+	// ScheduledCrashes lists processes that crash at the start of the given
+	// round regardless of whether they act. It is used to crash sleeping
+	// processes at specific times (this matters only for time metrics; a
+	// silent process that crashes at its next action is indistinguishable
+	// to the protocol from one that crashed while asleep).
+	ScheduledCrashes(round int64) []int
+
+	// NextScheduledCrash returns the earliest round strictly greater than
+	// `after` with a scheduled crash, or -1 if there is none. The engine
+	// uses it to avoid fast-forwarding past a scheduled crash.
+	NextScheduledCrash(after int64) int64
+}
+
+// NopAdversary never crashes anything. It is the zero-failure environment
+// and a convenient embedding base for action-driven adversaries.
+type NopAdversary struct{}
+
+var _ Adversary = NopAdversary{}
+
+// OnAction implements Adversary.
+func (NopAdversary) OnAction(int64, int, Action) Verdict { return Survive() }
+
+// ScheduledCrashes implements Adversary.
+func (NopAdversary) ScheduledCrashes(int64) []int { return nil }
+
+// NextScheduledCrash implements Adversary.
+func (NopAdversary) NextScheduledCrash(int64) int64 { return -1 }

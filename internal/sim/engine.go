@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Config parameterises an Engine.
+type Config struct {
+	// NumProcs is the number of processes t (IDs 0..t-1).
+	NumProcs int
+	// NumUnits is the number of work units n (IDs 1..n). Units outside
+	// 1..NumUnits still count toward WorkTotal but not toward completion.
+	NumUnits int
+	// Adversary injects crash failures. nil means no failures.
+	Adversary Adversary
+	// MaxRound aborts runs that exceed this round (0 = a large default).
+	MaxRound int64
+	// MaxActive, when > 0, makes the engine verify after every round that at
+	// most MaxActive processes have SetActive(true). Single-active protocols
+	// (A, B, C) set this to 1 in tests.
+	MaxActive int
+	// DetailedMetrics enables per-kind message counting.
+	DetailedMetrics bool
+	// Tracer, when non-nil, receives one event per committed action.
+	Tracer func(Event)
+}
+
+// Event is a trace record of one committed action.
+type Event struct {
+	Round    int64
+	PID      int
+	Label    string
+	Work     int
+	Sent     int
+	Crashed  bool
+	Halted   bool
+	Activity string
+}
+
+// Result aggregates the metrics of a completed run.
+type Result struct {
+	// WorkTotal counts units of work performed, with multiplicity.
+	WorkTotal int64
+	// WorkDistinct counts distinct units in 1..NumUnits performed.
+	WorkDistinct int
+	// Messages counts point-to-point messages transmitted.
+	Messages int64
+	// MessagesByKind breaks Messages down per payload kind (only when
+	// Config.DetailedMetrics is set).
+	MessagesByKind map[string]int64
+	// Rounds is the round by which every process had retired.
+	Rounds int64
+	// CompletedRound is the first round at which all units had been
+	// performed, or -1 if the run ended incomplete.
+	CompletedRound int64
+	// Survivors is the number of processes that terminated voluntarily.
+	Survivors int
+	// Crashes is the number of processes the adversary crashed.
+	Crashes int
+	// Events counts script resumptions, i.e. the simulation work actually
+	// done; Rounds/Events measures the fast-forward speedup.
+	Events int64
+	// PerProc holds per-process statistics indexed by PID.
+	PerProc []ProcStats
+}
+
+// Effort is work plus messages, the paper's combined cost measure.
+func (r Result) Effort() int64 { return r.WorkTotal + r.Messages }
+
+// Complete reports whether every unit of work was performed.
+func (r Result) Complete() bool { return r.CompletedRound >= 0 }
+
+// ProcStats summarises one process's run.
+type ProcStats struct {
+	Status      Status
+	Work        int64
+	Sent        int64
+	RetireRound int64
+}
+
+// Engine coordinates the lock-step execution of all process scripts.
+type Engine struct {
+	cfg   Config
+	procs []*Proc
+	now   int64
+
+	pending   map[int64][]Message // delivery round -> messages
+	nextDeliv int64               // earliest pending delivery round, Forever if none
+
+	unitsDone    []bool
+	distinctDone int
+	metrics      Result
+	err          error
+}
+
+// ErrRoundLimit is returned when a run exceeds Config.MaxRound.
+var ErrRoundLimit = errors.New("sim: round limit exceeded")
+
+// ErrDeadlock is returned when live processes remain but no future event can
+// ever wake any of them.
+var ErrDeadlock = errors.New("sim: deadlock, all processes asleep forever")
+
+// New builds an engine; scripts(id) supplies the body of each process.
+func New(cfg Config, scripts func(id int) Script) *Engine {
+	if cfg.Adversary == nil {
+		cfg.Adversary = NopAdversary{}
+	}
+	if cfg.MaxRound == 0 {
+		cfg.MaxRound = Forever
+	}
+	e := &Engine{
+		cfg:       cfg,
+		pending:   make(map[int64][]Message),
+		nextDeliv: Forever,
+		unitsDone: make([]bool, cfg.NumUnits+1),
+	}
+	e.metrics.CompletedRound = -1
+	if cfg.NumUnits == 0 {
+		e.metrics.CompletedRound = 0
+	}
+	if cfg.DetailedMetrics {
+		e.metrics.MessagesByKind = make(map[string]int64)
+	}
+	e.procs = make([]*Proc, cfg.NumProcs)
+	for id := 0; id < cfg.NumProcs; id++ {
+		p := &Proc{
+			id:       id,
+			engine:   e,
+			toEngine: make(chan yieldMsg),
+			resume:   make(chan resumeMsg),
+			done:     make(chan struct{}),
+			status:   StatusRunning,
+		}
+		e.procs[id] = p
+		go p.run(scripts(id))
+	}
+	return e
+}
+
+// Run executes the simulation until every process has retired, then returns
+// the aggregated metrics. The engine cannot be reused afterwards.
+func (e *Engine) Run() (Result, error) {
+	defer e.killAll()
+	for e.liveCount() > 0 {
+		if e.now > e.cfg.MaxRound {
+			e.fail(fmt.Errorf("%w: round %d > %d", ErrRoundLimit, e.now, e.cfg.MaxRound))
+			break
+		}
+		e.crashScheduled()
+		e.deliver()
+		e.stepProcs()
+		if e.err != nil {
+			break
+		}
+		if err := e.checkInvariants(); err != nil {
+			e.fail(err)
+			break
+		}
+		next := e.nextRound()
+		if next == Forever {
+			if e.liveCount() > 0 {
+				e.fail(ErrDeadlock)
+			}
+			break
+		}
+		e.now = next
+	}
+	e.finalize()
+	return e.metrics, e.err
+}
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *Engine) liveCount() int {
+	live := 0
+	for _, p := range e.procs {
+		if p.status == StatusRunning {
+			live++
+		}
+	}
+	return live
+}
+
+// crashScheduled applies adversary-scheduled crashes at the start of a round.
+func (e *Engine) crashScheduled() {
+	for _, pid := range e.cfg.Adversary.ScheduledCrashes(e.now) {
+		if pid < 0 || pid >= len(e.procs) {
+			continue
+		}
+		p := e.procs[pid]
+		if p.status != StatusRunning {
+			continue
+		}
+		e.crash(p)
+	}
+}
+
+// deliver moves all messages due at or before the current round into inboxes.
+func (e *Engine) deliver() {
+	if e.nextDeliv > e.now {
+		return
+	}
+	msgs := e.pending[e.now]
+	delete(e.pending, e.now)
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	for _, m := range msgs {
+		p := e.procs[m.To]
+		if p.status != StatusRunning {
+			continue
+		}
+		p.inbox = append(p.inbox, m)
+	}
+	e.nextDeliv = Forever
+	for r := range e.pending {
+		if r < e.nextDeliv {
+			e.nextDeliv = r
+		}
+	}
+}
+
+// stepProcs resumes, in ID order, every process that is runnable this round.
+func (e *Engine) stepProcs() {
+	for _, p := range e.procs {
+		if p.status != StatusRunning {
+			continue
+		}
+		if p.sleeping && len(p.inbox) == 0 && p.wakeAt > e.now {
+			continue
+		}
+		p.sleeping = false
+		e.resumeProc(p)
+		if e.err != nil {
+			return
+		}
+	}
+}
+
+// resumeProc hands control to one script until it yields, then applies the
+// yield (action/sleep/halt) to engine state.
+func (e *Engine) resumeProc(p *Proc) {
+	p.resume <- resumeMsg{}
+	y := <-p.toEngine
+	e.metrics.Events++
+	switch y.kind {
+	case yieldAction:
+		e.commit(p, y.action)
+	case yieldSleep:
+		p.sleeping = true
+		p.wakeAt = y.until
+	case yieldHalt:
+		p.status = StatusTerminated
+		p.active = false
+		p.retireRound = e.now
+		e.trace(p, Action{}, false, true)
+	case yieldPanic:
+		p.status = StatusCrashed
+		p.retireRound = e.now
+		<-p.done
+		e.fail(fmt.Errorf("sim: proc %d panicked: %v", p.id, y.panicVal))
+	}
+}
+
+// commit applies an action, consulting the adversary for crash verdicts.
+func (e *Engine) commit(p *Proc, a Action) {
+	verdict := e.cfg.Adversary.OnAction(e.now, p.id, a)
+	keepWork := true
+	deliver := a.Sends
+	if verdict.Crash {
+		keepWork = verdict.KeepWork
+		deliver = nil
+		for i, s := range a.Sends {
+			if i < len(verdict.Deliver) && verdict.Deliver[i] {
+				deliver = append(deliver, s)
+			}
+		}
+	}
+	if a.WorkUnit > 0 && keepWork {
+		e.metrics.WorkTotal++
+		p.workDone++
+		if a.WorkUnit < len(e.unitsDone) && !e.unitsDone[a.WorkUnit] {
+			e.unitsDone[a.WorkUnit] = true
+			e.distinctDone++
+			if e.distinctDone == e.cfg.NumUnits && e.metrics.CompletedRound < 0 {
+				e.metrics.CompletedRound = e.now
+			}
+		}
+	}
+	for _, s := range deliver {
+		if s.To < 0 || s.To >= len(e.procs) {
+			e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, s.To))
+			return
+		}
+		e.metrics.Messages++
+		p.msgsSent++
+		if e.metrics.MessagesByKind != nil {
+			e.metrics.MessagesByKind[payloadKind(s.Payload)]++
+		}
+		at := e.now + 1
+		e.pending[at] = append(e.pending[at], Message{
+			From: p.id, To: s.To, SentAt: e.now, Payload: s.Payload,
+		})
+		if at < e.nextDeliv {
+			e.nextDeliv = at
+		}
+	}
+	e.trace(p, a, verdict.Crash, false)
+	if verdict.Crash {
+		e.crash(p)
+	}
+}
+
+// crash kills a process's goroutine and marks it crashed.
+func (e *Engine) crash(p *Proc) {
+	p.status = StatusCrashed
+	p.active = false
+	p.retireRound = e.now
+	p.inbox = nil
+	e.metrics.Crashes++
+	p.resume <- resumeMsg{kill: true}
+	<-p.done
+}
+
+func (e *Engine) trace(p *Proc, a Action, crashed, halted bool) {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	e.cfg.Tracer(Event{
+		Round: e.now, PID: p.id, Label: p.label,
+		Work: a.WorkUnit, Sent: len(a.Sends),
+		Crashed: crashed, Halted: halted,
+	})
+}
+
+func (e *Engine) checkInvariants() error {
+	if e.cfg.MaxActive <= 0 {
+		return nil
+	}
+	active := 0
+	for _, p := range e.procs {
+		if p.status == StatusRunning && p.active {
+			active++
+		}
+	}
+	if active > e.cfg.MaxActive {
+		return fmt.Errorf("sim: invariant violated at round %d: %d active processes (max %d)",
+			e.now, active, e.cfg.MaxActive)
+	}
+	return nil
+}
+
+// nextRound chooses the next round to simulate, fast-forwarding over quiet
+// stretches in which every live process sleeps.
+func (e *Engine) nextRound() int64 {
+	next := Forever
+	for _, p := range e.procs {
+		if p.status != StatusRunning {
+			continue
+		}
+		if !p.sleeping {
+			// The process ended a round with an action; it runs again in
+			// the very next round.
+			return e.now + 1
+		}
+		if len(p.inbox) > 0 {
+			return e.now + 1
+		}
+		if p.wakeAt < next {
+			next = p.wakeAt
+		}
+	}
+	if e.nextDeliv < next {
+		next = e.nextDeliv
+	}
+	if c := e.cfg.Adversary.NextScheduledCrash(e.now); c >= 0 && c < next {
+		next = c
+	}
+	if next <= e.now {
+		next = e.now + 1
+	}
+	return next
+}
+
+func (e *Engine) finalize() {
+	e.metrics.Rounds = e.now
+	e.metrics.WorkDistinct = e.distinctDone
+	e.metrics.PerProc = make([]ProcStats, len(e.procs))
+	last := int64(0)
+	for i, p := range e.procs {
+		e.metrics.PerProc[i] = ProcStats{
+			Status: p.status, Work: p.workDone, Sent: p.msgsSent, RetireRound: p.retireRound,
+		}
+		if p.status != StatusRunning {
+			if p.retireRound > last {
+				last = p.retireRound
+			}
+			if p.status == StatusTerminated {
+				e.metrics.Survivors++
+			}
+		}
+	}
+	if e.err == nil {
+		e.metrics.Rounds = last
+	}
+}
+
+// killAll releases any still-blocked script goroutines (used on abort paths).
+func (e *Engine) killAll() {
+	for _, p := range e.procs {
+		if p.status == StatusRunning {
+			p.status = StatusCrashed
+			select {
+			case p.resume <- resumeMsg{kill: true}:
+				<-p.done
+			case y := <-p.toEngine:
+				// The script yielded while we were shutting down.
+				if y.kind != yieldHalt && y.kind != yieldPanic {
+					p.resume <- resumeMsg{kill: true}
+				}
+				<-p.done
+			}
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// run is a test helper that builds and runs an engine.
+func run(t *testing.T, cfg Config, scripts func(int) Script) Result {
+	t.Helper()
+	res, err := New(cfg, scripts).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSingleProcessWorks(t *testing.T) {
+	res := run(t, Config{NumProcs: 1, NumUnits: 3}, func(int) Script {
+		return func(p *Proc) {
+			for u := 1; u <= 3; u++ {
+				p.StepWork(u)
+			}
+			p.Halt()
+		}
+	})
+	if res.WorkTotal != 3 || res.WorkDistinct != 3 {
+		t.Fatalf("work = %d distinct %d, want 3/3", res.WorkTotal, res.WorkDistinct)
+	}
+	if !res.Complete() {
+		t.Fatal("run should be complete")
+	}
+	if res.Survivors != 1 {
+		t.Fatalf("survivors = %d, want 1", res.Survivors)
+	}
+	if res.CompletedRound != 2 {
+		t.Fatalf("completed round = %d, want 2 (rounds 0,1,2)", res.CompletedRound)
+	}
+}
+
+func TestMessageDeliveredNextRound(t *testing.T) {
+	gotAt := int64(-1)
+	run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				p.StepSend(Send{To: 1, Payload: "hi"})
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			msgs := p.WaitUntil(100)
+			if len(msgs) == 1 && msgs[0].Payload == "hi" {
+				gotAt = p.Now()
+			}
+			p.Halt()
+		}
+	})
+	if gotAt != 1 {
+		t.Fatalf("message received at round %d, want 1 (sent at round 0)", gotAt)
+	}
+}
+
+func TestWaitUntilTimeout(t *testing.T) {
+	var woke int64
+	res := run(t, Config{NumProcs: 1, NumUnits: 0}, func(int) Script {
+		return func(p *Proc) {
+			msgs := p.WaitUntil(50)
+			if len(msgs) != 0 {
+				t.Errorf("unexpected messages: %v", msgs)
+			}
+			woke = p.Now()
+			p.Halt()
+		}
+	})
+	if woke != 50 {
+		t.Fatalf("woke at %d, want 50", woke)
+	}
+	// Fast-forwarding means only a couple of events were simulated.
+	if res.Events > 5 {
+		t.Fatalf("events = %d, expected fast-forward to skip the wait", res.Events)
+	}
+	if res.Rounds != 50 {
+		t.Fatalf("rounds = %d, want 50", res.Rounds)
+	}
+}
+
+func TestFastForwardHugeDeadline(t *testing.T) {
+	const deadline = int64(1) << 50
+	res := run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		return func(p *Proc) {
+			p.WaitUntil(deadline + int64(id))
+			p.Halt()
+		}
+	})
+	if res.Rounds != deadline+1 {
+		t.Fatalf("rounds = %d, want %d", res.Rounds, deadline+1)
+	}
+	if res.Events > 10 {
+		t.Fatalf("events = %d, want a handful despite 2^50 rounds", res.Events)
+	}
+}
+
+func TestMessageWakesSleeper(t *testing.T) {
+	var woke int64
+	run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				for i := 0; i < 5; i++ {
+					p.StepIdle()
+				}
+				p.StepSend(Send{To: 1, Payload: 42})
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			msgs := p.WaitUntil(1 << 40)
+			if len(msgs) != 1 {
+				t.Errorf("got %d messages, want 1", len(msgs))
+			}
+			woke = p.Now()
+			p.Halt()
+		}
+	})
+	if woke != 6 {
+		t.Fatalf("sleeper woke at %d, want 6 (send at round 5)", woke)
+	}
+}
+
+// scriptedAdversary crashes a given pid at its k-th action with a chosen
+// verdict.
+type scriptedAdversary struct {
+	NopAdversary
+	pid     int
+	atCount int
+	verdict Verdict
+	seen    int
+}
+
+func (a *scriptedAdversary) OnAction(_ int64, pid int, _ Action) Verdict {
+	if pid != a.pid {
+		return Survive()
+	}
+	a.seen++
+	if a.seen == a.atCount {
+		return a.verdict
+	}
+	return Survive()
+}
+
+func TestCrashMidBroadcastDeliversSubset(t *testing.T) {
+	adv := &scriptedAdversary{
+		pid: 0, atCount: 1,
+		verdict: Verdict{Crash: true, Deliver: []bool{true, false, true}},
+	}
+	received := make(map[int]bool)
+	res := run(t, Config{NumProcs: 4, NumUnits: 0, Adversary: adv}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				p.StepSend(
+					Send{To: 1, Payload: "x"},
+					Send{To: 2, Payload: "x"},
+					Send{To: 3, Payload: "x"},
+				)
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			msgs := p.WaitUntil(10)
+			if len(msgs) > 0 {
+				received[p.ID()] = true
+			}
+			p.Halt()
+		}
+	})
+	if !received[1] || received[2] || !received[3] {
+		t.Fatalf("received = %v, want {1,3}", received)
+	}
+	if res.Messages != 2 {
+		t.Fatalf("messages = %d, want 2 (only delivered subset counts)", res.Messages)
+	}
+	if res.Crashes != 1 || res.Survivors != 3 {
+		t.Fatalf("crashes=%d survivors=%d, want 1/3", res.Crashes, res.Survivors)
+	}
+}
+
+func TestCrashKeepWorkSemantics(t *testing.T) {
+	for _, keep := range []bool{true, false} {
+		adv := &scriptedAdversary{
+			pid: 0, atCount: 1,
+			verdict: Verdict{Crash: true, KeepWork: keep},
+		}
+		res := run(t, Config{NumProcs: 1, NumUnits: 1, Adversary: adv}, func(int) Script {
+			return func(p *Proc) {
+				p.StepWork(1)
+				p.Halt()
+			}
+		})
+		want := int64(0)
+		if keep {
+			want = 1
+		}
+		if res.WorkTotal != want {
+			t.Fatalf("keep=%v: work = %d, want %d", keep, res.WorkTotal, want)
+		}
+	}
+}
+
+// schedAdversary implements scheduled crashes at fixed rounds.
+type schedAdversary struct {
+	NopAdversary
+	at map[int64][]int
+}
+
+func (a *schedAdversary) ScheduledCrashes(r int64) []int { return a.at[r] }
+func (a *schedAdversary) NextScheduledCrash(after int64) int64 {
+	next := int64(-1)
+	for r := range a.at {
+		if r > after && (next < 0 || r < next) {
+			next = r
+		}
+	}
+	return next
+}
+
+func TestScheduledCrashOfSleeper(t *testing.T) {
+	adv := &schedAdversary{at: map[int64][]int{7: {1}}}
+	res := run(t, Config{NumProcs: 2, NumUnits: 0, Adversary: adv}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				p.WaitUntil(20)
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			p.WaitUntil(1 << 40) // would sleep forever; the crash must interrupt
+			p.Halt()
+		}
+	})
+	if res.PerProc[1].Status != StatusCrashed {
+		t.Fatalf("proc 1 status = %v, want crashed", res.PerProc[1].Status)
+	}
+	if res.PerProc[1].RetireRound != 7 {
+		t.Fatalf("proc 1 retired at %d, want 7", res.PerProc[1].RetireRound)
+	}
+	// Fast-forward must not have skipped over the scheduled crash.
+	if res.Rounds != 20 {
+		t.Fatalf("rounds = %d, want 20", res.Rounds)
+	}
+}
+
+func TestMaxActiveInvariant(t *testing.T) {
+	_, err := New(Config{NumProcs: 2, NumUnits: 0, MaxActive: 1}, func(id int) Script {
+		return func(p *Proc) {
+			p.SetActive(true)
+			p.StepIdle()
+			p.StepIdle()
+			p.Halt()
+		}
+	}).Run()
+	if err == nil || !strings.Contains(err.Error(), "invariant") {
+		t.Fatalf("want invariant violation error, got %v", err)
+	}
+}
+
+func TestRoundLimit(t *testing.T) {
+	_, err := New(Config{NumProcs: 1, NumUnits: 0, MaxRound: 10}, func(int) Script {
+		return func(p *Proc) {
+			for {
+				p.StepIdle()
+			}
+		}
+	}).Run()
+	if !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("want ErrRoundLimit, got %v", err)
+	}
+}
+
+func TestScriptPanicSurfacesAsError(t *testing.T) {
+	_, err := New(Config{NumProcs: 1, NumUnits: 0}, func(int) Script {
+		return func(p *Proc) {
+			panic("boom")
+		}
+	}).Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic error, got %v", err)
+	}
+}
+
+func TestScriptReturnIsHalt(t *testing.T) {
+	res := run(t, Config{NumProcs: 1, NumUnits: 0}, func(int) Script {
+		return func(p *Proc) { p.StepIdle() }
+	})
+	if res.Survivors != 1 {
+		t.Fatalf("survivors = %d, want 1", res.Survivors)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() (Result, error) {
+		return New(Config{NumProcs: 4, NumUnits: 8, DetailedMetrics: true}, func(id int) Script {
+			return func(p *Proc) {
+				if id == 0 {
+					for u := 1; u <= 8; u++ {
+						p.StepWorkSend(u, Send{To: 1 + (u % 3), Payload: u})
+					}
+					p.Halt()
+				}
+				for {
+					msgs := p.WaitUntil(100)
+					if len(msgs) == 0 {
+						p.Halt()
+					}
+				}
+			}
+		}).Run()
+	}
+	r1, err1 := mk()
+	r2, err2 := mk()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if r1.WorkTotal != r2.WorkTotal || r1.Messages != r2.Messages || r1.Rounds != r2.Rounds ||
+		r1.Events != r2.Events {
+		t.Fatalf("nondeterministic results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestPerProcStats(t *testing.T) {
+	res := run(t, Config{NumProcs: 2, NumUnits: 2}, func(id int) Script {
+		return func(p *Proc) {
+			p.StepWorkSend(p.ID()+1, Send{To: 1 - p.ID(), Payload: "m"})
+			p.Halt()
+		}
+	})
+	for pid := 0; pid < 2; pid++ {
+		st := res.PerProc[pid]
+		if st.Work != 1 || st.Sent != 1 || st.Status != StatusTerminated {
+			t.Fatalf("proc %d stats = %+v", pid, st)
+		}
+	}
+}
+
+func TestMessagesByKind(t *testing.T) {
+	res := run(t, Config{NumProcs: 2, NumUnits: 0, DetailedMetrics: true}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				p.StepSend(Send{To: 1, Payload: "str"})
+				p.StepSend(Send{To: 1, Payload: 7})
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			p.WaitUntil(3)
+			p.WaitUntil(4)
+			p.Halt()
+		}
+	})
+	if res.MessagesByKind["string"] != 1 || res.MessagesByKind["int"] != 1 {
+		t.Fatalf("kinds = %v", res.MessagesByKind)
+	}
+}
+
+func TestBroadcastHelperSkipsSelf(t *testing.T) {
+	run(t, Config{NumProcs: 3, NumUnits: 0}, func(id int) Script {
+		return func(p *Proc) {
+			if id == 0 {
+				sends := p.Broadcast([]int{0, 1, 2}, "x")
+				if len(sends) != 2 {
+					t.Errorf("broadcast len = %d, want 2", len(sends))
+				}
+				p.StepSend(sends...)
+			}
+			p.Halt()
+		}
+	})
+}
+
+func TestHaltedProcessDropsMail(t *testing.T) {
+	// Messages to retired processes disappear; the engine must not leak or
+	// mis-deliver them.
+	res := run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) { p.Halt() }
+		}
+		return func(p *Proc) {
+			p.StepSend(Send{To: 0, Payload: "late"})
+			p.Halt()
+		}
+	})
+	// Message was transmitted (counts) but had no effect.
+	if res.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", res.Messages)
+	}
+}
+
+func TestEmptyConfigCompletion(t *testing.T) {
+	res := run(t, Config{NumProcs: 1, NumUnits: 0}, func(int) Script {
+		return func(p *Proc) { p.Halt() }
+	})
+	if !res.Complete() {
+		t.Fatal("zero-unit run should be trivially complete")
+	}
+}

@@ -1,0 +1,83 @@
+// Package sim implements a deterministic synchronous round simulator for
+// message-passing systems with crash faults.
+//
+// The model follows Dwork, Halpern and Waarts ("Performing Work Efficiently in
+// the Presence of Faults"): in every round a process may perform at most one
+// unit of work, send messages (a broadcast), and receive messages. A message
+// sent in round r is delivered at the beginning of round r+1. A process that
+// crashes while broadcasting delivers its messages to an arbitrary subset of
+// the recipients, chosen by the adversary.
+//
+// Processes are written as ordinary sequential Go functions (Script) running
+// in their own goroutines; the engine and the scripts alternate in strict
+// lock-step, so executions are fully deterministic. The engine fast-forwards
+// over rounds in which every process is asleep, which makes protocols with
+// exponential deadlines (Protocol C) executable.
+package sim
+
+import "fmt"
+
+// Message is a point-to-point message as seen by the recipient.
+type Message struct {
+	From    int
+	To      int
+	SentAt  int64 // round in which the sender committed the send
+	Payload any
+}
+
+// Send describes an outgoing message within an Action.
+type Send struct {
+	To      int
+	Payload any
+}
+
+// Action is everything a process commits in a single round: at most one unit
+// of work plus any number of sends. The zero Action is an idle round.
+type Action struct {
+	WorkUnit int // 0 means no work; unit IDs are 1-based
+	Sends    []Send
+}
+
+// Kinder lets payloads report a short kind string for per-kind message
+// accounting. Payloads that do not implement it are classified by their
+// dynamic type.
+type Kinder interface {
+	Kind() string
+}
+
+func payloadKind(p any) string {
+	if k, ok := p.(Kinder); ok {
+		return k.Kind()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
+// Status describes the lifecycle state of a simulated process.
+type Status int
+
+const (
+	// StatusRunning means the process has neither crashed nor terminated.
+	StatusRunning Status = iota + 1
+	// StatusCrashed means the adversary crashed the process.
+	StatusCrashed
+	// StatusTerminated means the process halted voluntarily.
+	StatusTerminated
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusCrashed:
+		return "crashed"
+	case StatusTerminated:
+		return "terminated"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Forever is a deadline far enough in the future that it never fires; it is
+// also the saturation value for overflow-prone deadline arithmetic.
+const Forever int64 = 1 << 61

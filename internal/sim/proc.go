@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Script is the body of a simulated process. It runs in its own goroutine and
+// interacts with the engine exclusively through the methods of its Proc. A
+// script that returns is treated as if it called Halt.
+type Script func(p *Proc)
+
+type yieldKind int
+
+const (
+	yieldAction yieldKind = iota + 1
+	yieldSleep
+	yieldHalt
+	yieldPanic
+)
+
+type yieldMsg struct {
+	kind     yieldKind
+	action   Action
+	until    int64
+	panicVal any
+}
+
+type resumeMsg struct {
+	kill bool
+}
+
+// Proc is the engine-side handle and script-side context of one process.
+// All exported methods except those documented otherwise must be called only
+// from the process's own script goroutine.
+type Proc struct {
+	id     int
+	engine *Engine
+
+	toEngine chan yieldMsg
+	resume   chan resumeMsg
+	done     chan struct{}
+
+	// Engine-owned state; the script goroutine only touches these while it
+	// holds control (strict alternation makes this race-free).
+	status   Status
+	sleeping bool
+	wakeAt   int64
+	inbox    []Message
+	active   bool
+	label    string
+	tap      func(Message)
+
+	retireRound int64
+	workDone    int64
+	msgsSent    int64
+}
+
+// ID returns the process identifier (0-based).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the total number of processes in the system.
+func (p *Proc) N() int { return p.engine.cfg.NumProcs }
+
+// Units returns the total number of work units.
+func (p *Proc) Units() int { return p.engine.cfg.NumUnits }
+
+// Now returns the current round number.
+func (p *Proc) Now() int64 { return p.engine.now }
+
+// SetActive flags this process as "the active process" for the at-most-one-
+// active invariant check. Protocols in which a single process works at a time
+// call SetActive(true) on takeover and the engine verifies uniqueness.
+func (p *Proc) SetActive(v bool) { p.active = v }
+
+// SetLabel attaches a short human-readable state label, used in traces.
+func (p *Proc) SetLabel(l string) { p.label = l }
+
+// SetTap registers an observer invoked for every message this process
+// drains, before the draining code sees it. Layered protocols use it to
+// watch for messages that the inner protocol would otherwise discard (e.g.
+// the agreement reduction adopting values carried alongside checkpoint
+// traffic). Must be called from the process's own script.
+func (p *Proc) SetTap(f func(Message)) { p.tap = f }
+
+// StepWork performs one unit of work and ends the round.
+func (p *Proc) StepWork(unit int) {
+	if unit <= 0 {
+		panic(fmt.Sprintf("sim: proc %d: StepWork with non-positive unit %d", p.id, unit))
+	}
+	p.yield(yieldMsg{kind: yieldAction, action: Action{WorkUnit: unit}})
+}
+
+// StepSend transmits the given messages and ends the round.
+func (p *Proc) StepSend(sends ...Send) {
+	p.yield(yieldMsg{kind: yieldAction, action: Action{Sends: sends}})
+}
+
+// StepWorkSend performs one unit of work, transmits messages, and ends the
+// round. (The model allows one unit of work plus one round of communication
+// per time unit.)
+func (p *Proc) StepWorkSend(unit int, sends ...Send) {
+	if unit <= 0 {
+		panic(fmt.Sprintf("sim: proc %d: StepWorkSend with non-positive unit %d", p.id, unit))
+	}
+	p.yield(yieldMsg{kind: yieldAction, action: Action{WorkUnit: unit, Sends: sends}})
+}
+
+// StepIdle consumes one round doing nothing. Protocols use it to pad phases
+// to a common length.
+func (p *Proc) StepIdle() {
+	p.yield(yieldMsg{kind: yieldAction})
+}
+
+// Broadcast builds one Send per recipient, skipping the sender itself.
+func (p *Proc) Broadcast(to []int, payload any) []Send {
+	sends := make([]Send, 0, len(to))
+	for _, dst := range to {
+		if dst == p.id {
+			continue
+		}
+		sends = append(sends, Send{To: dst, Payload: payload})
+	}
+	return sends
+}
+
+// WaitUntil blocks until at least one message has been delivered or the
+// current round reaches deadline, whichever happens first, and returns all
+// delivered messages (possibly none, on timeout). It consumes no rounds by
+// itself: a sleeping process is free. Messages are returned in deterministic
+// (delivery round, sender) order.
+func (p *Proc) WaitUntil(deadline int64) []Message {
+	if len(p.inbox) > 0 || p.engine.now >= deadline {
+		return p.drain()
+	}
+	p.yield(yieldMsg{kind: yieldSleep, until: deadline})
+	return p.drain()
+}
+
+// Halt terminates the process voluntarily. It never returns.
+func (p *Proc) Halt() {
+	p.toEngine <- yieldMsg{kind: yieldHalt}
+	runtime.Goexit()
+}
+
+func (p *Proc) drain() []Message {
+	msgs := p.inbox
+	p.inbox = nil
+	if p.tap != nil {
+		for i := range msgs {
+			p.tap(msgs[i])
+		}
+	}
+	return msgs
+}
+
+func (p *Proc) yield(y yieldMsg) {
+	p.toEngine <- y
+	sig := <-p.resume
+	if sig.kill {
+		runtime.Goexit()
+	}
+}
+
+// run is the goroutine body wrapping the script.
+func (p *Proc) run(script Script) {
+	defer close(p.done)
+	defer func() {
+		if r := recover(); r != nil {
+			// Surface script panics to the engine as fatal errors rather
+			// than deadlocking the lock-step handshake.
+			p.toEngine <- yieldMsg{kind: yieldPanic, panicVal: r}
+		}
+	}()
+	sig := <-p.resume
+	if sig.kill {
+		return
+	}
+	script(p)
+	p.toEngine <- yieldMsg{kind: yieldHalt}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestRecorderCapturesRun(t *testing.T) {
+	rec := NewRecorder(0)
+	scripts, err := core.ProtocolBScripts(core.ABConfig{N: 8, T: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Run(8, 4, scripts, core.RunOptions{
+		Adversary: adversary.NewCascade(2, 3),
+		Tracer:    rec.Hook(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events()) == 0 {
+		t.Fatal("no events recorded")
+	}
+	tl := rec.Timeline(0)
+	for _, want := range []string{"p0", "p3", "W", "X", "rounds:"} {
+		if !strings.Contains(tl, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	sum := rec.Summary()
+	if !strings.Contains(sum, "p0") || !strings.Contains(sum, "work") {
+		t.Fatalf("summary:\n%s", sum)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := NewRecorder(3)
+	hook := rec.Hook()
+	for i := 0; i < 10; i++ {
+		hook(sim.Event{Round: int64(i), PID: 0, Work: 1})
+	}
+	if len(rec.Events()) != 3 || rec.Dropped() != 7 {
+		t.Fatalf("events=%d dropped=%d", len(rec.Events()), rec.Dropped())
+	}
+	if !strings.Contains(rec.Timeline(0), "7 dropped") {
+		t.Fatal("dropped count not reported")
+	}
+}
+
+func TestTimelineSymbols(t *testing.T) {
+	cases := []struct {
+		e    sim.Event
+		want byte
+	}{
+		{sim.Event{Work: 1}, 'W'},
+		{sim.Event{Sent: 2}, 'S'},
+		{sim.Event{Work: 1, Sent: 1}, 'B'},
+		{sim.Event{Crashed: true}, 'X'},
+		{sim.Event{Halted: true}, 'H'},
+		{sim.Event{}, '.'},
+	}
+	for _, c := range cases {
+		if got := symbol(c.e); got != c.want {
+			t.Errorf("symbol(%+v) = %c, want %c", c.e, got, c.want)
+		}
+	}
+}
+
+func TestTimelineGapCompression(t *testing.T) {
+	rec := NewRecorder(0)
+	hook := rec.Hook()
+	hook(sim.Event{Round: 0, PID: 0, Work: 1})
+	hook(sim.Event{Round: 1, PID: 0, Work: 1})
+	hook(sim.Event{Round: 1000, PID: 1, Work: 1})
+	tl := rec.Timeline(0)
+	if !strings.Contains(tl, "quiet gaps compressed") {
+		t.Fatalf("gap note missing:\n%s", tl)
+	}
+	if !strings.Contains(tl, "0..1, 1000") {
+		t.Fatalf("axis intervals wrong:\n%s", tl)
+	}
+}
+
+func TestTimelineColumnLimit(t *testing.T) {
+	rec := NewRecorder(0)
+	hook := rec.Hook()
+	for i := 0; i < 50; i++ {
+		hook(sim.Event{Round: int64(i), PID: 0, Work: 1})
+	}
+	tl := rec.Timeline(10)
+	if !strings.Contains(tl, "beyond column limit") {
+		t.Fatalf("column truncation not reported:\n%s", tl)
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	rec := NewRecorder(0)
+	if got := rec.Timeline(0); got != "(no events)\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+}
