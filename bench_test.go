@@ -1,14 +1,17 @@
-// Benchmarks, one per experiment in DESIGN.md's index (T1–T8, F1–F6,
+// Benchmarks, one per experiment in DESIGN.md's index (T1–T9, F1–F7,
 // X1–X3): each run regenerates the corresponding EXPERIMENTS.md table and
 // fails if any paper bound is violated, so `go test -bench=.` re-verifies
-// the whole reproduction. The Engine* benchmarks measure the simulator
-// substrate itself.
+// the whole reproduction. The Suite* benchmarks run the whole deterministic
+// suite through the internal/batch fan-out runner (sequential vs all-cores
+// measures the orchestration speedup); the Engine* benchmarks measure the
+// simulator substrate itself.
 package doall_test
 
 import (
 	"testing"
 
 	"repro"
+	"repro/internal/batch"
 	"repro/internal/experiments"
 )
 
@@ -66,6 +69,49 @@ func BenchmarkX2_PartialCheckpointAblation(b *testing.B) {
 }
 func BenchmarkX3_RevertThreshold(b *testing.B) {
 	benchExperiment(b, experiments.X3RevertThreshold)
+}
+
+// Suite benchmarks: the full deterministic experiment suite through the
+// batch runner. Comparing Sequential vs Parallel measures the fan-out
+// speedup on the machine at hand.
+
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	exps := experiments.Deterministic()
+	for i := 0; i < b.N; i++ {
+		tables := experiments.Run(exps, workers)
+		if f := experiments.TotalFailures(tables); f > 0 {
+			b.Fatalf("%d paper-bound failures", f)
+		}
+	}
+}
+
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B)   { benchSuite(b, 0) }
+
+// BenchmarkSweepParallel runs a protocol × failure × grid sweep through the
+// batch runner at full width; jobs are rebuilt-free (NewFailures rebuilds
+// only the stateful adversary per run).
+func BenchmarkSweepParallel(b *testing.B) {
+	jobs := batch.Sweep{
+		Protocols: []doall.Protocol{doall.ProtocolA, doall.ProtocolB, doall.ProtocolD},
+		Failures: []batch.FailureSpec{
+			batch.NoFailureSpec(), batch.CascadeFailureSpec(), batch.RandomFailureSpec(0.02),
+		},
+		Grid:  []batch.GridPoint{{Units: 64, Workers: 8}, {Units: 256, Workers: 16}},
+		Seeds: []int64{1, 2},
+	}.Jobs()
+	b.ReportMetric(float64(len(jobs)), "jobs")
+	for i := 0; i < b.N; i++ {
+		for _, r := range batch.Run(jobs, batch.Options{}) {
+			if r.Err != nil {
+				b.Fatal(r.Name, r.Err)
+			}
+			if r.GuaranteeViolated() {
+				b.Fatal(r.Name, "guarantee violated")
+			}
+		}
+	}
 }
 
 // Engine micro-benchmarks: the cost of one simulated protocol run.

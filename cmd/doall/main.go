@@ -1,11 +1,14 @@
 // Command doall runs one work-performing protocol on an (n, t) instance
-// under a chosen failure pattern and prints the paper's cost measures.
+// under a chosen failure pattern and prints the paper's cost measures. The
+// sweep subcommand crosses protocols × failure patterns × (n, t) grids ×
+// seeds and runs the whole set in parallel via internal/batch.
 //
 // Usage:
 //
 //	doall -protocol B -units 256 -workers 16 -failures cascade
 //	doall -protocol C -units 16 -workers 8 -failures random -crash-p 0.05 -seed 7
 //	doall -protocol D -units 256 -workers 16 -failures schedule -crash 1@10 -crash 2@20
+//	doall sweep -protocols a,b,d -failures none,cascade,random -units 64,256 -workers 8,16 -seeds 1,2
 package main
 
 import (
@@ -56,7 +59,13 @@ var protocols = map[string]doall.Protocol{
 }
 
 func main() {
-	if err := run(); err != nil {
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		err = runSweep(os.Args[2:])
+	} else {
+		err = run()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -1,9 +1,14 @@
-// Command experiments reruns every reproduction experiment (T1–T8, F1–F6,
+// Command experiments reruns every reproduction experiment (T1–T9, F1–F7,
 // X1–X3) and writes EXPERIMENTS.md with measured-vs-bound tables.
+//
+// Experiments fan out across -jobs workers via the internal/batch runner;
+// the output file is byte-identical for every worker count (timings go to
+// stderr, and the nondeterministic async experiment is excluded unless
+// -include-async is set).
 //
 // Usage:
 //
-//	experiments [-o EXPERIMENTS.md] [-only T1,F2,...]
+//	experiments [-o EXPERIMENTS.md] [-only T1,F2,...] [-jobs N] [-include-async]
 package main
 
 import (
@@ -25,8 +30,11 @@ func main() {
 
 func run() error {
 	var (
-		out  = flag.String("o", "EXPERIMENTS.md", "output file (- for stdout)")
-		only = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		out          = flag.String("o", "EXPERIMENTS.md", "output file (- for stdout)")
+		only         = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		jobs         = flag.Int("jobs", 0, "parallel experiment runs (0 = GOMAXPROCS, 1 = sequential)")
+		includeAsync = flag.Bool("include-async", false,
+			"include the real-goroutine async experiment (F6), whose exact values vary run-to-run")
 	)
 	flag.Parse()
 
@@ -37,38 +45,37 @@ func run() error {
 		}
 	}
 
-	var b strings.Builder
-	b.WriteString("# EXPERIMENTS — paper bounds vs measured\n\n")
-	b.WriteString("Generated by `go run ./cmd/experiments`. Every table reproduces one theorem, ")
-	b.WriteString("figure-equivalent claim, or ablation from DESIGN.md's experiment index; ")
-	b.WriteString("`a ≤ b ✓` cells verify a measured value against the paper's bound ")
-	b.WriteString("(with the model-adjusted constants of DESIGN.md §2 where noted). ")
-	b.WriteString("Absolute values depend on the simulator, but the shapes — who wins, by what ")
-	b.WriteString("factor, and where the crossovers fall — are the reproduction targets.\n\n")
-
-	failures := 0
-	start := time.Now()
-	for _, e := range experiments.All() {
-		if len(want) > 0 && !want[e.ID] {
-			continue
-		}
-		t0 := time.Now()
-		table := e.Run()
-		fmt.Fprintf(os.Stderr, "%s: %d rows, %d bound failures (%v)\n",
-			e.ID, len(table.Rows), table.Failures(), time.Since(t0).Round(time.Millisecond))
-		if table.Err != nil {
-			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", e.ID, table.Err)
-			failures++
-		}
-		failures += table.Failures()
-		b.WriteString(table.Markdown())
+	// An explicit -only selection may name nondeterministic experiments;
+	// only the default everything-run restricts itself to the
+	// byte-reproducible set.
+	var exps []experiments.Experiment
+	if *includeAsync || len(want) > 0 {
+		exps = experiments.Select(experiments.All(), want)
+	} else {
+		exps = experiments.Deterministic()
 	}
-	fmt.Fprintf(&b, "---\n\nTotal bound failures: %d. Generated in %v.\n",
-		failures, time.Since(start).Round(time.Millisecond))
+	if len(exps) == 0 {
+		return fmt.Errorf("no experiments match %q", *only)
+	}
 
+	start := time.Now()
+	tables := experiments.Run(exps, *jobs)
+	elapsed := time.Since(start)
+	for _, table := range tables {
+		fmt.Fprintf(os.Stderr, "%s: %d rows, %d bound failures\n",
+			table.ID, len(table.Rows), table.Failures())
+		if table.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: ERROR: %v\n", table.ID, table.Err)
+		}
+	}
+	failures := experiments.TotalFailures(tables)
+	fmt.Fprintf(os.Stderr, "%d experiments in %v, %d bound failures\n",
+		len(tables), elapsed.Round(time.Millisecond), failures)
+
+	content := experiments.Report(tables)
 	if *out == "-" {
-		fmt.Print(b.String())
-	} else if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Print(content)
+	} else if err := os.WriteFile(*out, []byte(content), 0o644); err != nil {
 		return err
 	}
 	if failures > 0 {

@@ -1,0 +1,135 @@
+// Package batch is the parallel run-orchestration layer: it shards
+// independent simulator runs across GOMAXPROCS workers while keeping output
+// deterministic. Each run is itself a fully deterministic lock-step
+// simulation, so executing runs concurrently and collecting results by index
+// yields byte-identical output regardless of the worker count — the property
+// the determinism tests pin down.
+//
+// Map is the generic primitive; Run executes named doall.Config jobs; Sweep
+// (sweep.go) builds job sets crossing protocols × failure patterns × (n, t)
+// grids with per-run seeds. internal/experiments and both binaries sit on
+// top of this package.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro"
+)
+
+// Options configures a fan-out.
+type Options struct {
+	// Workers caps the number of concurrent runs; 0 or negative means
+	// GOMAXPROCS. Workers = 1 degenerates to a plain sequential loop.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(0..n-1) on up to workers goroutines and returns the
+// results in index order. fn must be safe for concurrent invocation across
+// distinct indices; result ordering is stable by construction, so a
+// deterministic fn gives deterministic output for every worker count.
+// A panic in fn is re-raised on the calling goroutine.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					// The re-panic below fires from the caller's goroutine,
+					// so capture the origin stack here or lose it.
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = fmt.Sprintf("batch: worker panic: %v\n%s", r, debug.Stack())
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return out
+}
+
+// Job is one named protocol run. Config.Failures must be left nil when
+// NewFailures is set: failure specs are stateful and single-use, so the
+// runner builds a fresh one per execution, which keeps jobs re-runnable
+// (benchmarks rerun the same job set many times).
+type Job struct {
+	Name        string
+	Config      doall.Config
+	NewFailures func() doall.Failures
+}
+
+// RunResult pairs a job with its outcome.
+type RunResult struct {
+	Name   string
+	Config doall.Config
+	Result doall.Result
+	Err    error
+}
+
+// GuaranteeViolated reports the paper's core guarantee failing: survivors
+// exist but some unit of work was never performed.
+func (r RunResult) GuaranteeViolated() bool {
+	return r.Err == nil && r.Result.Survivors > 0 && !r.Result.Complete
+}
+
+// Run executes every job, fanning out across opt.Workers, and returns
+// results in job order. Individual run errors are recorded per result, not
+// returned: a sweep that hits one invalid configuration still reports the
+// other runs.
+func Run(jobs []Job, opt Options) []RunResult {
+	return Map(opt.workers(), len(jobs), func(i int) RunResult {
+		j := jobs[i]
+		cfg := j.Config
+		if j.NewFailures != nil {
+			cfg.Failures = j.NewFailures()
+		}
+		res, err := doall.Run(cfg)
+		return RunResult{Name: j.Name, Config: cfg, Result: res, Err: err}
+	})
+}

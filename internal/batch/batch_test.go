@@ -1,0 +1,157 @@
+package batch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+func TestMapOrderingAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if out := Map[int](4, 0, func(int) int { return 1 }); out != nil {
+		t.Fatalf("Map over zero items = %v, want nil", out)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	Map(4, 16, func(i int) int {
+		if i == 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func sweepForTest() Sweep {
+	return Sweep{
+		Protocols: []doall.Protocol{
+			doall.ProtocolA, doall.ProtocolB, doall.ProtocolD,
+			doall.Trivial, doall.SingleCheckpoint,
+		},
+		Failures: []FailureSpec{
+			NoFailureSpec(), CascadeFailureSpec(), RandomFailureSpec(0.02),
+		},
+		Grid:            []GridPoint{{Units: 48, Workers: 8}, {Units: 96, Workers: 16}},
+		Seeds:           []int64{1, 7},
+		CheckInvariants: true,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the batch layer's core
+// contract: the same seeded sweep must aggregate to identical results
+// whether it runs on one worker or many.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := sweepForTest().Jobs()
+	if len(jobs) != 2*5*3*2 {
+		t.Fatalf("sweep expanded to %d jobs, want %d", len(jobs), 2*5*3*2)
+	}
+	sequential := Run(jobs, Options{Workers: 1})
+	for _, workers := range []int{2, 8} {
+		parallel := Run(jobs, Options{Workers: workers})
+		if len(parallel) != len(sequential) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(parallel), len(sequential))
+		}
+		for i := range sequential {
+			if sequential[i].Name != parallel[i].Name {
+				t.Fatalf("workers=%d: result %d is %q, want %q (ordering broke)",
+					workers, i, parallel[i].Name, sequential[i].Name)
+			}
+			if !reflect.DeepEqual(sequential[i].Result, parallel[i].Result) {
+				t.Fatalf("workers=%d: %s diverged:\nseq: %+v\npar: %+v",
+					workers, sequential[i].Name, sequential[i].Result, parallel[i].Result)
+			}
+			if (sequential[i].Err == nil) != (parallel[i].Err == nil) {
+				t.Fatalf("workers=%d: %s errors diverged: %v vs %v",
+					workers, sequential[i].Name, sequential[i].Err, parallel[i].Err)
+			}
+		}
+	}
+}
+
+// TestSweepJobsRerunnable checks that a job set can be executed twice with
+// identical outcomes: NewFailures must rebuild the stateful adversary.
+func TestSweepJobsRerunnable(t *testing.T) {
+	jobs := Sweep{
+		Protocols: []doall.Protocol{doall.ProtocolB},
+		Failures:  []FailureSpec{CascadeFailureSpec(), RandomFailureSpec(0.05)},
+		Grid:      []GridPoint{{Units: 64, Workers: 8}},
+	}.Jobs()
+	first := Run(jobs, Options{Workers: 1})
+	second := Run(jobs, Options{Workers: 1})
+	for i := range first {
+		if !reflect.DeepEqual(first[i].Result, second[i].Result) {
+			t.Fatalf("%s not rerunnable:\n1st: %+v\n2nd: %+v",
+				first[i].Name, first[i].Result, second[i].Result)
+		}
+	}
+}
+
+func TestSweepGuaranteeHolds(t *testing.T) {
+	for _, r := range Run(sweepForTest().Jobs(), Options{Workers: 0}) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.GuaranteeViolated() {
+			t.Fatalf("%s: survivors exist but work incomplete: %+v", r.Name, r.Result)
+		}
+	}
+}
+
+func TestRunRecordsPerJobErrors(t *testing.T) {
+	jobs := []Job{
+		{Name: "bad", Config: doall.Config{Units: 8, Workers: 0, Protocol: doall.ProtocolB}},
+		{Name: "good", Config: doall.Config{Units: 8, Workers: 2, Protocol: doall.ProtocolB},
+			NewFailures: func() doall.Failures { return doall.NoFailures() }},
+	}
+	out := Run(jobs, Options{Workers: 2})
+	if out[0].Err == nil {
+		t.Fatal("invalid job should record an error")
+	}
+	if out[1].Err != nil || !out[1].Result.Complete {
+		t.Fatalf("valid job failed: %+v", out[1])
+	}
+}
+
+func TestSweepJobNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, j := range sweepForTest().Jobs() {
+		if seen[j.Name] {
+			t.Fatalf("duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+	}
+}
+
+func ExampleSweep() {
+	jobs := Sweep{
+		Protocols: []doall.Protocol{doall.ProtocolB, doall.ProtocolD},
+		Failures:  []FailureSpec{CascadeFailureSpec()},
+		Grid:      []GridPoint{{Units: 64, Workers: 16}},
+	}.Jobs()
+	for _, r := range Run(jobs, Options{}) {
+		fmt.Printf("%s: work=%d complete=%v\n", r.Name, r.Result.Work, r.Result.Complete)
+	}
+	// Output:
+	// B/cascade/n=64,t=16,seed=1: work=160 complete=true
+	// D/cascade/n=64,t=16,seed=1: work=124 complete=true
+}

@@ -1,0 +1,108 @@
+package batch
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// GridPoint is one (n, t) instance size.
+type GridPoint struct {
+	Units   int // n
+	Workers int // t
+}
+
+// FailureSpec names a failure-pattern family and builds fresh instances of
+// it. New is called once per run (failure adversaries are stateful and
+// single-use) with the grid point and the run's seed; patterns that ignore
+// randomness ignore the seed.
+type FailureSpec struct {
+	Name string
+	New  func(g GridPoint, seed int64) doall.Failures
+}
+
+// NoFailureSpec is the failure-free environment.
+func NoFailureSpec() FailureSpec {
+	return FailureSpec{Name: "none", New: func(GridPoint, int64) doall.Failures {
+		return doall.NoFailures()
+	}}
+}
+
+// CascadeFailureSpec is the paper's worst-case redo chain: every process
+// crashes at its first send after max(1, n/t) units, t−1 failures total.
+func CascadeFailureSpec() FailureSpec {
+	return FailureSpec{Name: "cascade", New: func(g GridPoint, _ int64) doall.Failures {
+		between := g.Units / g.Workers
+		if between < 1 {
+			between = 1
+		}
+		return doall.CascadeFailures(between, g.Workers-1)
+	}}
+}
+
+// RandomFailureSpec crashes each committed action with probability p, at
+// most t−1 times, seeded per run.
+func RandomFailureSpec(p float64) FailureSpec {
+	return FailureSpec{
+		Name: fmt.Sprintf("random(p=%g)", p),
+		New: func(g GridPoint, seed int64) doall.Failures {
+			return doall.RandomFailures(p, g.Workers-1, seed)
+		},
+	}
+}
+
+// Sweep crosses protocols × failure patterns × grid points × seeds into a
+// deterministic job list. The cross order is fixed (grid outermost, then
+// protocol, then failure pattern, then seed) so the same sweep always
+// produces the same jobs in the same order.
+type Sweep struct {
+	Protocols []doall.Protocol
+	Failures  []FailureSpec
+	Grid      []GridPoint
+	// Seeds gives each (protocol, failure, point) cell one run per seed;
+	// empty means the single seed 1. Seeds only influence randomised
+	// failure patterns but are always recorded in the job name.
+	Seeds []int64
+	// CheckInvariants enables the at-most-one-active check on single-active
+	// protocols.
+	CheckInvariants bool
+	// MaxRound aborts runaway runs (0 = engine default). Protocol C's
+	// deadlines are exponential in n + t by design; cap the grid, not the
+	// rounds, when sweeping it.
+	MaxRound int64
+}
+
+// Jobs expands the sweep. Every job carries a NewFailures builder, so the
+// returned set can be executed repeatedly.
+func (s Sweep) Jobs() []Job {
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	var jobs []Job
+	for _, g := range s.Grid {
+		for _, proto := range s.Protocols {
+			for _, f := range s.Failures {
+				for _, seed := range seeds {
+					cfg := doall.Config{
+						Units:           g.Units,
+						Workers:         g.Workers,
+						Protocol:        proto,
+						CheckInvariants: s.CheckInvariants,
+						MaxRound:        s.MaxRound,
+					}
+					if proto == doall.UniformCheckpoint {
+						cfg.CheckpointK = g.Workers
+					}
+					jobs = append(jobs, Job{
+						Name: fmt.Sprintf("%v/%s/n=%d,t=%d,seed=%d",
+							proto, f.Name, g.Units, g.Workers, seed),
+						Config:      cfg,
+						NewFailures: func() doall.Failures { return f.New(g, seed) },
+					})
+				}
+			}
+		}
+	}
+	return jobs
+}

@@ -1,9 +1,9 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation: the worst-case bound theorems (T1–T8), the motivating
-// complexity comparisons (F1–F6) and reproduction-specific ablations
+// evaluation: the worst-case bound theorems (T1–T9), the motivating
+// complexity comparisons (F1–F7) and reproduction-specific ablations
 // (X1–X3). DESIGN.md carries the experiment index; cmd/experiments renders
-// the output of All into EXPERIMENTS.md; bench_test.go exposes each
-// experiment as a benchmark.
+// the output of Run into EXPERIMENTS.md via the internal/batch fan-out
+// runner; bench_test.go exposes each experiment as a benchmark.
 package experiments
 
 import (
@@ -93,33 +93,63 @@ func (t Table) Markdown() string {
 	return b.String()
 }
 
-// Experiment pairs an ID with its runner.
+// Experiment pairs an ID with its runner. Nondet marks experiments whose
+// exact table values vary run-to-run (real-goroutine schedules); their
+// bounds still hold on every run, but they are excluded from byte-identity
+// checks.
 type Experiment struct {
-	ID  string
-	Run func() Table
+	ID     string
+	Run    func() Table
+	Nondet bool
 }
 
 // All lists every experiment in index order.
 func All() []Experiment {
 	return []Experiment{
-		{"T1", T1ProtocolA},
-		{"T2", T2ProtocolB},
-		{"T3", T3ProtocolC},
-		{"T4", T4ProtocolCLowMsg},
-		{"T5", T5ProtocolD},
-		{"T6", T6ProtocolDRevert},
-		{"T7", T7ProtocolDFailureFree},
-		{"T8", T8Agreement},
-		{"T9", T9Bootstrap},
-		{"F1", F1CheckpointFrequency},
-		{"F2", F2NaiveVsC},
-		{"F3", F3EffortComparison},
-		{"F4", F4TimeDegradation},
-		{"F5", F5SharedMemory},
-		{"F6", F6AsyncProtocolA},
-		{"F7", F7DynamicWork},
-		{"X1", X1FastForward},
-		{"X2", X2PartialCheckpointAblation},
-		{"X3", X3RevertThreshold},
+		{ID: "T1", Run: T1ProtocolA},
+		{ID: "T2", Run: T2ProtocolB},
+		{ID: "T3", Run: T3ProtocolC},
+		{ID: "T4", Run: T4ProtocolCLowMsg},
+		{ID: "T5", Run: T5ProtocolD},
+		{ID: "T6", Run: T6ProtocolDRevert},
+		{ID: "T7", Run: T7ProtocolDFailureFree},
+		{ID: "T8", Run: T8Agreement},
+		{ID: "T9", Run: T9Bootstrap},
+		{ID: "F1", Run: F1CheckpointFrequency},
+		{ID: "F2", Run: F2NaiveVsC},
+		{ID: "F3", Run: F3EffortComparison},
+		{ID: "F4", Run: F4TimeDegradation},
+		{ID: "F5", Run: F5SharedMemory},
+		{ID: "F6", Run: F6AsyncProtocolA, Nondet: true},
+		{ID: "F7", Run: F7DynamicWork},
+		{ID: "X1", Run: X1FastForward},
+		{ID: "X2", Run: X2PartialCheckpointAblation},
+		{ID: "X3", Run: X3RevertThreshold},
 	}
+}
+
+// Deterministic lists the experiments whose tables are byte-reproducible
+// across runs — All minus the real-goroutine asynchronous ones.
+func Deterministic() []Experiment {
+	var out []Experiment
+	for _, e := range All() {
+		if !e.Nondet {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Select filters experiments by ID; an empty want set keeps everything.
+func Select(exps []Experiment, want map[string]bool) []Experiment {
+	if len(want) == 0 {
+		return exps
+	}
+	var out []Experiment
+	for _, e := range exps {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out
 }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReportByteIdenticalAcrossWorkerCounts pins the orchestration
+// guarantee end-to-end: regenerating the deterministic experiment suite on
+// one worker and on many must render byte-identical EXPERIMENTS.md content.
+func TestReportByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	exps := Deterministic()
+	sequential := Report(Run(exps, 1))
+	parallel := Report(Run(exps, 8))
+	if sequential != parallel {
+		t.Fatalf("report bytes differ between 1 and 8 workers:\n--- seq ---\n%s\n--- par ---\n%s",
+			sequential, parallel)
+	}
+	if !strings.Contains(sequential, "Total bound failures: 0.") {
+		t.Fatalf("deterministic suite has bound failures:\n%s", sequential)
+	}
+}
+
+func TestRunPreservesIndexOrder(t *testing.T) {
+	exps := All()
+	tables := Run(exps, 0)
+	if len(tables) != len(exps) {
+		t.Fatalf("%d tables for %d experiments", len(tables), len(exps))
+	}
+	for i, table := range tables {
+		if table.ID != exps[i].ID {
+			t.Fatalf("table %d is %s, want %s (ordering broke)", i, table.ID, exps[i].ID)
+		}
+	}
+}
+
+func TestDeterministicExcludesAsync(t *testing.T) {
+	for _, e := range Deterministic() {
+		if e.ID == "F6" {
+			t.Fatal("F6 (real-goroutine async) must not be in the deterministic set")
+		}
+	}
+	if len(Deterministic()) != len(All())-1 {
+		t.Fatalf("deterministic set has %d experiments, want %d", len(Deterministic()), len(All())-1)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	got := Select(All(), map[string]bool{"T3": true, "X1": true})
+	if len(got) != 2 || got[0].ID != "T3" || got[1].ID != "X1" {
+		t.Fatalf("Select = %v", got)
+	}
+	if len(Select(All(), nil)) != len(All()) {
+		t.Fatal("empty filter should keep everything")
+	}
+}

@@ -81,13 +81,26 @@ type ProcStats struct {
 }
 
 // Engine coordinates the lock-step execution of all process scripts.
+//
+// Scheduling state is maintained incrementally rather than recomputed by
+// O(t) scans every round: live and activeCount track process counts, runq
+// tracks the set of processes runnable this round, and sleepers orders
+// future wake times in a min-heap with lazy invalidation. Because every
+// send commits for delivery exactly one round later, pending messages live
+// in a single flat buffer (recycled between rounds) instead of a
+// round-indexed map.
 type Engine struct {
 	cfg   Config
 	procs []*Proc
 	now   int64
 
-	pending   map[int64][]Message // delivery round -> messages
-	nextDeliv int64               // earliest pending delivery round, Forever if none
+	pendingNext []Message // messages committed this round, due next round
+	spare       []Message // recycled backing buffer for pendingNext
+
+	runq        runSet   // processes to resume this round
+	sleepers    wakeHeap // (wakeAt, pid), stale entries discarded on pop
+	live        int      // processes with StatusRunning
+	activeCount int      // live processes with SetActive(true)
 
 	unitsDone    []bool
 	distinctDone int
@@ -112,8 +125,8 @@ func New(cfg Config, scripts func(id int) Script) *Engine {
 	}
 	e := &Engine{
 		cfg:       cfg,
-		pending:   make(map[int64][]Message),
-		nextDeliv: Forever,
+		runq:      newRunSet(cfg.NumProcs),
+		live:      cfg.NumProcs,
 		unitsDone: make([]bool, cfg.NumUnits+1),
 	}
 	e.metrics.CompletedRound = -1
@@ -134,6 +147,7 @@ func New(cfg Config, scripts func(id int) Script) *Engine {
 			status:   StatusRunning,
 		}
 		e.procs[id] = p
+		e.runq.add(id)
 		go p.run(scripts(id))
 	}
 	return e
@@ -143,14 +157,15 @@ func New(cfg Config, scripts func(id int) Script) *Engine {
 // the aggregated metrics. The engine cannot be reused afterwards.
 func (e *Engine) Run() (Result, error) {
 	defer e.killAll()
-	for e.liveCount() > 0 {
+	for e.live > 0 {
 		if e.now > e.cfg.MaxRound {
 			e.fail(fmt.Errorf("%w: round %d > %d", ErrRoundLimit, e.now, e.cfg.MaxRound))
 			break
 		}
 		e.crashScheduled()
 		e.deliver()
-		e.stepProcs()
+		e.wakeSleepers()
+		e.stepRunnable()
 		if e.err != nil {
 			break
 		}
@@ -160,7 +175,7 @@ func (e *Engine) Run() (Result, error) {
 		}
 		next := e.nextRound()
 		if next == Forever {
-			if e.liveCount() > 0 {
+			if e.live > 0 {
 				e.fail(ErrDeadlock)
 			}
 			break
@@ -177,16 +192,6 @@ func (e *Engine) fail(err error) {
 	}
 }
 
-func (e *Engine) liveCount() int {
-	live := 0
-	for _, p := range e.procs {
-		if p.status == StatusRunning {
-			live++
-		}
-	}
-	return live
-}
-
 // crashScheduled applies adversary-scheduled crashes at the start of a round.
 func (e *Engine) crashScheduled() {
 	for _, pid := range e.cfg.Adversary.ScheduledCrashes(e.now) {
@@ -201,44 +206,55 @@ func (e *Engine) crashScheduled() {
 	}
 }
 
-// deliver moves all messages due at or before the current round into inboxes.
+// deliver moves the messages committed last round into inboxes. Every send
+// is due exactly one round after commit, so the whole buffer is due now;
+// recipients gaining mail become runnable.
 func (e *Engine) deliver() {
-	if e.nextDeliv > e.now {
+	msgs := e.pendingNext
+	if len(msgs) == 0 {
 		return
 	}
-	msgs := e.pending[e.now]
-	delete(e.pending, e.now)
-	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	// Commits happen in ascending PID order within a round, so msgs is
+	// already sorted by sender; re-sort (stably) only if that ever breaks.
+	if !sort.SliceIsSorted(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From }) {
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+	}
 	for _, m := range msgs {
 		p := e.procs[m.To]
 		if p.status != StatusRunning {
 			continue
 		}
 		p.inbox = append(p.inbox, m)
+		e.runq.add(m.To)
 	}
-	e.nextDeliv = Forever
-	for r := range e.pending {
-		if r < e.nextDeliv {
-			e.nextDeliv = r
+	e.pendingNext = e.spare[:0]
+	e.spare = msgs[:0]
+}
+
+// wakeSleepers moves every sleeper whose wake time has arrived onto the run
+// queue. Stale heap entries (the process was woken early by a message and
+// re-slept, or retired) are recognised by re-checking the process state.
+func (e *Engine) wakeSleepers() {
+	for len(e.sleepers) > 0 && e.sleepers[0].at <= e.now {
+		entry := e.sleepers.popTop()
+		p := e.procs[entry.pid]
+		if p.status == StatusRunning && p.sleeping && p.wakeAt <= e.now {
+			e.runq.add(entry.pid)
 		}
 	}
 }
 
-// stepProcs resumes, in ID order, every process that is runnable this round.
-func (e *Engine) stepProcs() {
-	for _, p := range e.procs {
+// stepRunnable resumes, in ID order, every process on the run queue.
+func (e *Engine) stepRunnable() {
+	e.runq.forEachAscending(func(pid int) bool {
+		p := e.procs[pid]
 		if p.status != StatusRunning {
-			continue
-		}
-		if p.sleeping && len(p.inbox) == 0 && p.wakeAt > e.now {
-			continue
+			return true
 		}
 		p.sleeping = false
 		e.resumeProc(p)
-		if e.err != nil {
-			return
-		}
-	}
+		return e.err == nil
+	})
 }
 
 // resumeProc hands control to one script until it yields, then applies the
@@ -253,14 +269,21 @@ func (e *Engine) resumeProc(p *Proc) {
 	case yieldSleep:
 		p.sleeping = true
 		p.wakeAt = y.until
+		e.runq.remove(p.id)
+		e.sleepers.push(wakeEntry{at: y.until, pid: p.id})
 	case yieldHalt:
 		p.status = StatusTerminated
-		p.active = false
+		e.setInactive(p)
 		p.retireRound = e.now
+		e.live--
+		e.runq.remove(p.id)
 		e.trace(p, Action{}, false, true)
 	case yieldPanic:
 		p.status = StatusCrashed
+		e.setInactive(p)
 		p.retireRound = e.now
+		e.live--
+		e.runq.remove(p.id)
 		<-p.done
 		e.fail(fmt.Errorf("sim: proc %d panicked: %v", p.id, y.panicVal))
 	}
@@ -301,13 +324,9 @@ func (e *Engine) commit(p *Proc, a Action) {
 		if e.metrics.MessagesByKind != nil {
 			e.metrics.MessagesByKind[payloadKind(s.Payload)]++
 		}
-		at := e.now + 1
-		e.pending[at] = append(e.pending[at], Message{
+		e.pendingNext = append(e.pendingNext, Message{
 			From: p.id, To: s.To, SentAt: e.now, Payload: s.Payload,
 		})
-		if at < e.nextDeliv {
-			e.nextDeliv = at
-		}
 	}
 	e.trace(p, a, verdict.Crash, false)
 	if verdict.Crash {
@@ -318,12 +337,23 @@ func (e *Engine) commit(p *Proc, a Action) {
 // crash kills a process's goroutine and marks it crashed.
 func (e *Engine) crash(p *Proc) {
 	p.status = StatusCrashed
-	p.active = false
+	e.setInactive(p)
 	p.retireRound = e.now
 	p.inbox = nil
+	e.live--
+	e.runq.remove(p.id)
 	e.metrics.Crashes++
 	p.resume <- resumeMsg{kill: true}
 	<-p.done
+}
+
+// setInactive clears a retiring process's active flag, keeping the
+// incremental active count in step.
+func (e *Engine) setInactive(p *Proc) {
+	if p.active {
+		p.active = false
+		e.activeCount--
+	}
 }
 
 func (e *Engine) trace(p *Proc, a Action, crashed, halted bool) {
@@ -341,15 +371,9 @@ func (e *Engine) checkInvariants() error {
 	if e.cfg.MaxActive <= 0 {
 		return nil
 	}
-	active := 0
-	for _, p := range e.procs {
-		if p.status == StatusRunning && p.active {
-			active++
-		}
-	}
-	if active > e.cfg.MaxActive {
+	if e.activeCount > e.cfg.MaxActive {
 		return fmt.Errorf("sim: invariant violated at round %d: %d active processes (max %d)",
-			e.now, active, e.cfg.MaxActive)
+			e.now, e.activeCount, e.cfg.MaxActive)
 	}
 	return nil
 }
@@ -357,25 +381,21 @@ func (e *Engine) checkInvariants() error {
 // nextRound chooses the next round to simulate, fast-forwarding over quiet
 // stretches in which every live process sleeps.
 func (e *Engine) nextRound() int64 {
+	if e.runq.count > 0 || len(e.pendingNext) > 0 {
+		// Someone acted this round (and so runs again next round), gained
+		// mail, or has mail in flight.
+		return e.now + 1
+	}
 	next := Forever
-	for _, p := range e.procs {
-		if p.status != StatusRunning {
+	for len(e.sleepers) > 0 {
+		top := e.sleepers[0]
+		p := e.procs[top.pid]
+		if p.status != StatusRunning || !p.sleeping || p.wakeAt != top.at {
+			e.sleepers.popTop() // stale entry
 			continue
 		}
-		if !p.sleeping {
-			// The process ended a round with an action; it runs again in
-			// the very next round.
-			return e.now + 1
-		}
-		if len(p.inbox) > 0 {
-			return e.now + 1
-		}
-		if p.wakeAt < next {
-			next = p.wakeAt
-		}
-	}
-	if e.nextDeliv < next {
-		next = e.nextDeliv
+		next = top.at
+		break
 	}
 	if c := e.cfg.Adversary.NextScheduledCrash(e.now); c >= 0 && c < next {
 		next = c

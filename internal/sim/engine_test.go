@@ -326,6 +326,179 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+func TestResleepInvalidatesOldWakeTime(t *testing.T) {
+	// A sleeper woken early by a message re-sleeps with a *longer* deadline;
+	// the stale (shorter) heap entry must not wake it early.
+	var woke int64
+	run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				p.StepSend(Send{To: 1, Payload: "poke"})
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			p.WaitUntil(10) // interrupted at round 1 by the poke
+			p.WaitUntil(40) // stale entry for round 10 must be ignored
+			woke = p.Now()
+			p.Halt()
+		}
+	})
+	if woke != 40 {
+		t.Fatalf("re-sleeper woke at %d, want 40", woke)
+	}
+}
+
+func TestResleepShorterDeadline(t *testing.T) {
+	// The opposite order: woken early, then re-sleeps with a shorter deadline
+	// than the original; the new wake time must fire, not the stale one.
+	var woke int64
+	run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				p.StepSend(Send{To: 1, Payload: "poke"})
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			p.WaitUntil(1 << 40)
+			p.WaitUntil(7)
+			woke = p.Now()
+			p.Halt()
+		}
+	})
+	if woke != 7 {
+		t.Fatalf("re-sleeper woke at %d, want 7", woke)
+	}
+}
+
+func TestStaggeredWakeOrder(t *testing.T) {
+	// Many sleepers with interleaved deadlines: each must wake exactly at its
+	// own deadline even as the engine fast-forwards between them.
+	const procs = 9
+	wokeAt := make([]int64, procs)
+	run(t, Config{NumProcs: procs, NumUnits: 0}, func(id int) Script {
+		return func(p *Proc) {
+			// Deadlines deliberately not in PID order: 100, 91, 82, ...
+			deadline := int64(100 - 9*id)
+			p.WaitUntil(deadline)
+			wokeAt[p.ID()] = p.Now()
+			p.Halt()
+		}
+	})
+	for id := 0; id < procs; id++ {
+		if want := int64(100 - 9*id); wokeAt[id] != want {
+			t.Fatalf("proc %d woke at %d, want %d", id, wokeAt[id], want)
+		}
+	}
+}
+
+func TestPendingBufferReuseKeepsPayloads(t *testing.T) {
+	// Messages sent every round exercise the recycled pending buffer; each
+	// payload must arrive intact exactly one round after its send.
+	const rounds = 20
+	var got []int
+	run(t, Config{NumProcs: 2, NumUnits: 0}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				for i := 0; i < rounds; i++ {
+					p.StepSend(Send{To: 1, Payload: i})
+				}
+				p.Halt()
+			}
+		}
+		return func(p *Proc) {
+			for len(got) < rounds {
+				for _, m := range p.WaitUntil(1 << 40) {
+					if m.SentAt != p.Now()-1 {
+						t.Errorf("payload %v sent at %d, received at %d", m.Payload, m.SentAt, p.Now())
+					}
+					got = append(got, m.Payload.(int))
+				}
+			}
+			p.Halt()
+		}
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d; payloads corrupted: %v", i, v, got)
+		}
+	}
+}
+
+func TestScheduledCrashOfRunnableProc(t *testing.T) {
+	// A non-sleeping (runnable) process crashed at a round boundary must not
+	// be resumed in that round.
+	adv := &schedAdversary{at: map[int64][]int{3: {0}}}
+	var lastActed int64
+	res := run(t, Config{NumProcs: 2, NumUnits: 0, Adversary: adv}, func(id int) Script {
+		if id == 0 {
+			return func(p *Proc) {
+				for {
+					lastActed = p.Now()
+					p.StepIdle()
+				}
+			}
+		}
+		return func(p *Proc) {
+			p.WaitUntil(10)
+			p.Halt()
+		}
+	})
+	if lastActed != 2 {
+		t.Fatalf("crashed proc last acted at round %d, want 2", lastActed)
+	}
+	if res.PerProc[0].Status != StatusCrashed || res.PerProc[0].RetireRound != 3 {
+		t.Fatalf("proc 0 = %+v, want crashed at 3", res.PerProc[0])
+	}
+}
+
+func TestManyProcsWordBoundaries(t *testing.T) {
+	// More than 64 processes exercises multi-word run-queue iteration; every
+	// process must still act in ascending ID order within a round.
+	const procs = 130
+	var order []int
+	res := run(t, Config{NumProcs: procs, NumUnits: procs}, func(id int) Script {
+		return func(p *Proc) {
+			order = append(order, p.ID())
+			p.StepWork(p.ID() + 1)
+			p.Halt()
+		}
+	})
+	if len(order) != procs {
+		t.Fatalf("resumed %d procs, want %d", len(order), procs)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("resume order[%d] = %d, want ascending IDs", i, id)
+		}
+	}
+	if !res.Complete() || res.Survivors != procs {
+		t.Fatalf("complete=%v survivors=%d", res.Complete(), res.Survivors)
+	}
+}
+
+func TestActiveCountSurvivesRetirement(t *testing.T) {
+	// A process that halts while active must release the active slot so a
+	// successor can claim it without tripping the invariant.
+	res := run(t, Config{NumProcs: 2, NumUnits: 0, MaxActive: 1}, func(id int) Script {
+		return func(p *Proc) {
+			if id == 0 {
+				p.SetActive(true)
+				p.StepIdle()
+				p.Halt()
+			}
+			p.WaitUntil(2)
+			p.SetActive(true)
+			p.StepIdle()
+			p.Halt()
+		}
+	})
+	if res.Survivors != 2 {
+		t.Fatalf("survivors = %d, want 2", res.Survivors)
+	}
+}
+
 func TestPerProcStats(t *testing.T) {
 	res := run(t, Config{NumProcs: 2, NumUnits: 2}, func(id int) Script {
 		return func(p *Proc) {

@@ -71,7 +71,19 @@ func (p *Proc) Now() int64 { return p.engine.now }
 // SetActive flags this process as "the active process" for the at-most-one-
 // active invariant check. Protocols in which a single process works at a time
 // call SetActive(true) on takeover and the engine verifies uniqueness.
-func (p *Proc) SetActive(v bool) { p.active = v }
+// The engine's incremental active count is updated here; strict alternation
+// (the engine is blocked while the script runs) makes that race-free.
+func (p *Proc) SetActive(v bool) {
+	if p.active == v {
+		return
+	}
+	p.active = v
+	if v {
+		p.engine.activeCount++
+	} else {
+		p.engine.activeCount--
+	}
+}
 
 // SetLabel attaches a short human-readable state label, used in traces.
 func (p *Proc) SetLabel(l string) { p.label = l }
