@@ -12,6 +12,7 @@ import (
 
 	"repro"
 	"repro/internal/batch"
+	"repro/internal/benchmarks"
 	"repro/internal/experiments"
 )
 
@@ -114,47 +115,30 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 }
 
-// Engine micro-benchmarks: the cost of one simulated protocol run.
+// Engine micro-benchmarks: the cost of one simulated protocol run. The case
+// definitions live in internal/benchmarks, shared with cmd/bench so the
+// committed BENCH_engine.json baseline tracks exactly these benchmarks.
 
-func benchRun(b *testing.B, cfg doall.Config, failures func() doall.Failures) {
+func benchEngineCase(b *testing.B, name string) {
 	b.Helper()
-	b.ReportAllocs()
-	var events int64
-	for i := 0; i < b.N; i++ {
-		if failures != nil {
-			cfg.Failures = failures()
+	for _, c := range benchmarks.EngineCases() {
+		if c.Name == name {
+			benchmarks.Run(b, c)
+			return
 		}
-		res, err := doall.Run(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Survivors > 0 && !res.Complete {
-			b.Fatal("incomplete")
-		}
-		events = res.Events
 	}
-	b.ReportMetric(float64(events), "events/run")
+	b.Fatalf("unknown engine case %q", name)
 }
 
-func BenchmarkEngineProtocolB(b *testing.B) {
-	benchRun(b, doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolB},
-		func() doall.Failures { return doall.CascadeFailures(16, 15) })
-}
+func BenchmarkEngineProtocolB(b *testing.B) { benchEngineCase(b, "EngineProtocolB") }
 
-func BenchmarkEngineProtocolD(b *testing.B) {
-	benchRun(b, doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolD},
-		func() doall.Failures { return doall.RandomFailures(0.01, 15, 9) })
-}
+func BenchmarkEngineProtocolD(b *testing.B) { benchEngineCase(b, "EngineProtocolD") }
 
 func BenchmarkEngineProtocolCFastForward(b *testing.B) {
-	// Exponential nominal rounds, tiny event count: the fast-forward path.
-	benchRun(b, doall.Config{Units: 24, Workers: 8, Protocol: doall.ProtocolC}, nil)
+	benchEngineCase(b, "EngineProtocolCFastForward")
 }
 
-func BenchmarkEngineLargeT(b *testing.B) {
-	benchRun(b, doall.Config{Units: 1024, Workers: 256, Protocol: doall.ProtocolB},
-		func() doall.Failures { return doall.CascadeFailures(4, 255) })
-}
+func BenchmarkEngineLargeT(b *testing.B) { benchEngineCase(b, "EngineLargeT") }
 
 func BenchmarkAgreementViaB(b *testing.B) {
 	b.ReportAllocs()

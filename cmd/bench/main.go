@@ -1,0 +1,66 @@
+// Command bench measures the Engine* simulator benchmarks and records the
+// perf trajectory in a JSON baseline (BENCH_engine.json): ns/op, allocs/op,
+// bytes/op and events/run per benchmark.
+//
+// Usage:
+//
+//	go run ./cmd/bench -out BENCH_engine.json             # (re)write baseline
+//	go run ./cmd/bench -diff BENCH_engine.json            # measure + compare
+//
+// With -diff, regressions beyond -threshold (default 1.25 = +25% ns/op) are
+// printed as warnings (GitHub annotation format under CI) but never change
+// the exit status: micro-benchmark noise across machines should not break
+// builds, only leave a trail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchmarks"
+)
+
+func main() {
+	out := flag.String("out", "", "write measured records to this JSON file")
+	diff := flag.String("diff", "", "compare measurements against this baseline JSON")
+	threshold := flag.Float64("threshold", 1.25, "warn when ns/op exceeds baseline×threshold")
+	flag.Parse()
+	if *out == "" && *diff == "" {
+		fmt.Fprintln(os.Stderr, "bench: need -out and/or -diff")
+		os.Exit(2)
+	}
+
+	recs := benchmarks.Measure()
+	for _, r := range recs {
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op %8.0f events/run\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.EventsPerRun)
+	}
+
+	if *out != "" {
+		if err := benchmarks.WriteJSON(*out, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *diff != "" {
+		base, err := benchmarks.ReadJSON(*diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		regs := benchmarks.Compare(base, recs, *threshold)
+		if len(regs) == 0 {
+			fmt.Printf("no ns/op regressions beyond %.0f%% vs %s\n", (*threshold-1)*100, *diff)
+			return
+		}
+		for _, reg := range regs {
+			// ::warning:: renders as an annotation in GitHub Actions and as a
+			// plain line everywhere else; regressions warn, they do not fail.
+			fmt.Printf("::warning title=bench regression::%s is %.2fx baseline ns/op (%.0f -> %.0f)\n",
+				reg.Name, reg.Ratio, reg.Baseline.NsPerOp, reg.Current.NsPerOp)
+		}
+	}
+}

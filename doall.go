@@ -140,9 +140,12 @@ type TraceEvent struct {
 	Halted  bool
 }
 
-// Run executes the configured protocol and returns its metrics.
+// Run executes the configured protocol and returns its metrics. Protocols
+// A–D run on the simulator's zero-goroutine stepper substrate unless the
+// config needs script-only features (Observer); results are identical on
+// either substrate.
 func Run(cfg Config) (Result, error) {
-	scripts, err := buildScripts(cfg)
+	procs, err := buildProcs(cfg)
 	if err != nil {
 		return Result{}, err
 	}
@@ -165,58 +168,64 @@ func Run(cfg Config) (Result, error) {
 	if cfg.CheckInvariants && cfg.Protocol.SingleActive() {
 		opt.MaxActive = 1
 	}
-	res, err := core.Run(cfg.Units, cfg.Workers, scripts, opt)
+	res, err := core.RunProcs(cfg.Units, cfg.Workers, procs, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	return newResult(res), nil
 }
 
-func buildScripts(cfg Config) (func(int) sim.Script, error) {
+func buildProcs(cfg Config) (core.Procs, error) {
 	if cfg.Workers <= 0 {
-		return nil, fmt.Errorf("doall: Workers = %d, need at least one", cfg.Workers)
+		return core.Procs{}, fmt.Errorf("doall: Workers = %d, need at least one", cfg.Workers)
 	}
 	if cfg.Units < 0 {
-		return nil, fmt.Errorf("doall: Units = %d, need non-negative", cfg.Units)
+		return core.Procs{}, fmt.Errorf("doall: Units = %d, need non-negative", cfg.Units)
 	}
 	exec := execFor(cfg)
+	scripted := func(scripts func(int) sim.Script, err error) (core.Procs, error) {
+		if err != nil {
+			return core.Procs{}, err
+		}
+		return core.Procs{Scripts: scripts}, nil
+	}
 	switch cfg.Protocol {
 	case ProtocolA:
-		return core.ProtocolAScripts(core.ABConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+		return core.ProtocolAProcs(core.ABConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
 	case ProtocolB:
-		return core.ProtocolBScripts(core.ABConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+		return core.ProtocolBProcs(core.ABConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
 	case ProtocolC:
-		return core.ProtocolCScripts(core.CConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+		return core.ProtocolCProcs(core.CConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
 	case ProtocolCLowMsg:
 		every := (cfg.Units + cfg.Workers - 1) / max(cfg.Workers, 1)
-		return core.ProtocolCScripts(core.CConfig{
+		return core.ProtocolCProcs(core.CConfig{
 			N: cfg.Units, T: cfg.Workers, Exec: exec, ReportEvery: max(every, 1),
 		})
 	case ProtocolD:
-		return core.ProtocolDScripts(core.DConfig{
+		return core.ProtocolDProcs(core.DConfig{
 			N: cfg.Units, T: cfg.Workers, Exec: exec,
 			RevertFactor: cfg.RevertFactor, DisableRevert: cfg.DisableRevert,
 		})
 	case Trivial:
 		if cfg.Observer == nil {
-			return core.TrivialScripts(cfg.Units, cfg.Workers), nil
+			return core.Procs{Scripts: core.TrivialScripts(cfg.Units, cfg.Workers)}, nil
 		}
-		return trivialObserved(cfg), nil
+		return core.Procs{Scripts: trivialObserved(cfg)}, nil
 	case SingleCheckpoint:
-		return core.UniformCheckpointScripts(core.UniformConfig{
+		return scripted(core.UniformCheckpointScripts(core.UniformConfig{
 			N: cfg.Units, T: cfg.Workers, K: max(cfg.Units, 1), Exec: exec,
-		})
+		}))
 	case UniformCheckpoint:
 		if cfg.CheckpointK <= 0 {
-			return nil, fmt.Errorf("doall: UniformCheckpoint needs CheckpointK > 0")
+			return core.Procs{}, fmt.Errorf("doall: UniformCheckpoint needs CheckpointK > 0")
 		}
-		return core.UniformCheckpointScripts(core.UniformConfig{
+		return scripted(core.UniformCheckpointScripts(core.UniformConfig{
 			N: cfg.Units, T: cfg.Workers, K: cfg.CheckpointK, Exec: exec,
-		})
+		}))
 	case NaiveSpread:
-		return core.NaiveSpreadScripts(core.NaiveConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
+		return scripted(core.NaiveSpreadScripts(core.NaiveConfig{N: cfg.Units, T: cfg.Workers, Exec: exec}))
 	default:
-		return nil, fmt.Errorf("doall: unknown protocol %v", cfg.Protocol)
+		return core.Procs{}, fmt.Errorf("doall: unknown protocol %v", cfg.Protocol)
 	}
 }
 

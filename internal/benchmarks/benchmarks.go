@@ -1,0 +1,159 @@
+// Package benchmarks defines the Engine* benchmark cases shared by the
+// go-test benchmarks (bench_test.go) and the cmd/bench baseline recorder, so
+// the perf trajectory in BENCH_engine.json is measured on exactly the code
+// paths the test benchmarks exercise.
+package benchmarks
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	doall "repro"
+)
+
+// EngineCase is one simulator micro-benchmark: the cost of one protocol run.
+type EngineCase struct {
+	Name     string
+	Cfg      doall.Config
+	Failures func() doall.Failures // fresh per run (adversaries are stateful)
+}
+
+// EngineCases returns the Engine* benchmark definitions.
+func EngineCases() []EngineCase {
+	return []EngineCase{
+		{
+			Name: "EngineProtocolB",
+			Cfg:  doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolB},
+			Failures: func() doall.Failures {
+				return doall.CascadeFailures(16, 15)
+			},
+		},
+		{
+			Name: "EngineProtocolD",
+			Cfg:  doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolD},
+			Failures: func() doall.Failures {
+				return doall.RandomFailures(0.01, 15, 9)
+			},
+		},
+		{
+			// Exponential nominal rounds, tiny event count: the fast-forward
+			// path.
+			Name: "EngineProtocolCFastForward",
+			Cfg:  doall.Config{Units: 24, Workers: 8, Protocol: doall.ProtocolC},
+		},
+		{
+			Name: "EngineLargeT",
+			Cfg:  doall.Config{Units: 1024, Workers: 256, Protocol: doall.ProtocolB},
+			Failures: func() doall.Failures {
+				return doall.CascadeFailures(4, 255)
+			},
+		},
+	}
+}
+
+// Run executes one case b.N times, reporting allocations and events/run.
+func Run(b *testing.B, c EngineCase) {
+	b.Helper()
+	b.ReportAllocs()
+	cfg := c.Cfg
+	var events int64
+	for i := 0; i < b.N; i++ {
+		if c.Failures != nil {
+			cfg.Failures = c.Failures()
+		}
+		res, err := doall.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Survivors > 0 && !res.Complete {
+			b.Fatal("incomplete")
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+// Record is one benchmark measurement as persisted in BENCH_engine.json.
+type Record struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerRun float64 `json:"events_per_run"`
+}
+
+// Measure runs every engine case through testing.Benchmark and returns the
+// records sorted by name.
+func Measure() []Record {
+	cases := EngineCases()
+	out := make([]Record, 0, len(cases))
+	for _, c := range cases {
+		c := c
+		r := testing.Benchmark(func(b *testing.B) { Run(b, c) })
+		out = append(out, Record{
+			Name:         c.Name,
+			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+			EventsPerRun: r.Extra["events/run"],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteJSON persists records deterministically (sorted, indented, trailing
+// newline) so baseline diffs are stable.
+func WriteJSON(path string, recs []Record) error {
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a baseline written by WriteJSON.
+func ReadJSON(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// Regression describes one benchmark that slowed down beyond the threshold.
+type Regression struct {
+	Name     string
+	Baseline Record
+	Current  Record
+	Ratio    float64 // current ns/op ÷ baseline ns/op
+}
+
+// Compare reports ns/op regressions beyond ratio threshold (e.g. 1.25 warns
+// on >25% slowdowns) between a committed baseline and fresh measurements.
+// New benchmarks (absent from the baseline) are not regressions.
+func Compare(baseline, current []Record, threshold float64) []Regression {
+	base := make(map[string]Record, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var regs []Regression
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		if ratio > threshold {
+			regs = append(regs, Regression{Name: cur.Name, Baseline: b, Current: cur, Ratio: ratio})
+		}
+	}
+	return regs
+}

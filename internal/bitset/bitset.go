@@ -1,77 +1,126 @@
 // Package bitset provides the small dense integer sets used by Protocol D
 // and the dynamic-work variant for their S (outstanding units) and T (live
-// processes) sets.
+// processes) sets. Sets are stored as 64-bit words so the hot merge
+// operations of the agreement phases (intersection, union, subtraction over
+// views received from every peer) cost O(size/64) word operations instead of
+// O(size) boolean loads.
 package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Set is a dense set over 0..size-1.
 type Set struct {
-	bits  []bool
+	words []uint64
+	size  int
 	count int
+}
+
+func wordsFor(size int) int { return (size + 63) / 64 }
+
+// lastMask returns the valid-bit mask of the final word.
+func lastMask(size int) uint64 {
+	if r := size & 63; r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
 }
 
 // New builds a set over 0..size-1, optionally full.
 func New(size int, full bool) *Set {
-	s := &Set{bits: make([]bool, size)}
-	if full {
-		for i := range s.bits {
-			s.bits[i] = true
+	s := &Set{words: make([]uint64, wordsFor(size)), size: size}
+	if full && size > 0 {
+		for i := range s.words {
+			s.words[i] = ^uint64(0)
 		}
+		s.words[len(s.words)-1] = lastMask(size)
 		s.count = size
 	}
 	return s
 }
 
-// From builds a set from raw bits.
-func From(bits []bool) *Set {
-	s := &Set{bits: make([]bool, len(bits))}
-	copy(s.bits, bits)
-	for _, b := range s.bits {
-		if b {
-			s.count++
-		}
+// From builds a set over 0..size-1 from raw words (the wire form produced by
+// Snapshot). Bits beyond size are ignored.
+func From(words []uint64, size int) *Set {
+	s := &Set{words: make([]uint64, wordsFor(size)), size: size}
+	copy(s.words, words)
+	if len(s.words) > 0 {
+		s.words[len(s.words)-1] &= lastMask(size)
 	}
+	s.recount()
 	return s
 }
 
-// Has reports membership.
-func (s *Set) Has(i int) bool { return i >= 0 && i < len(s.bits) && s.bits[i] }
+func (s *Set) recount() {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	s.count = c
+}
 
-// Add inserts i.
+// Has reports membership.
+func (s *Set) Has(i int) bool {
+	return i >= 0 && i < s.size && s.words[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// Add inserts i. Out-of-domain indices panic (word packing would otherwise
+// corrupt padding bits silently, where the old []bool layout trapped).
 func (s *Set) Add(i int) {
-	if !s.bits[i] {
-		s.bits[i] = true
+	s.check(i)
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b == 0 {
+		s.words[w] |= b
 		s.count++
 	}
 }
 
-// Remove deletes i.
+// Remove deletes i. Out-of-domain indices panic.
 func (s *Set) Remove(i int) {
-	if s.bits[i] {
-		s.bits[i] = false
+	s.check(i)
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b != 0 {
+		s.words[w] &^= b
 		s.count--
+	}
+}
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.size {
+		panic(fmt.Sprintf("bitset: index %d out of domain [0,%d)", i, s.size))
 	}
 }
 
 // Clone copies the set.
 func (s *Set) Clone() *Set {
-	c := &Set{bits: make([]bool, len(s.bits)), count: s.count}
-	copy(c.bits, s.bits)
+	c := &Set{words: make([]uint64, len(s.words)), size: s.size, count: s.count}
+	copy(c.words, s.words)
 	return c
 }
 
-// Snapshot returns a copy of the raw bits for embedding in messages.
-func (s *Set) Snapshot() []bool {
-	b := make([]bool, len(s.bits))
-	copy(b, s.bits)
-	return b
+// Snapshot returns a copy of the raw words for embedding in messages.
+func (s *Set) Snapshot() []uint64 {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return w
 }
+
+// Words returns the set's backing words without copying. Callers must treat
+// the slice as read-only.
+func (s *Set) Words() []uint64 { return s.words }
+
+// Size returns the domain size (the set ranges over 0..Size()-1).
+func (s *Set) Size() int { return s.size }
 
 // Members lists the elements in increasing order.
 func (s *Set) Members() []int {
 	m := make([]int, 0, s.count)
-	for i, b := range s.bits {
-		if b {
-			m = append(m, i)
+	for wi, w := range s.words {
+		for w != 0 {
+			m = append(m, wi<<6+bits.TrailingZeros64(w))
+			w &= w - 1
 		}
 	}
 	return m
@@ -79,41 +128,64 @@ func (s *Set) Members() []int {
 
 // RankOf returns the paper's grade: the number of members less than i.
 func (s *Set) RankOf(i int) int {
+	if i <= 0 {
+		return 0
+	}
+	if i > s.size {
+		i = s.size
+	}
 	r := 0
-	for k := 0; k < i && k < len(s.bits); k++ {
-		if s.bits[k] {
-			r++
-		}
+	for wi := 0; wi < i>>6; wi++ {
+		r += bits.OnesCount64(s.words[wi])
+	}
+	if rem := i & 63; rem != 0 {
+		r += bits.OnesCount64(s.words[i>>6] & ((uint64(1) << rem) - 1))
 	}
 	return r
 }
 
 // Intersect removes every element absent from other (the paper's S ∩ Sᵢ).
-func (s *Set) Intersect(other []bool) {
-	for i := range s.bits {
-		if s.bits[i] && (i >= len(other) || !other[i]) {
-			s.bits[i] = false
-			s.count--
+// Words beyond len(other) are treated as empty.
+func (s *Set) Intersect(other []uint64) {
+	for i := range s.words {
+		if i < len(other) {
+			s.words[i] &= other[i]
+		} else {
+			s.words[i] = 0
 		}
 	}
+	s.recount()
 }
 
-// Union adds every element of other (the paper's T ∪ Tᵢ).
-func (s *Set) Union(other []bool) {
-	for i, b := range other {
-		if b && i < len(s.bits) {
-			s.Add(i)
-		}
+// Union adds every element of other (the paper's T ∪ Tᵢ); bits beyond the
+// set's size are ignored.
+func (s *Set) Union(other []uint64) {
+	n := min(len(other), len(s.words))
+	for i := 0; i < n; i++ {
+		s.words[i] |= other[i]
 	}
+	if len(s.words) > 0 {
+		s.words[len(s.words)-1] &= lastMask(s.size)
+	}
+	s.recount()
+}
+
+// Subtract removes every element present in other (set difference).
+func (s *Set) Subtract(other []uint64) {
+	n := min(len(other), len(s.words))
+	for i := 0; i < n; i++ {
+		s.words[i] &^= other[i]
+	}
+	s.recount()
 }
 
 // Equal reports set equality.
 func (s *Set) Equal(o *Set) bool {
-	if s.count != o.count {
+	if s.count != o.count || s.size != o.size {
 		return false
 	}
-	for i := range s.bits {
-		if s.bits[i] != o.bits[i] {
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
 			return false
 		}
 	}

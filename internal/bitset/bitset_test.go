@@ -57,15 +57,20 @@ func TestSnapshotAndFrom(t *testing.T) {
 	s := New(5, false)
 	s.Add(2)
 	s.Add(4)
-	r := From(s.Snapshot())
+	r := From(s.Snapshot(), 5)
 	if !r.Equal(s) {
 		t.Fatal("roundtrip broken")
 	}
 	// Snapshot is a copy.
 	snap := s.Snapshot()
 	s.Add(0)
-	if snap[0] {
+	if snap[0]&1 != 0 {
 		t.Fatal("snapshot aliases")
+	}
+	// From masks bits beyond the domain size.
+	masked := From([]uint64{^uint64(0)}, 5)
+	if masked.Count() != 5 || masked.Has(5) {
+		t.Fatalf("from mask = %v", masked.Members())
 	}
 }
 
@@ -88,11 +93,24 @@ func TestIntersectUnion(t *testing.T) {
 	if u.Count() != 4 {
 		t.Fatalf("union = %v", u.Members())
 	}
-	// Shorter other slices are handled.
-	c := a.Clone()
-	c.Intersect([]bool{false, true})
-	if c.Count() != 1 || !c.Has(1) {
-		t.Fatalf("short intersect = %v", c.Members())
+	// Subtraction is intersection with the complement.
+	d := a.Clone()
+	d.Subtract(b.Snapshot())
+	if d.Count() != 1 || !d.Has(1) {
+		t.Fatalf("subtract = %v", d.Members())
+	}
+}
+
+func TestRankAcrossWords(t *testing.T) {
+	s := New(200, false)
+	for _, x := range []int{0, 63, 64, 130, 199} {
+		s.Add(x)
+	}
+	want := map[int]int{0: 0, 1: 1, 63: 1, 64: 2, 65: 3, 130: 3, 131: 4, 199: 4, 200: 5}
+	for i, r := range want {
+		if got := s.RankOf(i); got != r {
+			t.Fatalf("RankOf(%d) = %d, want %d", i, got, r)
+		}
 	}
 }
 
@@ -113,7 +131,15 @@ func TestSetLawsProperty(t *testing.T) {
 				return false
 			}
 		}
-		return i.Count() == len(i.Members()) && u.Count() == len(u.Members())
+		d := a.Clone()
+		d.Subtract(b.Snapshot())
+		for x := 0; x < 16; x++ {
+			if d.Has(x) != (a.Has(x) && !b.Has(x)) {
+				return false
+			}
+		}
+		return i.Count() == len(i.Members()) && u.Count() == len(u.Members()) &&
+			d.Count() == len(d.Members())
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

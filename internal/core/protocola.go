@@ -33,6 +33,25 @@ type abState struct {
 	q   group.Sqrt
 	tm  abTimeouts
 	ex  WorkExecutor
+
+	// groupPIDs lazily caches per-group engine PID lists for the stepper
+	// machines (j-independent, so shared by every process of a run).
+	groupPIDs [][]int
+}
+
+// pidsByGroup returns the engine PIDs of each group, 1-indexed, computed at
+// most once. The ProtocolA/BSteppers builders fill it eagerly because one
+// Procs value may back several engines concurrently; Protocol D's revert
+// fills it lazily on its private abState inside a single engine goroutine.
+func (ab *abState) pidsByGroup() [][]int {
+	if ab.groupPIDs == nil {
+		g := make([][]int, ab.q.G+1)
+		for i := 1; i <= ab.q.G; i++ {
+			g[i] = ab.as.pids(ab.q.Members(i))
+		}
+		ab.groupPIDs = g
+	}
+	return ab.groupPIDs
 }
 
 func newABState(cfg ABConfig) (*abState, error) {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// aMachine is RunProtocolA as a state machine: listen for ordinary messages
+// until the absolute deadline DD(j), then take over via dwMachine. It is
+// also Protocol D's revert target, which is why completion is reported to
+// the caller (done=true) rather than halting directly.
+type aMachine struct {
+	ab       *abState
+	j        int
+	deadline int64
+	last     *ordMsg
+	working  bool
+	dwReady  bool
+	dw       dwMachine
+}
+
+func newAMachine(ab *abState, j int) *aMachine {
+	m := &aMachine{ab: ab, j: j}
+	if j == 0 {
+		m.working = true
+	} else {
+		m.deadline = ab.cfg.StartRound + ab.tm.dd(j)
+	}
+	return m
+}
+
+func (m *aMachine) step(p *sim.Proc) (sim.Yield, bool) {
+	for {
+		if m.working {
+			if !m.dwReady {
+				m.dw.init(m.ab, p, m.j, m.last)
+				m.dwReady = true
+			}
+			y, done := m.dw.step(p)
+			if done {
+				p.SetActive(false)
+				return sim.Yield{}, true
+			}
+			return y, false
+		}
+		if shouldSleep(p, m.deadline) {
+			return sleepYield(m.deadline), false
+		}
+		msgs := p.Drain()
+		for i := range msgs {
+			om, _, ok := m.ab.parse(msgs[i])
+			if !ok || om == nil {
+				continue
+			}
+			if m.ab.isTermination(om, m.j) {
+				return sim.Yield{}, true
+			}
+			if newer(m.last, om) {
+				m.last = om
+			}
+		}
+		if p.Now() >= m.deadline {
+			m.working = true
+		}
+	}
+}
+
+// ProtocolASteppers builds the per-process steppers of a standalone
+// Protocol A run over engine PIDs 0..T-1. Configs with a custom work
+// executor need ProtocolAScripts instead.
+func ProtocolASteppers(cfg ABConfig) (func(id int) sim.Stepper, error) {
+	if !steppable(cfg.Exec) {
+		return nil, errNeedsScripts
+	}
+	ab, err := newABState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Fill the shared PID cache now: steppers of one engine run on a single
+	// goroutine, but one Procs value may back several engines concurrently.
+	ab.pidsByGroup()
+	return func(id int) sim.Stepper {
+		return machineStepper{m: newAMachine(ab, id)}
+	}, nil
+}
+
+// ProtocolAProcs builds a standalone Protocol A run on the fastest substrate
+// the config allows: steppers for the default work executor, scripts
+// otherwise.
+func ProtocolAProcs(cfg ABConfig) (Procs, error) {
+	if steppable(cfg.Exec) {
+		steppers, err := ProtocolASteppers(cfg)
+		if err != nil {
+			return Procs{}, err
+		}
+		return Procs{Steppers: steppers}, nil
+	}
+	scripts, err := ProtocolAScripts(cfg)
+	if err != nil {
+		return Procs{}, err
+	}
+	return Procs{Scripts: scripts}, nil
+}

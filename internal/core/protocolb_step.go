@@ -1,0 +1,188 @@
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// bMachine is RunProtocolB as a state machine: passive waiting on relative
+// deadlines DDB(j, i), the preactive go-ahead probing phase, and DoWork via
+// dwMachine. Every wait site of the script maps to one waiting state here.
+type bMachine struct {
+	ab *abState
+	j  int
+	st int // bPassive, bProbe, bProbeSent, bProbeWait, bWork
+
+	last     *ordMsg
+	lastRecv int64
+
+	iPrime        int
+	probeDeadline int64
+
+	workLast *ordMsg // what DoWork resumes from (realOrNil applied)
+	dwReady  bool
+	dw       dwMachine
+}
+
+const (
+	bPassive = iota
+	bProbe
+	bProbeSent
+	bProbeWait
+	bWork
+)
+
+func newBMachine(ab *abState, j int) *bMachine {
+	m := &bMachine{ab: ab, j: j}
+	if j == 0 {
+		m.st = bWork
+		return m
+	}
+	// The fictitious round-0 ordinary message "(0, g)" from process 0
+	// (paper §2.3): it exists only to seed the deadline computation.
+	m.last = &ordMsg{from: 0, sentAt: ab.cfg.StartRound - 1, c: 0}
+	m.lastRecv = ab.cfg.StartRound
+	m.st = bPassive
+	return m
+}
+
+func (m *bMachine) step(p *sim.Proc) (sim.Yield, bool) {
+	for {
+		switch m.st {
+		case bWork:
+			if !m.dwReady {
+				m.dw.init(m.ab, p, m.j, m.workLast)
+				m.dwReady = true
+			}
+			y, done := m.dw.step(p)
+			if done {
+				p.SetActive(false)
+				return sim.Yield{}, true
+			}
+			return y, false
+
+		case bPassive:
+			deadline := m.lastRecv + m.ab.tm.ddb(m.j, m.last.from)
+			if shouldSleep(p, deadline) {
+				return sleepYield(deadline), false
+			}
+			ord, goAhead, term := m.ab.scanInbox(p.Drain(), m.j, m.last)
+			if term {
+				return sim.Yield{}, true
+			}
+			if ord != nil {
+				m.last = ord
+				m.lastRecv = ord.sentAt + 1
+			}
+			if goAhead {
+				// Become active right away if work remains (paper: "if j
+				// receives a go ahead message at round r and c < t"). A
+				// concurrently delivered ordinary message has already updated
+				// `last`, so the takeover resumes from the freshest knowledge.
+				if m.last.c < m.ab.tm.p {
+					m.workLast = realOrNil(m.last)
+					m.st = bWork
+				}
+				continue
+			}
+			if ord != nil || p.Now() < deadline {
+				continue
+			}
+			// Go preactive: probe the lower-numbered, not-yet-cleared
+			// processes of j's own group.
+			gj := m.ab.q.GroupOf(m.j)
+			if m.ab.q.GroupOf(m.last.from) != gj {
+				lo, _ := m.ab.q.Bounds(gj)
+				m.iPrime = lo
+			} else {
+				m.iPrime = m.last.from + 1
+			}
+			m.st = bProbe
+
+		case bProbe:
+			if m.iPrime >= m.j {
+				m.workLast = realOrNil(m.last)
+				m.st = bWork
+				continue
+			}
+			m.st = bProbeSent
+			return sendYield([]sim.Send{{To: m.ab.as.pid(m.iPrime), Payload: GoAhead{}}}), false
+
+		case bProbeSent:
+			// PTO rounds between probes, measured from the send round (the
+			// probe committed at Now()-1).
+			m.probeDeadline = p.Now() - 1 + m.ab.tm.pto()
+			m.st = bProbeWait
+
+		case bProbeWait:
+			if shouldSleep(p, m.probeDeadline) {
+				return sleepYield(m.probeDeadline), false
+			}
+			ord, goAhead, term := m.ab.scanInbox(p.Drain(), m.j, m.last)
+			if term {
+				return sim.Yield{}, true
+			}
+			if ord != nil {
+				m.last = ord
+				m.lastRecv = ord.sentAt + 1
+			}
+			if goAhead {
+				if m.last.c < m.ab.tm.p {
+					m.workLast = realOrNil(m.last)
+					m.st = bWork
+				} else {
+					m.st = bPassive
+				}
+				continue
+			}
+			if ord != nil {
+				// The probed process (or another) woke up: back to passive.
+				m.st = bPassive
+				continue
+			}
+			if p.Now() >= m.probeDeadline {
+				m.iPrime++
+				m.st = bProbe
+				continue
+			}
+			// Foreign payloads (e.g. application messages produced by the
+			// work itself) may wake the wait early; keep waiting out the
+			// full probe interval.
+		}
+	}
+}
+
+// ProtocolBSteppers builds the per-process steppers of a standalone
+// Protocol B run over engine PIDs 0..T-1. Configs with a custom work
+// executor need ProtocolBScripts instead.
+func ProtocolBSteppers(cfg ABConfig) (func(id int) sim.Stepper, error) {
+	if !steppable(cfg.Exec) {
+		return nil, errNeedsScripts
+	}
+	ab, err := newABState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Fill the shared PID cache now: steppers of one engine run on a single
+	// goroutine, but one Procs value may back several engines concurrently.
+	ab.pidsByGroup()
+	return func(id int) sim.Stepper {
+		return machineStepper{m: newBMachine(ab, id)}
+	}, nil
+}
+
+// ProtocolBProcs builds a standalone Protocol B run on the fastest substrate
+// the config allows.
+func ProtocolBProcs(cfg ABConfig) (Procs, error) {
+	if steppable(cfg.Exec) {
+		steppers, err := ProtocolBSteppers(cfg)
+		if err != nil {
+			return Procs{}, err
+		}
+		return Procs{Steppers: steppers}, nil
+	}
+	scripts, err := ProtocolBScripts(cfg)
+	if err != nil {
+		return Procs{}, err
+	}
+	return Procs{Scripts: scripts}, nil
+}

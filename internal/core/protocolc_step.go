@@ -1,0 +1,259 @@
+package core
+
+import (
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// cMachine is RunProtocolC as a state machine: the passive deadline loop,
+// then Fig. 3's active code — fault detection from the finest level down,
+// polling group pointers, then real work with reports into G1.
+type cMachine struct {
+	st *cState
+	i  int
+	v  *view.View
+
+	state int // cInit, cListen, cAfterAlive, cFDTop, cFDPointer, cPollSent, cPollWait, cFDAfterReport, cWorkTop, cWorkAfter
+
+	deadline int64
+	lastOrd  int64
+	pollers  []int
+
+	h, slot, target int
+	pollDecideAt    int64
+
+	sinceReport int
+}
+
+const (
+	cInit = iota
+	cListen
+	cAfterAlive
+	cFDTop
+	cFDPointer
+	cPollSent
+	cPollWait
+	cFDAfterReport
+	cWorkTop
+	cWorkAfter
+)
+
+func newCMachine(st *cState, i int) *cMachine {
+	return &cMachine{st: st, i: i, v: view.New(st.ix, i, st.cfg.T), state: cInit}
+}
+
+func (m *cMachine) step(p *sim.Proc) (sim.Yield, bool) {
+	for {
+		switch m.state {
+		case cInit:
+			if m.i == 0 {
+				// "Initially process 0 is active."
+				m.enterActive(p)
+				continue
+			}
+			m.deadline = satAdd(m.st.cfg.StartRound, m.st.tm.deadline(m.i, 0))
+			m.state = cListen
+
+		case cListen:
+			if shouldSleep(p, m.deadline) {
+				return sleepYield(m.deadline), false
+			}
+			msgs := p.Drain()
+			m.pollers = m.pollers[:0]
+			m.lastOrd = -1
+			for _, msg := range msgs {
+				switch pl := msg.Payload.(type) {
+				case AreYouAlive:
+					m.pollers = append(m.pollers, msg.From)
+				case COrdinary:
+					m.v.Merge(pl.View)
+					if m.st.cfg.PiggybackRecv != nil && pl.Value != nil {
+						m.st.cfg.PiggybackRecv(pl.Value)
+					}
+					if msg.SentAt+1 > m.lastOrd {
+						m.lastOrd = msg.SentAt + 1
+					}
+				default:
+					// Alive acks and foreign payloads are ignored while
+					// inactive.
+				}
+			}
+			m.state = cAfterAlive
+			if len(m.pollers) > 0 {
+				sends := make([]sim.Send, len(m.pollers))
+				for k, q := range m.pollers {
+					sends[k] = sim.Send{To: q, Payload: Alive{}}
+				}
+				return sendYield(sends), false
+			}
+
+		case cAfterAlive:
+			if m.lastOrd >= 0 {
+				m.deadline = satAdd(m.lastOrd, m.st.tm.deadline(m.i, m.v.Reduced()))
+				m.state = cListen
+				continue
+			}
+			if p.Now() >= m.deadline {
+				m.enterActive(p)
+				continue
+			}
+			m.state = cListen
+
+		case cFDTop:
+			if m.h < 1 {
+				m.sinceReport = 0
+				m.state = cWorkTop
+				continue
+			}
+			gid, _ := m.st.lv.GroupOf(m.i, m.h)
+			m.slot = m.st.ix.Slot(gid)
+			m.state = cFDPointer
+
+		case cFDPointer:
+			target, ok := m.v.NormalizedPointer(m.slot, m.i)
+			if !ok {
+				// Every other group member is known retired; descend a level.
+				m.h--
+				m.state = cFDTop
+				continue
+			}
+			m.target = target
+			m.state = cPollSent
+			return sendYield([]sim.Send{{To: m.st.as.pid(target), Payload: AreYouAlive{}}}), false
+
+		case cPollSent:
+			// Poll committed at Now()-1; the ack can arrive at +2.
+			m.pollDecideAt = p.Now() + 1
+			m.state = cPollWait
+
+		case cPollWait:
+			if shouldSleep(p, m.pollDecideAt) {
+				return sleepYield(m.pollDecideAt), false
+			}
+			alive := false
+			for _, msg := range p.Drain() {
+				if _, ok := msg.Payload.(Alive); ok && msg.From == m.st.as.pid(m.target) {
+					alive = true
+					break
+				}
+			}
+			if alive {
+				// Found a living process; descend a level.
+				m.h--
+				m.state = cFDTop
+				continue
+			}
+			if p.Now() < m.pollDecideAt {
+				continue // woken early by unrelated mail; keep waiting
+			}
+			m.v.MarkFaulty(m.target)
+			if m.h != m.st.lv.L {
+				if y, ok := m.emitReport(p, m.h+1); ok {
+					m.state = cFDAfterReport
+					return y, false
+				}
+			}
+			m.advancePointer()
+			m.state = cFDPointer
+
+		case cFDAfterReport:
+			m.advancePointer()
+			m.state = cFDPointer
+
+		case cWorkTop:
+			if m.v.WorkPoint() > m.st.cfg.N {
+				p.SetActive(false)
+				return sim.Yield{}, true
+			}
+			u := m.v.WorkPoint()
+			m.v.AdvanceWork(p.Now())
+			m.sinceReport++
+			m.state = cWorkAfter
+			return workYield(m.st.as.unitID(u)), false
+
+		case cWorkAfter:
+			if m.sinceReport >= m.st.every || m.v.WorkPoint() > m.st.cfg.N {
+				m.sinceReport = 0
+				if y, ok := m.emitReport(p, 1); ok {
+					m.state = cWorkTop
+					return y, false
+				}
+			}
+			m.state = cWorkTop
+		}
+	}
+}
+
+// enterActive begins Fig. 3's active code: fault detection from level log t
+// down to level 1, then real work at level 0.
+func (m *cMachine) enterActive(p *sim.Proc) {
+	p.SetActive(true)
+	m.h = m.st.lv.L
+	m.state = cFDTop
+}
+
+// emitReport builds the ordinary message (a unit of level h−1 work plus the
+// full view) to the current pointer of i's level-h group and advances that
+// pointer. ok=false when the report is skipped (every other member of the
+// group is known retired, or there is no level h, i.e. t = 1).
+func (m *cMachine) emitReport(p *sim.Proc, h int) (sim.Yield, bool) {
+	if h > m.st.lv.L {
+		return sim.Yield{}, false
+	}
+	gid, _ := m.st.lv.GroupOf(m.i, h)
+	slot := m.st.ix.Slot(gid)
+	target, ok := m.v.NormalizedPointer(slot, m.i)
+	if !ok {
+		return sim.Yield{}, false
+	}
+	next, ok := m.v.Successor(slot, target, m.i)
+	if !ok {
+		next = target
+	}
+	m.v.SetPointer(slot, next, p.Now())
+	msg := COrdinary{View: m.v.Snapshot()}
+	if m.st.cfg.PiggybackSend != nil {
+		msg.Value = m.st.cfg.PiggybackSend()
+	}
+	return sendYield([]sim.Send{{To: m.st.as.pid(target), Payload: msg}}), true
+}
+
+func (m *cMachine) advancePointer() {
+	if next, ok := m.v.Successor(m.slot, m.target, m.i); ok {
+		m.v.AdvancePointer(m.slot, next)
+	}
+}
+
+// ProtocolCSteppers builds the per-process steppers of a standalone
+// Protocol C run over engine PIDs 0..T-1. Configs with a custom work
+// executor need ProtocolCScripts instead (piggybacking is supported on both
+// substrates).
+func ProtocolCSteppers(cfg CConfig) (func(id int) sim.Stepper, error) {
+	if !steppable(cfg.Exec) {
+		return nil, errNeedsScripts
+	}
+	st, err := newCState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(id int) sim.Stepper {
+		return machineStepper{m: newCMachine(st, id)}
+	}, nil
+}
+
+// ProtocolCProcs builds a standalone Protocol C run on the fastest substrate
+// the config allows.
+func ProtocolCProcs(cfg CConfig) (Procs, error) {
+	if steppable(cfg.Exec) {
+		steppers, err := ProtocolCSteppers(cfg)
+		if err != nil {
+			return Procs{}, err
+		}
+		return Procs{Steppers: steppers}, nil
+	}
+	scripts, err := ProtocolCScripts(cfg)
+	if err != nil {
+		return Procs{}, err
+	}
+	return Procs{Scripts: scripts}, nil
+}

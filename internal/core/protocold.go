@@ -9,12 +9,13 @@ import (
 
 // DView is Protocol D's agreement broadcast "(j, S, T, done)": the sender's
 // outstanding-work set S (indexed by unit, 1-based), its set T of processes
-// it currently believes correct, and whether it has decided. Phase tags keep
-// messages of adjacent phases apart (processes may be skewed by one round).
+// it currently believes correct, and whether it has decided. The sets travel
+// in bitset wire form (64-bit words). Phase tags keep messages of adjacent
+// phases apart (processes may be skewed by one round).
 type DView struct {
 	Phase int
-	S     []bool
-	T     []bool
+	S     []uint64
+	T     []uint64
 	Done  bool
 }
 
@@ -160,8 +161,8 @@ func (st *dState) agree(p *sim.Proc, j, phase int, s, t *bitset.Set, grace bool,
 		for _, v := range views {
 			heard[v.sender] = true
 			if v.Done {
-				sCur = bitset.From(v.S)
-				tNew = bitset.From(v.T)
+				sCur = bitset.From(v.S, st.cfg.N+1)
+				tNew = bitset.From(v.T, st.cfg.T)
 				done = true
 			} else if !done {
 				sCur.Intersect(v.S)

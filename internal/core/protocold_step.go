@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/sim"
+)
+
+// dMachine is RunProtocolD as a state machine: work phases splitting the
+// outstanding units over the processes believed correct, agreement phases in
+// the style of Eventual Byzantine Agreement, and the Protocol A revert
+// (running an embedded aMachine over the survivors) when more than the
+// revert factor's share of a phase's processes die.
+type dMachine struct {
+	st    *dState
+	j     int
+	state int // dPhaseTop, dWork, dPad, dAgreeBegin, dAgreeCollect, dAgreeDone, dRevert
+
+	phase int
+	s, t  *bitset.Set
+	buf   map[int][]taggedView
+
+	// Work phase cursors.
+	units         []int
+	lo, hi, chunk int
+	k, padK       int
+
+	// Agreement phase (the paper's Agree, Fig. 4).
+	u, tNew, sCur, tPrev *bitset.Set
+	ctr                  int
+
+	rev *aMachine
+}
+
+const (
+	dPhaseTop = iota
+	dWork
+	dPad
+	dAgreeBegin
+	dAgreeCollect
+	dAgreeDone
+	dRevert
+)
+
+func newDMachine(st *dState, j int) *dMachine {
+	// S is 1-based over units: slot 0 unused.
+	s := bitset.New(st.cfg.N+1, true)
+	s.Remove(0)
+	return &dMachine{
+		st:    st,
+		j:     j,
+		s:     s,
+		t:     bitset.New(st.cfg.T, true),
+		buf:   make(map[int][]taggedView),
+		state: dPhaseTop,
+	}
+}
+
+func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
+	for {
+		switch m.state {
+		case dPhaseTop:
+			if m.s.Count() == 0 {
+				return sim.Yield{}, true
+			}
+			m.phase++
+			// ---- Work phase: the members of T split S evenly by rank. ----
+			m.chunk = (m.s.Count() + m.t.Count() - 1) / m.t.Count()
+			rank := m.t.RankOf(m.j)
+			m.units = m.s.Members()
+			m.lo = min(rank*m.chunk, len(m.units))
+			m.hi = min(m.lo+m.chunk, len(m.units))
+			m.k = m.lo
+			m.state = dWork
+
+		case dWork:
+			if m.k < m.hi {
+				u := m.units[m.k]
+				m.k++
+				return workYield(u), false
+			}
+			m.padK = m.hi - m.lo
+			m.state = dPad
+
+		case dPad:
+			// Pad so every process spends ⌈|S|/|T|⌉ rounds in the phase.
+			if m.padK < m.chunk {
+				m.padK++
+				return idleYield(), false
+			}
+			m.state = dAgreeBegin
+
+		case dAgreeBegin:
+			for k := m.lo; k < m.hi; k++ {
+				m.s.Remove(m.units[k])
+			}
+			m.tPrev = m.t
+			// ---- Agreement phase. ----
+			m.u = m.t.Clone()                      // who we still listen to (paper's U)
+			m.tNew = bitset.New(m.st.cfg.T, false) // paper's T, rebuilt from who we hear
+			m.tNew.Add(m.j)
+			m.sCur = m.s.Clone()
+			m.ctr = 1
+			if m.phase > 1 {
+				m.ctr = 0 // one-round grace: processes may be skewed by one round
+			}
+			m.state = dAgreeCollect
+			return m.bcastYield(p, false), false
+
+		case dAgreeCollect:
+			views := m.collect(p)
+			uPrev := m.u.Clone()
+			heard := make(map[int]bool, len(views))
+			done := false
+			for _, v := range views {
+				heard[v.sender] = true
+				if v.Done {
+					m.sCur = bitset.From(v.S, m.st.cfg.N+1)
+					m.tNew = bitset.From(v.T, m.st.cfg.T)
+					done = true
+				} else if !done {
+					m.sCur.Intersect(v.S)
+					m.tNew.Union(v.T)
+				}
+			}
+			if !done {
+				for _, i := range uPrev.Members() {
+					if i != m.j && !heard[i] && m.ctr >= 1 {
+						m.u.Remove(i)
+					}
+				}
+				if m.u.Equal(uPrev) && m.ctr >= 1 {
+					done = true
+				}
+			}
+			if done {
+				m.state = dAgreeDone
+				return m.bcastYield(p, true), false
+			}
+			m.ctr++
+			return m.bcastYield(p, false), false
+
+		case dAgreeDone:
+			m.s, m.t = m.sCur, m.tNew
+			if !m.t.Has(m.j) {
+				panic(fmt.Sprintf("core: protocol D: correct process %d dropped from T", m.j))
+			}
+			// ---- Revert check (Theorem 4.1 part 2). ----
+			if !m.st.cfg.DisableRevert && float64(m.tPrev.Count()) > m.st.factor*float64(m.t.Count()) {
+				workers := m.t.Members()
+				remaining := m.s.Members()
+				pos := m.t.RankOf(m.j)
+				sub := ABConfig{
+					N:          len(remaining),
+					T:          len(workers),
+					Assign:     Assignment{Workers: workers, Units: remaining},
+					StartRound: p.Now(),
+				}
+				ab, err := newABState(sub)
+				if err != nil {
+					// Unreachable: sub is well-formed by construction.
+					panic(fmt.Sprintf("core: protocol D revert: %v", err))
+				}
+				m.rev = newAMachine(ab, pos)
+				m.state = dRevert
+				continue
+			}
+			m.state = dPhaseTop
+
+		case dRevert:
+			return m.rev.step(p)
+		}
+	}
+}
+
+// bcastYield sends the current view to every other member of u (one round;
+// an empty recipient list still consumes the round to keep processes
+// aligned).
+func (m *dMachine) bcastYield(p *sim.Proc, done bool) sim.Yield {
+	v := DView{Phase: m.phase, S: m.sCur.Snapshot(), T: m.tNew.Snapshot(), Done: done}
+	return sendYield(p.Broadcast(m.u.Members(), v))
+}
+
+// collect drains the messages delivered this round, returning the current
+// phase's views in sender order; views for future phases are buffered, stale
+// ones dropped.
+func (m *dMachine) collect(p *sim.Proc) []taggedView {
+	views := m.buf[m.phase]
+	delete(m.buf, m.phase)
+	for _, msg := range p.Drain() {
+		v, ok := msg.Payload.(DView)
+		if !ok {
+			continue
+		}
+		switch {
+		case v.Phase == m.phase:
+			views = append(views, taggedView{DView: v, sender: msg.From})
+		case v.Phase > m.phase:
+			m.buf[v.Phase] = append(m.buf[v.Phase], taggedView{DView: v, sender: msg.From})
+		}
+	}
+	return views
+}
+
+// ProtocolDSteppers builds the per-process steppers of a standalone
+// Protocol D run over engine PIDs 0..T-1. Configs with a custom work
+// executor need ProtocolDScripts instead.
+func ProtocolDSteppers(cfg DConfig) (func(id int) sim.Stepper, error) {
+	if !steppable(cfg.Exec) {
+		return nil, errNeedsScripts
+	}
+	st, err := newDState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(id int) sim.Stepper {
+		return machineStepper{m: newDMachine(st, id)}
+	}, nil
+}
+
+// ProtocolDProcs builds a standalone Protocol D run on the fastest substrate
+// the config allows.
+func ProtocolDProcs(cfg DConfig) (Procs, error) {
+	if steppable(cfg.Exec) {
+		steppers, err := ProtocolDSteppers(cfg)
+		if err != nil {
+			return Procs{}, err
+		}
+		return Procs{Steppers: steppers}, nil
+	}
+	scripts, err := ProtocolDScripts(cfg)
+	if err != nil {
+		return Procs{}, err
+	}
+	return Procs{Scripts: scripts}, nil
+}

@@ -21,9 +21,36 @@ type RunOptions struct {
 	Tracer func(sim.Event)
 }
 
+// Procs is a per-process program set on one of the two execution substrates:
+// goroutine-backed Scripts or zero-goroutine Steppers. Exactly one field is
+// set; the ProtocolXProcs builders pick the stepper substrate whenever the
+// config allows it.
+type Procs struct {
+	Scripts  func(id int) sim.Script
+	Steppers func(id int) sim.Stepper
+}
+
 // Run executes scripts for an (n, t) instance and returns the metrics.
 func Run(n, t int, scripts func(id int) sim.Script, opt RunOptions) (sim.Result, error) {
-	eng := sim.New(sim.Config{
+	return sim.New(engineConfig(n, t, opt), scripts).Run()
+}
+
+// RunSteppers executes steppers for an (n, t) instance and returns the
+// metrics.
+func RunSteppers(n, t int, steppers func(id int) sim.Stepper, opt RunOptions) (sim.Result, error) {
+	return sim.NewStepper(engineConfig(n, t, opt), steppers).Run()
+}
+
+// RunProcs executes a protocol on whichever substrate its builder chose.
+func RunProcs(n, t int, pr Procs, opt RunOptions) (sim.Result, error) {
+	if pr.Steppers != nil {
+		return RunSteppers(n, t, pr.Steppers, opt)
+	}
+	return Run(n, t, pr.Scripts, opt)
+}
+
+func engineConfig(n, t int, opt RunOptions) sim.Config {
+	return sim.Config{
 		NumProcs:        t,
 		NumUnits:        n,
 		Adversary:       opt.Adversary,
@@ -31,8 +58,7 @@ func Run(n, t int, scripts func(id int) sim.Script, opt RunOptions) (sim.Result,
 		MaxActive:       opt.MaxActive,
 		DetailedMetrics: opt.DetailedMetrics,
 		Tracer:          opt.Tracer,
-	}, scripts)
-	return eng.Run()
+	}
 }
 
 // CheckCompletion enforces the paper's core guarantee: if at least one

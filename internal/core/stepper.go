@@ -1,0 +1,255 @@
+package core
+
+// The protocols in this package exist on both simulator substrates: as
+// blocking scripts (protocolX.go, one goroutine per process) and as explicit
+// state machines on sim's zero-goroutine Stepper interface (protocolX_step.go).
+// The machines are literal transliterations of the scripts — every yield
+// point of the script is a return of the corresponding machine, in the same
+// round with the same action — so the two substrates produce bit-identical
+// Results (enforced by TestSubstrateEquivalence).
+//
+// The only configuration the machines cannot express is a custom
+// WorkExecutor, which is an arbitrary blocking function; such configs (and
+// layered protocols using SetTap) stay on the script substrate. The
+// ProtocolXProcs builders pick automatically.
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// machine is a protocol state machine: step returns the process's next yield,
+// or done=true when the process terminates voluntarily.
+type machine interface {
+	step(p *sim.Proc) (sim.Yield, bool)
+}
+
+// machineStepper adapts a machine to sim.Stepper, converting done into halt.
+type machineStepper struct{ m machine }
+
+func (s machineStepper) Step(p *sim.Proc) sim.Yield {
+	y, done := s.m.step(p)
+	if done {
+		return sim.Yield{Kind: sim.YieldHalt}
+	}
+	return y
+}
+
+func sleepYield(until int64) sim.Yield {
+	return sim.Yield{Kind: sim.YieldSleep, Until: until}
+}
+
+func sendYield(sends []sim.Send) sim.Yield {
+	return sim.Yield{Kind: sim.YieldAction, Action: sim.Action{Sends: sends}}
+}
+
+func workYield(unit int) sim.Yield {
+	return sim.Yield{Kind: sim.YieldAction, Action: sim.Action{WorkUnit: unit}}
+}
+
+func idleYield() sim.Yield {
+	return sim.Yield{Kind: sim.YieldAction}
+}
+
+// shouldSleep implements the decision half of Proc.WaitUntil for machines: a
+// process waits (sleeps) exactly when it has no undrained mail and the
+// deadline has not arrived. Machines place this guard at the top of each
+// waiting state; since the engine re-steps the process only on mail or at
+// the wake time, the guard is stateless.
+func shouldSleep(p *sim.Proc, deadline int64) bool {
+	return !p.HasMail() && p.Now() < deadline
+}
+
+// dwMachine is the DoWork procedure of Protocols A and B (Fig. 1, the body
+// of abState.doWork) as a state machine: takeover chores implied by the last
+// ordinary message, then the remaining subchunks with partial and full
+// checkpoints. The caller runs init on takeover and then forwards step until
+// done.
+type dwMachine struct {
+	ab *abState
+	j  int
+	gj int
+
+	op int // current micro-op (dwOp* below)
+
+	sc    int // last completed subchunk in the main loop (work resumes at sc+1)
+	u, hi int // work cursor: next logical unit and end of current subchunk
+
+	// In-flight full checkpoint: inform groups fcG..G that subchunk fcC is
+	// done, echoing each notification to the own group's remainder; fcRet is
+	// the op to resume afterwards.
+	fcC, fcG, fcHalfDone int
+	fcRet                int
+
+	// Takeover chores decoded from the last ordinary message.
+	c          int    // subchunk the last message reported
+	hasEcho    bool   // re-echo echoPay before the chore full checkpoint
+	echoPay    FullCP // payload of that echo
+	hasPartial bool   // complete the partial checkpoint of c
+	hasFull    bool   // run a chore full checkpoint from group fullFrom
+	fullFrom   int
+
+	// Precomputed recipient PID lists (message order is position order, as in
+	// assignment.pids).
+	remPIDs   []int   // engine PIDs of j's group remainder
+	groupPIDs [][]int // engine PIDs per group, 1-indexed
+}
+
+const (
+	dwChorePartial = iota
+	dwChoreEcho
+	dwChoreFull
+	dwSubNext
+	dwWork
+	dwPartial
+	dwFullCheck
+	dwFullGroup
+	dwFullEcho
+	dwDone
+)
+
+// init starts a takeover: the machine's next steps replay doWork(p, j, last).
+func (m *dwMachine) init(ab *abState, p *sim.Proc, j int, last *ordMsg) {
+	p.SetActive(true)
+	m.ab, m.j, m.gj = ab, j, ab.q.GroupOf(j)
+	m.remPIDs = ab.as.pids(ab.q.Remainder(j))
+	m.groupPIDs = ab.pidsByGroup()
+	m.hasEcho, m.hasPartial, m.hasFull = false, false, false
+	switch {
+	case last == nil:
+		// Never heard anything: all lower processes died silently; start
+		// from the beginning with no chores.
+		m.c = 0
+	case !last.full:
+		// Last message "(c)": complete the partial checkpoint of c; if c is
+		// a chunk boundary, redo its full checkpoint from the first later
+		// group.
+		m.c = last.c
+		m.hasPartial = true
+		m.hasFull = ab.chunkBoundary(m.c)
+		m.fullFrom = m.gj + 1
+	case ab.q.GroupOf(last.from) != m.gj:
+		// "(c, g)" from outside the group: then g = gⱼ (the sender was
+		// informing j's group). Inform the rest of the group and proceed
+		// with the full checkpoint from group gⱼ+1 (paper §2.1 prose).
+		m.c = last.c
+		m.hasPartial = true
+		m.hasFull = true
+		m.fullFrom = m.gj + 1
+	default:
+		// "(c, g)" from within the group: the sender had informed group g
+		// and was checkpointing that fact. Re-echo it to the remainder of
+		// the group, then continue the full checkpoint from group g+1.
+		m.c = last.c
+		m.hasEcho = true
+		m.echoPay = FullCP{C: last.c, G: last.g}
+		m.hasFull = true
+		m.fullFrom = last.g + 1
+	}
+	m.sc = m.c
+	m.op = dwChorePartial
+}
+
+// step advances to the next round-consuming action; zero-round operations
+// (empty broadcasts, suppressed partial checkpoints, empty subchunks) fall
+// through inside the loop.
+func (m *dwMachine) step(p *sim.Proc) (sim.Yield, bool) {
+	for {
+		switch m.op {
+		case dwChorePartial:
+			m.op = dwChoreEcho
+			if m.hasPartial {
+				if sends, ok := m.partialSends(p, m.c); ok {
+					return sendYield(sends), false
+				}
+			}
+		case dwChoreEcho:
+			m.op = dwChoreFull
+			if m.hasEcho {
+				if sends, ok := m.echoSends(p, m.echoPay); ok {
+					return sendYield(sends), false
+				}
+			}
+		case dwChoreFull:
+			if m.hasFull {
+				m.fcC, m.fcG, m.fcRet = m.c, m.fullFrom, dwSubNext
+				m.op = dwFullGroup
+			} else {
+				m.op = dwSubNext
+			}
+		case dwSubNext:
+			m.sc++
+			if m.sc > m.ab.tm.p {
+				return sim.Yield{}, true
+			}
+			m.u, m.hi = subchunkRange(m.ab.cfg.N, m.ab.tm.p, m.sc)
+			m.op = dwWork
+		case dwWork:
+			if m.u > m.hi {
+				m.op = dwPartial
+				continue
+			}
+			u := m.u
+			m.u++
+			return workYield(m.ab.as.unitID(u)), false
+		case dwPartial:
+			m.op = dwFullCheck
+			if sends, ok := m.partialSends(p, m.sc); ok {
+				return sendYield(sends), false
+			}
+		case dwFullCheck:
+			if m.ab.chunkBoundary(m.sc) {
+				m.fcC, m.fcG, m.fcRet = m.sc, m.gj+1, dwSubNext
+				m.op = dwFullGroup
+			} else {
+				m.op = dwSubNext
+			}
+		case dwFullGroup:
+			if m.fcG > m.ab.q.G {
+				m.op = m.fcRet
+				continue
+			}
+			m.op = dwFullEcho
+			sends := p.Broadcast(m.groupPIDs[m.fcG], FullCP{C: m.fcC, G: m.fcG})
+			if len(sends) > 0 {
+				return sendYield(sends), false
+			}
+		case dwFullEcho:
+			pay := FullCP{C: m.fcC, G: m.fcG}
+			m.fcG++
+			m.op = dwFullGroup
+			if sends, ok := m.echoSends(p, pay); ok {
+				return sendYield(sends), false
+			}
+		case dwDone:
+			return sim.Yield{}, true
+		}
+	}
+}
+
+// partialSends builds the partial checkpoint "(c)" to the group remainder;
+// ok=false when it is suppressed (FullOnly ablation or empty remainder).
+func (m *dwMachine) partialSends(p *sim.Proc, c int) ([]sim.Send, bool) {
+	if m.ab.cfg.FullOnly {
+		return nil, false
+	}
+	return m.echoSends(p, PartialCP{C: c})
+}
+
+// echoSends builds a broadcast of payload to the group remainder; ok=false
+// when the remainder is empty (the broadcast consumes no round).
+func (m *dwMachine) echoSends(p *sim.Proc, payload any) ([]sim.Send, bool) {
+	if len(m.remPIDs) == 0 {
+		return nil, false
+	}
+	return p.Broadcast(m.remPIDs, payload), true
+}
+
+// steppable reports whether a work executor can run on the stepper
+// substrate: only the default executor (one plain StepWork per unit) can.
+func steppable(ex WorkExecutor) bool { return ex == nil }
+
+// errNeedsScripts is returned by ProtocolXSteppers for configs (custom work
+// executors) that only the script substrate can express.
+var errNeedsScripts = fmt.Errorf("core: config requires the script substrate (custom work executor)")

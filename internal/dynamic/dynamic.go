@@ -40,9 +40,9 @@ type Injection struct {
 // intersection.
 type View struct {
 	Phase int
-	Known []bool
-	Done  []bool
-	T     []bool
+	Known []uint64
+	Done  []uint64
+	T     []uint64
 	Dec   bool
 }
 
@@ -118,7 +118,7 @@ func runSite(p *sim.Proc, cfg Config, ex core.WorkExecutor, arrivals map[int]map
 		}
 		// Work period: split the agreed outstanding units by rank.
 		outstanding := known.Clone()
-		outstanding.Intersect(notOf(done))
+		outstanding.Subtract(done.Words())
 		units := outstanding.Members()
 		chunk := 0
 		if len(units) > 0 {
@@ -135,14 +135,6 @@ func runSite(p *sim.Proc, cfg Config, ex core.WorkExecutor, arrivals map[int]map
 			p.StepIdle()
 		}
 	}
-}
-
-func notOf(s *bitset.Set) []bool {
-	bits := s.Snapshot()
-	for i := range bits {
-		bits[i] = !bits[i]
-	}
-	return bits
 }
 
 type view struct {
@@ -170,7 +162,7 @@ func agree(p *sim.Proc, cfg Config, j, phase int, known, done, t *bitset.Set, gr
 		for _, v := range views {
 			heard[v.sender] = true
 			if v.Dec {
-				kCur, dCur, tNew = bitset.From(v.Known), bitset.From(v.Done), bitset.From(v.T)
+				kCur, dCur, tNew = bitset.From(v.Known, cfg.Units+1), bitset.From(v.Done, cfg.Units+1), bitset.From(v.T, cfg.T)
 				decided = true
 			} else if !decided {
 				kCur.Union(v.Known)

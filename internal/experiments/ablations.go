@@ -18,12 +18,12 @@ func X1FastForward() Table {
 		Columns: []string{"n", "t", "nominal rounds", "events simulated", "rounds/event"},
 	}
 	for _, c := range []struct{ n, t int }{{8, 4}, {16, 8}, {24, 8}, {32, 8}} {
-		scripts, err := core.ProtocolCScripts(core.CConfig{N: c.n, T: c.t})
+		procs, err := core.ProtocolCProcs(core.CConfig{N: c.n, T: c.t})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		res, err := run(c.n, c.t, scripts, nil)
+		res, err := run(c.n, c.t, procs, nil)
 		if err != nil {
 			t.Err = err
 			return t
@@ -56,12 +56,12 @@ func X2PartialCheckpointAblation() Table {
 	}
 	for _, c := range []struct{ n, t int }{{256, 16}, {256, 64}} {
 		for _, fullOnly := range []bool{false, true} {
-			scripts, err := core.ProtocolAScripts(core.ABConfig{N: c.n, T: c.t, FullOnly: fullOnly})
+			procs, err := core.ProtocolAProcs(core.ABConfig{N: c.n, T: c.t, FullOnly: fullOnly})
 			if err != nil {
 				t.Err = err
 				return t
 			}
-			res, err := run(c.n, c.t, scripts, adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1))
+			res, err := run(c.n, c.t, procs, adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1))
 			if err != nil {
 				t.Err = err
 				return t
@@ -110,14 +110,14 @@ func X3RevertThreshold() Table {
 		{"4", 4, false},
 		{"disabled", 0, true},
 	} {
-		scripts, err := core.ProtocolDScripts(core.DConfig{
+		procs, err := core.ProtocolDProcs(core.DConfig{
 			N: n, T: tt, RevertFactor: v.factor, DisableRevert: v.disable,
 		})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		res, err := core.Run(n, tt, scripts, core.RunOptions{
+		res, err := core.RunProcs(n, tt, procs, core.RunOptions{
 			Adversary: mkAdv(), DetailedMetrics: true,
 		})
 		if err == nil {

@@ -43,16 +43,16 @@ func T9Bootstrap() Table {
 				t.Err = fmt.Errorf("%s n=%d %s: %w", c.proto, c.n, advName, err)
 				return t
 			}
-			scriptsOf := core.ProtocolBScripts
+			procsOf := core.ProtocolBProcs
 			if c.proto == "A" {
-				scriptsOf = core.ProtocolAScripts
+				procsOf = core.ProtocolAProcs
 			}
-			scripts, err := scriptsOf(core.ABConfig{N: c.n, T: c.tt})
+			procs, err := procsOf(core.ABConfig{N: c.n, T: c.tt})
 			if err != nil {
 				t.Err = err
 				return t
 			}
-			direct, err := core.Run(c.n, c.tt, scripts, mkAdv())
+			direct, err := core.RunProcs(c.n, c.tt, procs, mkAdv())
 			if err != nil {
 				t.Err = err
 				return t

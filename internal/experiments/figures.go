@@ -32,7 +32,7 @@ func F1CheckpointFrequency() Table {
 			t.Err = err
 			return t
 		}
-		res, err := run(n, tt, scripts, adv())
+		res, err := run(n, tt, core.Procs{Scripts: scripts}, adv())
 		if err != nil {
 			t.Err = fmt.Errorf("k=%d: %w", k, err)
 			return t
@@ -43,18 +43,18 @@ func F1CheckpointFrequency() Table {
 		})
 	}
 	for _, p := range []struct {
-		name    string
-		scripts func(core.ABConfig) (func(int) sim.Script, error)
+		name  string
+		procs func(core.ABConfig) (core.Procs, error)
 	}{
-		{"protocol A", core.ProtocolAScripts},
-		{"protocol B", core.ProtocolBScripts},
+		{"protocol A", core.ProtocolAProcs},
+		{"protocol B", core.ProtocolBProcs},
 	} {
-		scripts, err := p.scripts(core.ABConfig{N: n, T: tt})
+		procs, err := p.procs(core.ABConfig{N: n, T: tt})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		res, err := run(n, tt, scripts, adv())
+		res, err := run(n, tt, procs, adv())
 		if err != nil {
 			t.Err = err
 			return t
@@ -85,17 +85,17 @@ func F2NaiveVsC() Table {
 			t.Err = err
 			return t
 		}
-		naive, err := run(n, tt, naiveScripts, core.NewNaiveCascadeAdversary(n, tt))
+		naive, err := run(n, tt, core.Procs{Scripts: naiveScripts}, core.NewNaiveCascadeAdversary(n, tt))
 		if err != nil {
 			t.Err = fmt.Errorf("naive t=%d: %w", tt, err)
 			return t
 		}
-		cScripts, err := core.ProtocolCScripts(core.CConfig{N: n, T: tt})
+		cProcs, err := core.ProtocolCProcs(core.CConfig{N: n, T: tt})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		cRes, err := run(n, tt, cScripts, adversary.NewCascade(1, tt/2))
+		cRes, err := run(n, tt, cProcs, adversary.NewCascade(1, tt/2))
 		if err != nil {
 			t.Err = fmt.Errorf("C t=%d: %w", tt, err)
 			return t
@@ -124,17 +124,17 @@ func F3EffortComparison() Table {
 	for _, c := range []struct{ n, t int }{{64, 16}, {256, 16}, {256, 64}} {
 		adv := func() sim.Adversary { return adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1) }
 		type strat struct {
-			name    string
-			scripts func(int) sim.Script
-			err     error
+			name  string
+			procs core.Procs
+			err   error
 		}
 		var strategies []strat
-		strategies = append(strategies, strat{"trivial", core.TrivialScripts(c.n, c.t), nil})
+		strategies = append(strategies, strat{"trivial", core.Procs{Scripts: core.TrivialScripts(c.n, c.t)}, nil})
 		sc, err := core.SingleCheckpointScripts(c.n, c.t)
-		strategies = append(strategies, strat{"single-checkpoint", sc, err})
-		a, err := core.ProtocolAScripts(core.ABConfig{N: c.n, T: c.t})
+		strategies = append(strategies, strat{"single-checkpoint", core.Procs{Scripts: sc}, err})
+		a, err := core.ProtocolAProcs(core.ABConfig{N: c.n, T: c.t})
 		strategies = append(strategies, strat{"protocol A", a, err})
-		b, err := core.ProtocolBScripts(core.ABConfig{N: c.n, T: c.t})
+		b, err := core.ProtocolBProcs(core.ABConfig{N: c.n, T: c.t})
 		strategies = append(strategies, strat{"protocol B", b, err})
 		for _, s := range strategies {
 			if s.err != nil {
@@ -146,7 +146,7 @@ func F3EffortComparison() Table {
 			if s.name != "trivial" {
 				opt.MaxActive = 1
 			}
-			res, err := core.Run(c.n, c.t, s.scripts, opt)
+			res, err := core.RunProcs(c.n, c.t, s.procs, opt)
 			if err == nil {
 				err = core.CheckCompletion(res)
 			}
@@ -179,12 +179,12 @@ func F4TimeDegradation() Table {
 		for k := 0; k < f; k++ {
 			crashes = append(crashes, adversary.Crash{PID: k + 1, Round: int64(k * (n/tt + 8))})
 		}
-		dScripts, err := core.ProtocolDScripts(core.DConfig{N: n, T: tt})
+		dProcs, err := core.ProtocolDProcs(core.DConfig{N: n, T: tt})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		dRes, err := core.Run(n, tt, dScripts, core.RunOptions{Adversary: adversary.NewSchedule(crashes...)})
+		dRes, err := core.RunProcs(n, tt, dProcs, core.RunOptions{Adversary: adversary.NewSchedule(crashes...)})
 		if err == nil {
 			err = core.CheckCompletion(dRes)
 		}
@@ -192,14 +192,14 @@ func F4TimeDegradation() Table {
 			t.Err = fmt.Errorf("D f=%d: %w", f, err)
 			return t
 		}
-		bScripts, _ := core.ProtocolBScripts(core.ABConfig{N: n, T: tt})
-		bRes, err := run(n, tt, bScripts, adversary.NewCascade(maxInt(1, n/tt), f))
+		bProcs, _ := core.ProtocolBProcs(core.ABConfig{N: n, T: tt})
+		bRes, err := run(n, tt, bProcs, adversary.NewCascade(maxInt(1, n/tt), f))
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		aScripts, _ := core.ProtocolAScripts(core.ABConfig{N: n, T: tt})
-		aRes, err := run(n, tt, aScripts, adversary.NewCascade(maxInt(1, n/tt), f))
+		aProcs, _ := core.ProtocolAProcs(core.ABConfig{N: n, T: tt})
+		aRes, err := run(n, tt, aProcs, adversary.NewCascade(maxInt(1, n/tt), f))
 		if err != nil {
 			t.Err = err
 			return t
@@ -230,14 +230,14 @@ func F5SharedMemory() Table {
 			t.Err = err
 			return t
 		}
-		aScripts, _ := core.ProtocolAScripts(core.ABConfig{N: c.n, T: c.t})
-		aRes, err := run(c.n, c.t, aScripts, adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1))
+		aProcs, _ := core.ProtocolAProcs(core.ABConfig{N: c.n, T: c.t})
+		aRes, err := run(c.n, c.t, aProcs, adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1))
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		bScripts, _ := core.ProtocolBScripts(core.ABConfig{N: c.n, T: c.t})
-		bRes, err := run(c.n, c.t, bScripts, adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1))
+		bProcs, _ := core.ProtocolBProcs(core.ABConfig{N: c.n, T: c.t})
+		bRes, err := run(c.n, c.t, bProcs, adversary.NewCascade(maxInt(1, c.n/c.t), c.t-1))
 		if err != nil {
 			t.Err = err
 			return t

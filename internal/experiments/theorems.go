@@ -37,8 +37,8 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func run(n, t int, scripts func(int) sim.Script, adv sim.Adversary) (sim.Result, error) {
-	res, err := core.Run(n, t, scripts, core.RunOptions{
+func run(n, t int, pr core.Procs, adv sim.Adversary) (sim.Result, error) {
+	res, err := core.RunProcs(n, t, pr, core.RunOptions{
 		Adversary: adv, MaxActive: 1, DetailedMetrics: true,
 	})
 	if err != nil {
@@ -58,12 +58,12 @@ func T1ProtocolA() Table {
 	}
 	for _, c := range []struct{ n, t int }{{64, 16}, {144, 9}, {256, 16}, {100, 25}, {256, 64}} {
 		for _, ac := range stdAdversaries() {
-			scripts, err := core.ProtocolAScripts(core.ABConfig{N: c.n, T: c.t})
+			procs, err := core.ProtocolAProcs(core.ABConfig{N: c.n, T: c.t})
 			if err != nil {
 				t.Err = err
 				return t
 			}
-			res, err := run(c.n, c.t, scripts, ac.build(c.n, c.t))
+			res, err := run(c.n, c.t, procs, ac.build(c.n, c.t))
 			if err != nil {
 				t.Err = fmt.Errorf("n=%d t=%d %s: %w", c.n, c.t, ac.name, err)
 				return t
@@ -92,12 +92,12 @@ func T2ProtocolB() Table {
 	}
 	for _, c := range []struct{ n, t int }{{64, 16}, {144, 9}, {256, 16}, {100, 25}, {256, 64}} {
 		for _, ac := range stdAdversaries() {
-			scripts, err := core.ProtocolBScripts(core.ABConfig{N: c.n, T: c.t})
+			procs, err := core.ProtocolBProcs(core.ABConfig{N: c.n, T: c.t})
 			if err != nil {
 				t.Err = err
 				return t
 			}
-			res, err := run(c.n, c.t, scripts, ac.build(c.n, c.t))
+			res, err := run(c.n, c.t, procs, ac.build(c.n, c.t))
 			if err != nil {
 				t.Err = fmt.Errorf("n=%d t=%d %s: %w", c.n, c.t, ac.name, err)
 				return t
@@ -126,12 +126,12 @@ func T3ProtocolC() Table {
 	}
 	for _, c := range []struct{ n, t int }{{16, 4}, {24, 8}, {32, 8}, {16, 16}} {
 		for _, ac := range stdAdversaries() {
-			scripts, err := core.ProtocolCScripts(core.CConfig{N: c.n, T: c.t})
+			procs, err := core.ProtocolCProcs(core.CConfig{N: c.n, T: c.t})
 			if err != nil {
 				t.Err = err
 				return t
 			}
-			res, err := run(c.n, c.t, scripts, ac.build(c.n, c.t))
+			res, err := run(c.n, c.t, procs, ac.build(c.n, c.t))
 			if err != nil {
 				t.Err = fmt.Errorf("n=%d t=%d %s: %w", c.n, c.t, ac.name, err)
 				return t
@@ -161,11 +161,11 @@ func T4ProtocolCLowMsg() Table {
 		for _, ac := range stdAdversaries() {
 			every := maxInt((c.n+c.t-1)/c.t, 1)
 			mk := func(reportEvery int) (sim.Result, error) {
-				scripts, err := core.ProtocolCScripts(core.CConfig{N: c.n, T: c.t, ReportEvery: reportEvery})
+				procs, err := core.ProtocolCProcs(core.CConfig{N: c.n, T: c.t, ReportEvery: reportEvery})
 				if err != nil {
 					return sim.Result{}, err
 				}
-				return run(c.n, c.t, scripts, ac.build(c.n, c.t))
+				return run(c.n, c.t, procs, ac.build(c.n, c.t))
 			}
 			low, err := mk(every)
 			if err != nil {
@@ -203,12 +203,12 @@ func T5ProtocolD() Table {
 		for k := 0; k < f; k++ {
 			crashes = append(crashes, adversary.Crash{PID: k + 1, Round: int64(k * (n/tt + 8))})
 		}
-		scripts, err := core.ProtocolDScripts(core.DConfig{N: n, T: tt})
+		procs, err := core.ProtocolDProcs(core.DConfig{N: n, T: tt})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		res, err := core.Run(n, tt, scripts, core.RunOptions{
+		res, err := core.RunProcs(n, tt, procs, core.RunOptions{
 			Adversary: adversary.NewSchedule(crashes...), DetailedMetrics: true,
 		})
 		if err == nil {
@@ -243,12 +243,12 @@ func T6ProtocolDRevert() Table {
 		for pid := 0; pid < f; pid++ {
 			crashes = append(crashes, adversary.Crash{PID: pid, Round: 1})
 		}
-		scripts, err := core.ProtocolDScripts(core.DConfig{N: c.n, T: c.t})
+		procs, err := core.ProtocolDProcs(core.DConfig{N: c.n, T: c.t})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		res, err := core.Run(c.n, c.t, scripts, core.RunOptions{
+		res, err := core.RunProcs(c.n, c.t, procs, core.RunOptions{
 			Adversary: adversary.NewSchedule(crashes...), DetailedMetrics: true,
 		})
 		if err == nil {
@@ -281,12 +281,12 @@ func T7ProtocolDFailureFree() Table {
 		Columns: []string{"n", "t", "f", "work", "rounds", "messages"},
 	}
 	for _, c := range []struct{ n, t int }{{64, 8}, {128, 16}, {256, 16}} {
-		scripts, err := core.ProtocolDScripts(core.DConfig{N: c.n, T: c.t})
+		procs, err := core.ProtocolDProcs(core.DConfig{N: c.n, T: c.t})
 		if err != nil {
 			t.Err = err
 			return t
 		}
-		res, err := core.Run(c.n, c.t, scripts, core.RunOptions{DetailedMetrics: true})
+		res, err := core.RunProcs(c.n, c.t, procs, core.RunOptions{DetailedMetrics: true})
 		if err != nil {
 			t.Err = err
 			return t
@@ -297,8 +297,8 @@ func T7ProtocolDFailureFree() Table {
 			Eq(res.Rounds, int64(c.n/c.t+2)),
 			B(res.Messages, int64(2*c.t*c.t)),
 		})
-		scripts, _ = core.ProtocolDScripts(core.DConfig{N: c.n, T: c.t})
-		res, err = core.Run(c.n, c.t, scripts, core.RunOptions{
+		procs, _ = core.ProtocolDProcs(core.DConfig{N: c.n, T: c.t})
+		res, err = core.RunProcs(c.n, c.t, procs, core.RunOptions{
 			Adversary:       adversary.NewSchedule(adversary.Crash{PID: 2, Round: 0}),
 			DetailedMetrics: true,
 		})

@@ -6,6 +6,11 @@ import (
 	"sort"
 )
 
+// Engines drive processes on either of two substrates: blocking Scripts in
+// goroutines (New) or zero-goroutine Steppers called directly on the
+// engine's stack (NewStepper). See stepper.go and DESIGN.md "Execution
+// substrates".
+
 // Config parameterises an Engine.
 type Config struct {
 	// NumProcs is the number of processes t (IDs 0..t-1).
@@ -96,6 +101,11 @@ type Engine struct {
 
 	pendingNext []Message // messages committed this round, due next round
 	spare       []Message // recycled backing buffer for pendingNext
+	// pendingUnsorted is set at append time if a commit ever lands behind a
+	// higher sender PID; deliver then restores ascending-PID order. Commits
+	// run in ascending PID order within a round, so this stays false and the
+	// per-round sortedness scan is avoided.
+	pendingUnsorted bool
 
 	runq        runSet   // processes to resume this round
 	sleepers    wakeHeap // (wakeAt, pid), stale entries discarded on pop
@@ -115,8 +125,16 @@ var ErrRoundLimit = errors.New("sim: round limit exceeded")
 // ever wake any of them.
 var ErrDeadlock = errors.New("sim: deadlock, all processes asleep forever")
 
-// New builds an engine; scripts(id) supplies the body of each process.
+// New builds an engine; scripts(id) supplies the body of each process. Each
+// script runs in its own goroutine behind a ScriptStepper shim.
 func New(cfg Config, scripts func(id int) Script) *Engine {
+	return NewStepper(cfg, func(id int) Stepper { return ScriptStepper(scripts(id)) })
+}
+
+// NewStepper builds an engine over state-machine process bodies; steppers(id)
+// supplies each process's Stepper. Substrates may be mixed by returning
+// ScriptStepper-wrapped scripts for some IDs.
+func NewStepper(cfg Config, steppers func(id int) Stepper) *Engine {
 	if cfg.Adversary == nil {
 		cfg.Adversary = NopAdversary{}
 	}
@@ -139,16 +157,16 @@ func New(cfg Config, scripts func(id int) Script) *Engine {
 	e.procs = make([]*Proc, cfg.NumProcs)
 	for id := 0; id < cfg.NumProcs; id++ {
 		p := &Proc{
-			id:       id,
-			engine:   e,
-			toEngine: make(chan yieldMsg),
-			resume:   make(chan resumeMsg),
-			done:     make(chan struct{}),
-			status:   StatusRunning,
+			id:      id,
+			engine:  e,
+			stepper: steppers(id),
+			status:  StatusRunning,
+		}
+		if sp, ok := p.stepper.(shimHolder); ok {
+			p.shim = sp.scriptShim()
 		}
 		e.procs[id] = p
 		e.runq.add(id)
-		go p.run(scripts(id))
 	}
 	return e
 }
@@ -215,9 +233,11 @@ func (e *Engine) deliver() {
 		return
 	}
 	// Commits happen in ascending PID order within a round, so msgs is
-	// already sorted by sender; re-sort (stably) only if that ever breaks.
-	if !sort.SliceIsSorted(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From }) {
+	// already sorted by sender; commit flags the rare violation at append
+	// time instead of re-scanning the whole buffer every round.
+	if e.pendingUnsorted {
 		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		e.pendingUnsorted = false
 	}
 	for _, m := range msgs {
 		p := e.procs[m.To]
@@ -257,36 +277,50 @@ func (e *Engine) stepRunnable() {
 	})
 }
 
-// resumeProc hands control to one script until it yields, then applies the
-// yield (action/sleep/halt) to engine state.
+// resumeProc hands control to one process until it yields — a direct Step
+// call for steppers, a channel round-trip for shim-backed scripts — then
+// applies the yield (action/sleep/halt) to engine state.
 func (e *Engine) resumeProc(p *Proc) {
-	p.resume <- resumeMsg{}
-	y := <-p.toEngine
+	y, pv, panicked := stepProc(p)
 	e.metrics.Events++
-	switch y.kind {
-	case yieldAction:
-		e.commit(p, y.action)
-	case yieldSleep:
-		p.sleeping = true
-		p.wakeAt = y.until
+	if panicked {
+		p.status = StatusCrashed
+		e.setInactive(p)
+		p.retireRound = e.now
+		e.live--
 		e.runq.remove(p.id)
-		e.sleepers.push(wakeEntry{at: y.until, pid: p.id})
-	case yieldHalt:
+		e.fail(fmt.Errorf("sim: proc %d panicked: %v", p.id, pv))
+		return
+	}
+	switch y.Kind {
+	case YieldAction:
+		e.commit(p, y.Action)
+	case YieldSleep:
+		p.sleeping = true
+		p.wakeAt = y.Until
+		e.runq.remove(p.id)
+		e.sleepers.push(wakeEntry{at: y.Until, pid: p.id})
+	case YieldHalt:
 		p.status = StatusTerminated
 		e.setInactive(p)
 		p.retireRound = e.now
 		e.live--
 		e.runq.remove(p.id)
 		e.trace(p, Action{}, false, true)
-	case yieldPanic:
-		p.status = StatusCrashed
-		e.setInactive(p)
-		p.retireRound = e.now
-		e.live--
-		e.runq.remove(p.id)
-		<-p.done
-		e.fail(fmt.Errorf("sim: proc %d panicked: %v", p.id, y.panicVal))
 	}
+}
+
+// stepProc runs one step, converting a panic in the process body (from
+// either substrate; the shim re-raises script panics after its goroutine
+// unwinds) into a value so the engine can fail deterministically.
+func stepProc(p *Proc) (y Yield, pv any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv, panicked = r, true
+		}
+	}()
+	y = p.stepper.Step(p)
+	return y, nil, false
 }
 
 // commit applies an action, consulting the adversary for crash verdicts.
@@ -314,19 +348,40 @@ func (e *Engine) commit(p *Proc, a Action) {
 			}
 		}
 	}
+	if n := len(e.pendingNext); n > 0 && len(deliver) > 0 && e.pendingNext[n-1].From > p.id {
+		e.pendingUnsorted = true
+	}
+	// Per-kind counts are accumulated per run of equal kinds rather than one
+	// map update per send: broadcasts carry one payload to many recipients,
+	// so a whole action usually costs a single map operation.
+	var runKind string
+	var runCount int64
 	for _, s := range deliver {
 		if s.To < 0 || s.To >= len(e.procs) {
+			if runCount > 0 { // keep MessagesByKind consistent with Messages
+				e.metrics.MessagesByKind[runKind] += runCount
+			}
 			e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, s.To))
 			return
 		}
 		e.metrics.Messages++
 		p.msgsSent++
 		if e.metrics.MessagesByKind != nil {
-			e.metrics.MessagesByKind[payloadKind(s.Payload)]++
+			if k := payloadKind(s.Payload); k == runKind {
+				runCount++
+			} else {
+				if runCount > 0 {
+					e.metrics.MessagesByKind[runKind] += runCount
+				}
+				runKind, runCount = k, 1
+			}
 		}
 		e.pendingNext = append(e.pendingNext, Message{
 			From: p.id, To: s.To, SentAt: e.now, Payload: s.Payload,
 		})
+	}
+	if runCount > 0 {
+		e.metrics.MessagesByKind[runKind] += runCount
 	}
 	e.trace(p, a, verdict.Crash, false)
 	if verdict.Crash {
@@ -334,7 +389,8 @@ func (e *Engine) commit(p *Proc, a Action) {
 	}
 }
 
-// crash kills a process's goroutine and marks it crashed.
+// crash marks a process crashed. For stepper-backed processes this is a pure
+// state flip; only the goroutine shim has anything to release.
 func (e *Engine) crash(p *Proc) {
 	p.status = StatusCrashed
 	e.setInactive(p)
@@ -343,8 +399,9 @@ func (e *Engine) crash(p *Proc) {
 	e.live--
 	e.runq.remove(p.id)
 	e.metrics.Crashes++
-	p.resume <- resumeMsg{kill: true}
-	<-p.done
+	if p.shim != nil {
+		p.shim.kill()
+	}
 }
 
 // setInactive clears a retiring process's active flag, keeping the
@@ -429,20 +486,15 @@ func (e *Engine) finalize() {
 	}
 }
 
-// killAll releases any still-blocked script goroutines (used on abort paths).
+// killAll retires every still-running process (used on abort paths). Stepper
+// procs are a state flip each; script shims additionally release their
+// goroutines.
 func (e *Engine) killAll() {
 	for _, p := range e.procs {
 		if p.status == StatusRunning {
 			p.status = StatusCrashed
-			select {
-			case p.resume <- resumeMsg{kill: true}:
-				<-p.done
-			case y := <-p.toEngine:
-				// The script yielded while we were shutting down.
-				if y.kind != yieldHalt && y.kind != yieldPanic {
-					p.resume <- resumeMsg{kill: true}
-				}
-				<-p.done
+			if p.shim != nil {
+				p.shim.kill()
 			}
 		}
 	}

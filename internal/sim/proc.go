@@ -30,26 +30,32 @@ type resumeMsg struct {
 	kill bool
 }
 
-// Proc is the engine-side handle and script-side context of one process.
+// Proc is the engine-side handle and process-side context of one process.
 // All exported methods except those documented otherwise must be called only
-// from the process's own script goroutine.
+// from the process's own script goroutine or Step method.
 type Proc struct {
-	id     int
-	engine *Engine
+	id      int
+	engine  *Engine
+	stepper Stepper
+	shim    *goShim // non-nil iff stepper is the goroutine-backed Script shim
 
-	toEngine chan yieldMsg
-	resume   chan resumeMsg
-	done     chan struct{}
-
-	// Engine-owned state; the script goroutine only touches these while it
+	// Engine-owned state; the process body only touches these while it
 	// holds control (strict alternation makes this race-free).
 	status   Status
 	sleeping bool
 	wakeAt   int64
-	inbox    []Message
 	active   bool
 	label    string
 	tap      func(Message)
+
+	// inbox holds delivered-but-undrained messages; inboxSpare is the buffer
+	// returned by the previous drain, recycled as the next append target so
+	// steady-state delivery allocates nothing.
+	inbox      []Message
+	inboxSpare []Message
+	// sendScratch backs Broadcast so per-checkpoint broadcasts reuse one
+	// buffer per process.
+	sendScratch []Send
 
 	retireRound int64
 	workDone    int64
@@ -72,7 +78,8 @@ func (p *Proc) Now() int64 { return p.engine.now }
 // active invariant check. Protocols in which a single process works at a time
 // call SetActive(true) on takeover and the engine verifies uniqueness.
 // The engine's incremental active count is updated here; strict alternation
-// (the engine is blocked while the script runs) makes that race-free.
+// (the engine is blocked while the script runs, and steppers run on the
+// engine's stack) makes that race-free.
 func (p *Proc) SetActive(v bool) {
 	if p.active == v {
 		return
@@ -92,7 +99,7 @@ func (p *Proc) SetLabel(l string) { p.label = l }
 // drains, before the draining code sees it. Layered protocols use it to
 // watch for messages that the inner protocol would otherwise discard (e.g.
 // the agreement reduction adopting values carried alongside checkpoint
-// traffic). Must be called from the process's own script.
+// traffic). Must be called from the process's own body.
 func (p *Proc) SetTap(f func(Message)) { p.tap = f }
 
 // StepWork performs one unit of work and ends the round.
@@ -124,15 +131,20 @@ func (p *Proc) StepIdle() {
 	p.yield(yieldMsg{kind: yieldAction})
 }
 
-// Broadcast builds one Send per recipient, skipping the sender itself.
+// Broadcast builds one Send per recipient, skipping the sender itself. The
+// returned slice is backed by a per-process scratch buffer: it is valid until
+// this process's next Broadcast call, which is always after the engine has
+// consumed the previous batch (sends are copied into messages when the
+// action commits).
 func (p *Proc) Broadcast(to []int, payload any) []Send {
-	sends := make([]Send, 0, len(to))
+	sends := p.sendScratch[:0]
 	for _, dst := range to {
 		if dst == p.id {
 			continue
 		}
 		sends = append(sends, Send{To: dst, Payload: payload})
 	}
+	p.sendScratch = sends
 	return sends
 }
 
@@ -140,7 +152,8 @@ func (p *Proc) Broadcast(to []int, payload any) []Send {
 // current round reaches deadline, whichever happens first, and returns all
 // delivered messages (possibly none, on timeout). It consumes no rounds by
 // itself: a sleeping process is free. Messages are returned in deterministic
-// (delivery round, sender) order.
+// (delivery round, sender) order. Script-side only; steppers return a
+// YieldSleep and call Drain on their next Step instead.
 func (p *Proc) WaitUntil(deadline int64) []Message {
 	if len(p.inbox) > 0 || p.engine.now >= deadline {
 		return p.drain()
@@ -149,15 +162,26 @@ func (p *Proc) WaitUntil(deadline int64) []Message {
 	return p.drain()
 }
 
-// Halt terminates the process voluntarily. It never returns.
+// Halt terminates the process voluntarily. It never returns. Script-side
+// only; steppers return a YieldHalt instead.
 func (p *Proc) Halt() {
-	p.toEngine <- yieldMsg{kind: yieldHalt}
+	p.mustShim("Halt").toEngine <- yieldMsg{kind: yieldHalt}
 	runtime.Goexit()
 }
 
+// HasMail reports whether delivered messages are waiting to be drained.
+func (p *Proc) HasMail() bool { return len(p.inbox) > 0 }
+
+// Drain returns and clears the messages delivered so far, in deterministic
+// (delivery round, sender) order. It is the stepper-side counterpart of the
+// receive half of WaitUntil. The returned slice is backed by a recycled
+// buffer valid until the drain after next.
+func (p *Proc) Drain() []Message { return p.drain() }
+
 func (p *Proc) drain() []Message {
 	msgs := p.inbox
-	p.inbox = nil
+	p.inbox = p.inboxSpare[:0]
+	p.inboxSpare = msgs
 	if p.tap != nil {
 		for i := range msgs {
 			p.tap(msgs[i])
@@ -167,27 +191,17 @@ func (p *Proc) drain() []Message {
 }
 
 func (p *Proc) yield(y yieldMsg) {
-	p.toEngine <- y
-	sig := <-p.resume
+	sh := p.mustShim("Step*/WaitUntil")
+	sh.toEngine <- y
+	sig := <-sh.resume
 	if sig.kill {
 		runtime.Goexit()
 	}
 }
 
-// run is the goroutine body wrapping the script.
-func (p *Proc) run(script Script) {
-	defer close(p.done)
-	defer func() {
-		if r := recover(); r != nil {
-			// Surface script panics to the engine as fatal errors rather
-			// than deadlocking the lock-step handshake.
-			p.toEngine <- yieldMsg{kind: yieldPanic, panicVal: r}
-		}
-	}()
-	sig := <-p.resume
-	if sig.kill {
-		return
+func (p *Proc) mustShim(method string) *goShim {
+	if p.shim == nil {
+		panic(fmt.Sprintf("sim: proc %d: %s called from a Stepper; return a Yield instead", p.id, method))
 	}
-	script(p)
-	p.toEngine <- yieldMsg{kind: yieldHalt}
+	return p.shim
 }
