@@ -140,6 +140,21 @@ func BenchmarkEngineProtocolCFastForward(b *testing.B) {
 
 func BenchmarkEngineLargeT(b *testing.B) { benchEngineCase(b, "EngineLargeT") }
 
+func BenchmarkEngineBroadcastFanout(b *testing.B) { benchEngineCase(b, "EngineBroadcastFanout") }
+
+// BenchmarkSweepReuse measures pooled engine reuse across a whole job sweep
+// on one worker (allocs/op ≈ total per-run setup cost); shared with
+// cmd/bench via internal/benchmarks like the Engine* cases.
+func BenchmarkSweepReuse(b *testing.B) {
+	for _, c := range benchmarks.SweepCases() {
+		if c.Name == "SweepReuseSmall" {
+			benchmarks.RunSweep(b, c)
+			return
+		}
+	}
+	b.Fatal("unknown sweep case")
+}
+
 func BenchmarkAgreementViaB(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

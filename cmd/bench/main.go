@@ -1,16 +1,16 @@
-// Command bench measures the Engine* simulator benchmarks and records the
-// perf trajectory in a JSON baseline (BENCH_engine.json): ns/op, allocs/op,
-// bytes/op and events/run per benchmark.
+// Command bench measures the Engine* and Sweep* simulator benchmarks and
+// records the perf trajectory in a JSON baseline (BENCH_engine.json):
+// ns/op, allocs/op, bytes/op and events/run per benchmark.
 //
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_engine.json             # (re)write baseline
 //	go run ./cmd/bench -diff BENCH_engine.json            # measure + compare
 //
-// With -diff, regressions beyond -threshold (default 1.25 = +25% ns/op) are
-// printed as warnings (GitHub annotation format under CI) but never change
-// the exit status: micro-benchmark noise across machines should not break
-// builds, only leave a trail.
+// With -diff, regressions beyond -threshold (default 1.25 = +25%) on any of
+// ns/op, allocs/op and bytes/op are printed as warnings (GitHub annotation
+// format under CI) but never change the exit status: micro-benchmark noise
+// across machines should not break builds, only leave a trail.
 package main
 
 import (
@@ -53,14 +53,14 @@ func main() {
 		}
 		regs := benchmarks.Compare(base, recs, *threshold)
 		if len(regs) == 0 {
-			fmt.Printf("no ns/op regressions beyond %.0f%% vs %s\n", (*threshold-1)*100, *diff)
+			fmt.Printf("no ns/allocs/bytes regressions beyond %.0f%% vs %s\n", (*threshold-1)*100, *diff)
 			return
 		}
 		for _, reg := range regs {
 			// ::warning:: renders as an annotation in GitHub Actions and as a
 			// plain line everywhere else; regressions warn, they do not fail.
-			fmt.Printf("::warning title=bench regression::%s is %.2fx baseline ns/op (%.0f -> %.0f)\n",
-				reg.Name, reg.Ratio, reg.Baseline.NsPerOp, reg.Current.NsPerOp)
+			fmt.Printf("::warning title=bench regression::%s is %.2fx baseline %s (%.0f -> %.0f)\n",
+				reg.Name, reg.Ratio, reg.Metric, reg.Base, reg.Current)
 		}
 	}
 }

@@ -112,15 +112,18 @@ func NewRandom(p float64, maxCrashes int, seed int64) *Random {
 	return &Random{rng: rand.New(rand.NewSource(seed)), p: p, maxCrashes: maxCrashes}
 }
 
-// OnAction implements sim.Adversary.
+// OnAction implements sim.Adversary. The Deliver mask covers the action's
+// virtual send list (explicit sends, then the broadcast per recipient), so
+// broadcast-native actions draw exactly the same random verdicts as their
+// per-send expansion.
 func (r *Random) OnAction(_ int64, _ int, a sim.Action) sim.Verdict {
 	if r.crashed >= r.maxCrashes || r.rng.Float64() >= r.p {
 		return sim.Survive()
 	}
 	r.crashed++
 	v := sim.Verdict{Crash: true, KeepWork: r.rng.Intn(2) == 0}
-	if len(a.Sends) > 0 {
-		v.Deliver = make([]bool, len(a.Sends))
+	if n := a.SendCount(); n > 0 {
+		v.Deliver = make([]bool, n)
 		for i := range v.Deliver {
 			v.Deliver[i] = r.rng.Intn(2) == 0
 		}
@@ -141,25 +144,28 @@ type Cascade struct {
 	units      int
 	maxCrashes int
 	crashed    int
-	work       map[int]int
+	work       []int // per-PID work counters, grown on demand
 }
 
 var _ sim.Adversary = (*Cascade)(nil)
 
 // NewCascade builds a Cascade adversary.
 func NewCascade(units, maxCrashes int) *Cascade {
-	return &Cascade{units: units, maxCrashes: maxCrashes, work: make(map[int]int)}
+	return &Cascade{units: units, maxCrashes: maxCrashes}
 }
 
 // OnAction implements sim.Adversary.
 func (c *Cascade) OnAction(_ int64, pid int, a sim.Action) sim.Verdict {
 	if a.WorkUnit > 0 {
+		for pid >= len(c.work) {
+			c.work = append(c.work, 0)
+		}
 		c.work[pid]++
 	}
 	if c.crashed >= c.maxCrashes {
 		return sim.Survive()
 	}
-	if len(a.Sends) > 0 && c.work[pid] >= c.units {
+	if a.SendCount() > 0 && pid < len(c.work) && c.work[pid] >= c.units {
 		c.crashed++
 		return sim.Verdict{Crash: true, KeepWork: true}
 	}
@@ -183,14 +189,17 @@ type KindCount struct {
 
 var _ sim.Adversary = (*KindCount)(nil)
 
-// OnAction implements sim.Adversary.
+// OnAction implements sim.Adversary. Sends are matched and the delivered
+// prefix selected over the action's virtual send list, so a broadcast is
+// truncated per recipient exactly like its per-send expansion.
 func (k *KindCount) OnAction(_ int64, pid int, a sim.Action) sim.Verdict {
-	if pid != k.PID || len(a.Sends) == 0 {
+	n := a.SendCount()
+	if pid != k.PID || n == 0 {
 		return sim.Survive()
 	}
 	match := false
-	for _, s := range a.Sends {
-		if kindOf(s.Payload) == k.Kind {
+	for i := 0; i < n; i++ {
+		if kindOf(a.SendAt(i).Payload) == k.Kind {
 			match = true
 			break
 		}
@@ -202,7 +211,7 @@ func (k *KindCount) OnAction(_ int64, pid int, a sim.Action) sim.Verdict {
 	if k.seen != k.N {
 		return sim.Survive()
 	}
-	deliver := make([]bool, len(a.Sends))
+	deliver := make([]bool, n)
 	for i := 0; i < k.Prefix && i < len(deliver); i++ {
 		deliver[i] = true
 	}

@@ -141,13 +141,14 @@ func Run(cfg Config, opt core.RunOptions) (Outcome, error) {
 			}
 			p.SetTap(adopt)
 			if id == 0 {
-				// The general: stage 1 broadcast to the other senders.
+				// The general: stage 1 broadcast to the other senders (one
+				// record on the engine's message plane).
 				values[0] = cfg.Value
-				sends := make([]sim.Send, 0, senders-1)
+				rcpts := make([]int, 0, senders-1)
 				for s := 1; s < senders; s++ {
-					sends = append(sends, sim.Send{To: s, Payload: ValueMsg{V: cfg.Value}})
+					rcpts = append(rcpts, s)
 				}
-				p.StepSend(sends...)
+				p.StepBroadcast(rcpts, ValueMsg{V: cfg.Value})
 			}
 			if id < senders {
 				runWork(p, cfg, proto, workers, values, id)

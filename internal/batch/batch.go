@@ -5,6 +5,11 @@
 // yields byte-identical output regardless of the worker count — the property
 // the determinism tests pin down.
 //
+// Runs executed through doall.Run reuse pooled engines (Engine.Reset):
+// sync.Pool's per-P caches hand each batch worker its own recycled engine,
+// so per-run setup allocation in sweeps is near zero while results stay
+// identical to fresh-engine runs.
+//
 // Map is the generic primitive; Run executes named doall.Config jobs; Sweep
 // (sweep.go) builds job sets crossing protocols × failure patterns × (n, t)
 // grids with per-run seeds. internal/experiments and both binaries sit on

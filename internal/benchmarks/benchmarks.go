@@ -1,7 +1,7 @@
-// Package benchmarks defines the Engine* benchmark cases shared by the
-// go-test benchmarks (bench_test.go) and the cmd/bench baseline recorder, so
-// the perf trajectory in BENCH_engine.json is measured on exactly the code
-// paths the test benchmarks exercise.
+// Package benchmarks defines the Engine* and Sweep* benchmark cases shared
+// by the go-test benchmarks (bench_test.go) and the cmd/bench baseline
+// recorder, so the perf trajectory in BENCH_engine.json is measured on
+// exactly the code paths the test benchmarks exercise.
 package benchmarks
 
 import (
@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	doall "repro"
+	"repro/internal/batch"
 )
 
 // EngineCase is one simulator micro-benchmark: the cost of one protocol run.
@@ -51,7 +52,60 @@ func EngineCases() []EngineCase {
 				return doall.CascadeFailures(4, 255)
 			},
 		},
+		{
+			// Failure-free Protocol D at t=64: every agreement round is a
+			// 63-recipient broadcast per process, i.e. the broadcast record
+			// plane under maximal fanout pressure.
+			Name: "EngineBroadcastFanout",
+			Cfg:  doall.Config{Units: 512, Workers: 64, Protocol: doall.ProtocolD},
+		},
 	}
+}
+
+// SweepCase measures engine reuse across a whole sweep: one op executes the
+// expanded job list sequentially through the pooled batch runner, so
+// allocs/op tracks the per-run setup cost Reset is meant to eliminate.
+type SweepCase struct {
+	Name string
+	Jobs func() []batch.Job
+}
+
+// SweepCases returns the Sweep* benchmark definitions.
+func SweepCases() []SweepCase {
+	return []SweepCase{
+		{
+			Name: "SweepReuseSmall",
+			Jobs: func() []batch.Job {
+				return batch.Sweep{
+					Protocols: []doall.Protocol{doall.ProtocolA, doall.ProtocolB, doall.ProtocolD},
+					Failures: []batch.FailureSpec{
+						batch.NoFailureSpec(), batch.CascadeFailureSpec(), batch.RandomFailureSpec(0.02),
+					},
+					Grid:  []batch.GridPoint{{Units: 96, Workers: 8}, {Units: 192, Workers: 16}},
+					Seeds: []int64{1, 2},
+				}.Jobs()
+			},
+		},
+	}
+}
+
+// RunSweep executes one sweep case b.N times on a single worker (reuse is
+// what is being measured; parallel fan-out is BenchmarkSweepParallel's job).
+func RunSweep(b *testing.B, c SweepCase) {
+	b.Helper()
+	b.ReportAllocs()
+	jobs := c.Jobs()
+	for i := 0; i < b.N; i++ {
+		for _, r := range batch.Run(jobs, batch.Options{Workers: 1}) {
+			if r.Err != nil {
+				b.Fatal(r.Name, r.Err)
+			}
+			if r.GuaranteeViolated() {
+				b.Fatal(r.Name, "guarantee violated")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "jobs")
 }
 
 // Run executes one case b.N times, reporting allocations and events/run.
@@ -85,21 +139,28 @@ type Record struct {
 	EventsPerRun float64 `json:"events_per_run"`
 }
 
-// Measure runs every engine case through testing.Benchmark and returns the
-// records sorted by name.
+// Measure runs every engine and sweep case through testing.Benchmark and
+// returns the records sorted by name.
 func Measure() []Record {
-	cases := EngineCases()
-	out := make([]Record, 0, len(cases))
-	for _, c := range cases {
-		c := c
-		r := testing.Benchmark(func(b *testing.B) { Run(b, c) })
-		out = append(out, Record{
-			Name:         c.Name,
+	engines := EngineCases()
+	sweeps := SweepCases()
+	out := make([]Record, 0, len(engines)+len(sweeps))
+	toRecord := func(name string, r testing.BenchmarkResult) Record {
+		return Record{
+			Name:         name,
 			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp:  r.AllocsPerOp(),
 			BytesPerOp:   r.AllocedBytesPerOp(),
 			EventsPerRun: r.Extra["events/run"],
-		})
+		}
+	}
+	for _, c := range engines {
+		c := c
+		out = append(out, toRecord(c.Name, testing.Benchmark(func(b *testing.B) { Run(b, c) })))
+	}
+	for _, c := range sweeps {
+		c := c
+		out = append(out, toRecord(c.Name, testing.Benchmark(func(b *testing.B) { RunSweep(b, c) })))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -128,17 +189,21 @@ func ReadJSON(path string) ([]Record, error) {
 	return recs, nil
 }
 
-// Regression describes one benchmark that slowed down beyond the threshold.
+// Regression describes one benchmark metric that regressed beyond the
+// threshold.
 type Regression struct {
-	Name     string
-	Baseline Record
-	Current  Record
-	Ratio    float64 // current ns/op ÷ baseline ns/op
+	Name    string
+	Metric  string // "ns_per_op", "allocs_per_op" or "bytes_per_op"
+	Base    float64
+	Current float64
+	Ratio   float64 // current ÷ baseline for the metric
 }
 
-// Compare reports ns/op regressions beyond ratio threshold (e.g. 1.25 warns
-// on >25% slowdowns) between a committed baseline and fresh measurements.
-// New benchmarks (absent from the baseline) are not regressions.
+// Compare reports regressions beyond ratio threshold (e.g. 1.25 warns on
+// >25% increases) between a committed baseline and fresh measurements — on
+// ns/op, allocs/op and bytes/op alike, so an allocation regression leaves a
+// trail even when wall-clock noise hides it. New benchmarks (absent from
+// the baseline) are not regressions.
 func Compare(baseline, current []Record, threshold float64) []Regression {
 	base := make(map[string]Record, len(baseline))
 	for _, r := range baseline {
@@ -147,12 +212,27 @@ func Compare(baseline, current []Record, threshold float64) []Regression {
 	var regs []Regression
 	for _, cur := range current {
 		b, ok := base[cur.Name]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		ratio := cur.NsPerOp / b.NsPerOp
-		if ratio > threshold {
-			regs = append(regs, Regression{Name: cur.Name, Baseline: b, Current: cur, Ratio: ratio})
+		for _, m := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"ns_per_op", b.NsPerOp, cur.NsPerOp},
+			{"allocs_per_op", float64(b.AllocsPerOp), float64(cur.AllocsPerOp)},
+			{"bytes_per_op", float64(b.BytesPerOp), float64(cur.BytesPerOp)},
+		} {
+			if m.base <= 0 {
+				continue
+			}
+			ratio := m.cur / m.base
+			if ratio > threshold {
+				regs = append(regs, Regression{
+					Name: cur.Name, Metric: m.name,
+					Base: m.base, Current: m.cur, Ratio: ratio,
+				})
+			}
 		}
 	}
 	return regs

@@ -12,10 +12,18 @@ import (
 )
 
 // Set is a dense set over 0..size-1.
+//
+// Sets support copy-on-write snapshots: Shared hands out the backing words
+// as an immutable view (for embedding in broadcast payloads without the per
+// -broadcast copy Snapshot makes), and the next mutating operation copies
+// the words first, so every previously published view stays frozen.
 type Set struct {
 	words []uint64
 	size  int
 	count int
+	// shared marks the words as published (via Shared or AdoptShared):
+	// mutators must copy before writing.
+	shared bool
 }
 
 func wordsFor(size int) int { return (size + 63) / 64 }
@@ -61,6 +69,17 @@ func (s *Set) recount() {
 	s.count = c
 }
 
+// own makes the words writable, copying them first if they were published
+// as a shared snapshot.
+func (s *Set) own() {
+	if s.shared {
+		w := make([]uint64, len(s.words))
+		copy(w, s.words)
+		s.words = w
+		s.shared = false
+	}
+}
+
 // Has reports membership.
 func (s *Set) Has(i int) bool {
 	return i >= 0 && i < s.size && s.words[i>>6]&(uint64(1)<<(i&63)) != 0
@@ -72,6 +91,7 @@ func (s *Set) Add(i int) {
 	s.check(i)
 	w, b := i>>6, uint64(1)<<(i&63)
 	if s.words[w]&b == 0 {
+		s.own()
 		s.words[w] |= b
 		s.count++
 	}
@@ -82,6 +102,7 @@ func (s *Set) Remove(i int) {
 	s.check(i)
 	w, b := i>>6, uint64(1)<<(i&63)
 	if s.words[w]&b != 0 {
+		s.own()
 		s.words[w] &^= b
 		s.count--
 	}
@@ -107,6 +128,66 @@ func (s *Set) Snapshot() []uint64 {
 	return w
 }
 
+// Shared returns the raw words as an immutable shared snapshot, suitable for
+// embedding in messages without copying: the set's next mutation copies the
+// words first (copy-on-write), so holders of the returned slice observe a
+// frozen view. Holders must never write to it.
+func (s *Set) Shared() []uint64 {
+	s.shared = true
+	return s.words
+}
+
+// AdoptShared repoints the set at words received from the wire (a peer's
+// Shared or Snapshot view), without copying when the layout matches. The
+// adopted words are treated as a shared snapshot — the next mutation copies
+// — so the peers holding the same view are unaffected. Mismatched lengths or
+// dirty padding bits fall back to a masked copy, like From.
+func (s *Set) AdoptShared(words []uint64) {
+	need := wordsFor(s.size)
+	if len(words) == need && (need == 0 || words[need-1]&^lastMask(s.size) == 0) {
+		s.words = words
+		s.shared = true
+		s.recount()
+		return
+	}
+	if s.shared || len(s.words) != need {
+		s.words = make([]uint64, need)
+		s.shared = false
+	} else {
+		clear(s.words)
+	}
+	copy(s.words, words)
+	if need > 0 {
+		s.words[need-1] &= lastMask(s.size)
+	}
+	s.recount()
+}
+
+// CopyFrom makes the set an exact copy of o (same domain size required),
+// reusing the backing words unless they are shared.
+func (s *Set) CopyFrom(o *Set) {
+	if s.size != o.size {
+		panic(fmt.Sprintf("bitset: CopyFrom domain mismatch: %d != %d", s.size, o.size))
+	}
+	if s.shared || len(s.words) != len(o.words) {
+		s.words = make([]uint64, len(o.words))
+		s.shared = false
+	}
+	copy(s.words, o.words)
+	s.count = o.count
+}
+
+// Clear empties the set, keeping the domain.
+func (s *Set) Clear() {
+	if s.shared {
+		s.words = make([]uint64, wordsFor(s.size))
+		s.shared = false
+	} else {
+		clear(s.words)
+	}
+	s.count = 0
+}
+
 // Words returns the set's backing words without copying. Callers must treat
 // the slice as read-only.
 func (s *Set) Words() []uint64 { return s.words }
@@ -116,14 +197,31 @@ func (s *Set) Size() int { return s.size }
 
 // Members lists the elements in increasing order.
 func (s *Set) Members() []int {
-	m := make([]int, 0, s.count)
+	return s.AppendMembers(make([]int, 0, s.count))
+}
+
+// AppendMembers appends the elements in increasing order to dst, returning
+// the extended slice — the allocation-free Members for callers with a
+// scratch buffer.
+func (s *Set) AppendMembers(dst []int) []int {
 	for wi, w := range s.words {
 		for w != 0 {
-			m = append(m, wi<<6+bits.TrailingZeros64(w))
+			dst = append(dst, wi<<6+bits.TrailingZeros64(w))
 			w &= w - 1
 		}
 	}
-	return m
+	return dst
+}
+
+// ForEach visits the elements in increasing order. The set must not be
+// mutated during the visit.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			fn(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
 }
 
 // RankOf returns the paper's grade: the number of members less than i.
@@ -147,6 +245,7 @@ func (s *Set) RankOf(i int) int {
 // Intersect removes every element absent from other (the paper's S ∩ Sᵢ).
 // Words beyond len(other) are treated as empty.
 func (s *Set) Intersect(other []uint64) {
+	s.own()
 	for i := range s.words {
 		if i < len(other) {
 			s.words[i] &= other[i]
@@ -160,6 +259,7 @@ func (s *Set) Intersect(other []uint64) {
 // Union adds every element of other (the paper's T ∪ Tᵢ); bits beyond the
 // set's size are ignored.
 func (s *Set) Union(other []uint64) {
+	s.own()
 	n := min(len(other), len(s.words))
 	for i := 0; i < n; i++ {
 		s.words[i] |= other[i]
@@ -172,6 +272,7 @@ func (s *Set) Union(other []uint64) {
 
 // Subtract removes every element present in other (set difference).
 func (s *Set) Subtract(other []uint64) {
+	s.own()
 	n := min(len(other), len(s.words))
 	for i := 0; i < n; i++ {
 		s.words[i] &^= other[i]

@@ -87,13 +87,14 @@ func Run(cfg Config, opt core.RunOptions) (Result, error) {
 				}
 			})
 			if id == 0 {
-				// The general knows the pool.
+				// The general knows the pool: one broadcast to the other
+				// senders (a single record on the engine's message plane).
 				pools[0] = cfg.Pool
-				sends := make([]sim.Send, 0, senders-1)
+				rcpts := make([]int, 0, senders-1)
 				for s := 1; s < senders; s++ {
-					sends = append(sends, sim.Send{To: s, Payload: PoolMsg{Units: cfg.Pool}})
+					rcpts = append(rcpts, s)
 				}
-				p.StepSend(sends...)
+				p.StepBroadcast(rcpts, PoolMsg{Units: cfg.Pool})
 			}
 			if id < senders {
 				// Stage 1 work: logical unit u means "inform process u-1 of

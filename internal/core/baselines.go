@@ -79,9 +79,8 @@ func UniformCheckpointScripts(cfg UniformConfig) (func(id int) sim.Script, error
 			ex(p, u)
 			since++
 			if since >= every || u == cfg.N {
-				sends := p.Broadcast(others(p, j), UniformDone{U: u})
-				if len(sends) > 0 {
-					p.StepSend(sends...)
+				if rcpts := others(p, j); len(rcpts) > 0 {
+					p.StepBroadcast(rcpts, UniformDone{U: u})
 				}
 				since = 0
 			}
@@ -222,14 +221,16 @@ func NewNaiveCascadeAdversary(n, t int) *NaiveCascadeAdversary {
 }
 
 // OnAction implements sim.Adversary: crash the sender of a final-unit report
-// (keeping the work and delivering the report), except process 1.
+// (keeping the work and delivering the report), except process 1. The scan
+// and the Deliver mask cover the action's virtual send list, so the verdict
+// is identical whether the report travels as a send or a broadcast.
 func (a *NaiveCascadeAdversary) OnAction(_ int64, pid int, act sim.Action) sim.Verdict {
 	if pid == 1 || a.crashed >= a.budget {
 		return sim.Survive()
 	}
-	for i, s := range act.Sends {
-		if r, ok := s.Payload.(NaiveReport); ok && r.Units == a.n {
-			deliver := make([]bool, len(act.Sends))
+	for i, n := 0, act.SendCount(); i < n; i++ {
+		if r, ok := act.SendAt(i).Payload.(NaiveReport); ok && r.Units == a.n {
+			deliver := make([]bool, n)
 			deliver[i] = true
 			a.crashed++
 			return sim.Verdict{Crash: true, KeepWork: true, Deliver: deliver}

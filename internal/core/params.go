@@ -37,12 +37,15 @@ type Assignment struct {
 	Units []int
 }
 
-// resolve fills in identity defaults and builds the reverse worker map.
+// resolve validates the assignment and builds the reverse worker map. The
+// identity assignment — the common case of every standalone run — is kept
+// as nil slices, so resolving, translating and pids-mapping allocate
+// nothing.
 type assignment struct {
 	n, t    int
-	workers []int
-	units   []int
-	posOf   map[int]int // engine pid -> logical position
+	workers []int       // nil = identity (position == PID)
+	units   []int       // nil = identity (logical == engine unit ID)
+	posOf   map[int]int // engine pid -> logical position; nil for identity
 }
 
 func resolveAssignment(n, t int, a Assignment) (assignment, error) {
@@ -53,46 +56,54 @@ func resolveAssignment(n, t int, a Assignment) (assignment, error) {
 		return assignment{}, fmt.Errorf("core: n = %d, need non-negative work", n)
 	}
 	r := assignment{n: n, t: t, workers: a.Workers, units: a.Units}
-	if r.workers == nil {
-		r.workers = make([]int, t)
-		for i := range r.workers {
-			r.workers[i] = i
+	if r.workers != nil {
+		if len(r.workers) != t {
+			return assignment{}, fmt.Errorf("core: %d workers for t = %d", len(r.workers), t)
+		}
+		r.posOf = make(map[int]int, t)
+		for pos, pid := range r.workers {
+			r.posOf[pid] = pos
 		}
 	}
-	if len(r.workers) != t {
-		return assignment{}, fmt.Errorf("core: %d workers for t = %d", len(r.workers), t)
-	}
-	if r.units == nil {
-		r.units = make([]int, n)
-		for i := range r.units {
-			r.units[i] = i + 1
-		}
-	}
-	if len(r.units) != n {
+	if r.units != nil && len(r.units) != n {
 		return assignment{}, fmt.Errorf("core: %d units for n = %d", len(r.units), n)
-	}
-	r.posOf = make(map[int]int, t)
-	for pos, pid := range r.workers {
-		r.posOf[pid] = pos
 	}
 	return r, nil
 }
 
 // unitID translates a logical unit (1-based) to its engine unit ID.
-func (a assignment) unitID(logical int) int { return a.units[logical-1] }
+func (a assignment) unitID(logical int) int {
+	if a.units == nil {
+		return logical
+	}
+	return a.units[logical-1]
+}
 
 // pid translates a logical position to its engine PID.
-func (a assignment) pid(pos int) int { return a.workers[pos] }
+func (a assignment) pid(pos int) int {
+	if a.workers == nil {
+		return pos
+	}
+	return a.workers[pos]
+}
 
 // pos translates an engine PID to a logical position (ok=false for
 // non-participants, whose messages the protocols ignore).
 func (a assignment) pos(pid int) (int, bool) {
+	if a.workers == nil {
+		return pid, pid >= 0 && pid < a.t
+	}
 	p, ok := a.posOf[pid]
 	return p, ok
 }
 
-// pids maps a slice of logical positions to engine PIDs.
+// pids maps a slice of logical positions to engine PIDs. Under the identity
+// assignment the input is returned as-is; callers must treat the result as
+// read-only.
 func (a assignment) pids(positions []int) []int {
+	if a.workers == nil {
+		return positions
+	}
 	out := make([]int, len(positions))
 	for i, p := range positions {
 		out[i] = a.pid(p)

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/sim"
+)
+
+// The broadcast record plane must be invisible in the Results: running every
+// protocol with its broadcasts expanded per send (sim.FlattenBroadcasts, the
+// reference semantics) must produce reflect.DeepEqual Results under every
+// adversary — including crash-mid-broadcast subset verdicts, which apply
+// per recipient against the shared record on the native plane.
+
+func flattenedSteppers(steppers func(int) sim.Stepper) func(int) sim.Stepper {
+	return func(id int) sim.Stepper { return sim.FlattenBroadcasts(steppers(id)) }
+}
+
+func TestBroadcastPlaneEquivalence(t *testing.T) {
+	grids := []struct{ n, t int }{{16, 4}, {24, 8}, {30, 7}, {144, 12}}
+	for _, g := range grids {
+		for _, c := range substrateCases(g.n, g.t) {
+			for advName, mkAdv := range substrateAdversaries(g.n, g.t) {
+				name := fmt.Sprintf("%s/n=%d,t=%d/%s", c.name, g.n, g.t, advName)
+				t.Run(name, func(t *testing.T) {
+					pr, err := c.procs()
+					if err != nil {
+						t.Fatalf("procs: %v", err)
+					}
+					pr2, err := c.procs() // fresh builder: shared per-run state
+					if err != nil {
+						t.Fatalf("procs: %v", err)
+					}
+					opt := func() RunOptions {
+						return RunOptions{
+							Adversary:       mkAdv(),
+							MaxActive:       c.maxActive,
+							DetailedMetrics: true,
+						}
+					}
+					native, nativeErr := RunSteppers(g.n, g.t, pr.Steppers, opt())
+					flat, flatErr := RunSteppers(g.n, g.t, flattenedSteppers(pr2.Steppers), opt())
+					if fmt.Sprint(nativeErr) != fmt.Sprint(flatErr) {
+						t.Fatalf("plane errors diverge: native=%v flat=%v", nativeErr, flatErr)
+					}
+					if !reflect.DeepEqual(native, flat) {
+						t.Fatalf("planes diverge:\nnative: %+v\nflat:   %+v", native, flat)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBroadcastPlaneCrashMidBroadcast aims a KindCount adversary at a full
+// checkpoint so the crash truncates a broadcast to a strict prefix of its
+// recipients, and requires both planes to agree on the aftermath.
+func TestBroadcastPlaneCrashMidBroadcast(t *testing.T) {
+	n, tt := 100, 9
+	for _, prefix := range []int{0, 1, 2} {
+		prefix := prefix
+		t.Run(fmt.Sprintf("prefix=%d", prefix), func(t *testing.T) {
+			mkAdv := func() sim.Adversary {
+				return &adversary.KindCount{PID: 0, Kind: "full-cp", N: 1, Prefix: prefix}
+			}
+			opt := func() RunOptions {
+				return RunOptions{Adversary: mkAdv(), MaxActive: 1, DetailedMetrics: true}
+			}
+			run := func(flatten bool) (sim.Result, error) {
+				steppers, err := ProtocolBSteppers(ABConfig{N: n, T: tt})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if flatten {
+					steppers = flattenedSteppers(steppers)
+				}
+				return RunSteppers(n, tt, steppers, opt())
+			}
+			native, err := run(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flat, err := run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(native, flat) {
+				t.Fatalf("planes diverge:\nnative: %+v\nflat:   %+v", native, flat)
+			}
+			if native.Crashes != 1 {
+				t.Fatalf("Crashes = %d, want 1", native.Crashes)
+			}
+			if err := CheckCompletion(native); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPooledRunDeterminism re-runs the same configurations through the
+// pooled core runner and requires identical Results: engine reuse across
+// runs must be invisible.
+func TestPooledRunDeterminism(t *testing.T) {
+	type runCase struct {
+		name  string
+		run   func() (sim.Result, error)
+		first sim.Result
+	}
+	cases := []runCase{}
+	mk := func(name string, run func() (sim.Result, error)) {
+		cases = append(cases, runCase{name: name, run: run})
+	}
+	mk("B-cascade", func() (sim.Result, error) {
+		pr, err := ProtocolBProcs(ABConfig{N: 60, T: 9})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return RunProcs(60, 9, pr, RunOptions{
+			Adversary: adversary.NewCascade(2, 8), MaxActive: 1, DetailedMetrics: true,
+		})
+	})
+	mk("D-random", func() (sim.Result, error) {
+		pr, err := ProtocolDProcs(DConfig{N: 64, T: 8})
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return RunProcs(64, 8, pr, RunOptions{
+			Adversary: adversary.NewRandom(0.05, 7, 3), DetailedMetrics: true,
+		})
+	})
+	for i := range cases {
+		res, err := cases[i].run()
+		if err != nil {
+			t.Fatalf("%s: %v", cases[i].name, err)
+		}
+		cases[i].first = res
+	}
+	// Interleave repeats so pooled engines are reused across differing
+	// shapes and protocols.
+	for round := 0; round < 3; round++ {
+		for i := range cases {
+			res, err := cases[i].run()
+			if err != nil {
+				t.Fatalf("%s round %d: %v", cases[i].name, round, err)
+			}
+			if !reflect.DeepEqual(res, cases[i].first) {
+				t.Fatalf("%s round %d diverges from first run:\nfirst: %+v\nnow:   %+v",
+					cases[i].name, round, cases[i].first, res)
+			}
+		}
+	}
+}

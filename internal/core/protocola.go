@@ -83,22 +83,24 @@ type ordMsg struct {
 }
 
 // parse classifies an incoming message for positions of this run. It
-// returns (ordinary, goAhead, ok): non-participants and foreign payloads are
-// ignored.
-func (ab *abState) parse(m sim.Message) (*ordMsg, bool, bool) {
-	from, ok := ab.as.pos(m.From)
-	if !ok {
-		return nil, false, false
+// returns the parsed ordinary message (valid only when hasOrd), whether the
+// message was a go-ahead, and ok=false for non-participants and foreign
+// payloads. The ordMsg travels by value: parsing sits on the per-message hot
+// path and must not allocate.
+func (ab *abState) parse(m sim.Message) (om ordMsg, hasOrd, goAhead, ok bool) {
+	from, k := ab.as.pos(m.From)
+	if !k {
+		return om, false, false, false
 	}
 	switch pl := m.Payload.(type) {
 	case PartialCP:
-		return &ordMsg{from: from, sentAt: m.SentAt, c: pl.C}, false, true
+		return ordMsg{from: from, sentAt: m.SentAt, c: pl.C}, true, false, true
 	case FullCP:
-		return &ordMsg{from: from, sentAt: m.SentAt, c: pl.C, full: true, g: pl.G}, false, true
+		return ordMsg{from: from, sentAt: m.SentAt, c: pl.C, full: true, g: pl.G}, true, false, true
 	case GoAhead:
-		return nil, true, true
+		return om, false, true, true
 	default:
-		return nil, false, false
+		return om, false, false, false
 	}
 }
 
@@ -147,19 +149,21 @@ func RunProtocolA(p *sim.Proc, cfg ABConfig, j int) error {
 		return nil
 	}
 	deadline := cfg.StartRound + ab.tm.dd(j)
-	var last *ordMsg
+	var lastVal ordMsg
+	var last *ordMsg // nil until the first ordinary message arrives
 	for {
 		msgs := p.WaitUntil(deadline)
 		for i := range msgs {
-			om, _, ok := ab.parse(msgs[i])
-			if !ok || om == nil {
+			om, hasOrd, _, ok := ab.parse(msgs[i])
+			if !ok || !hasOrd {
 				continue
 			}
-			if ab.isTermination(om, j) {
+			if ab.isTermination(&om, j) {
 				return nil
 			}
-			if newer(last, om) {
-				last = om
+			if newer(last, &om) {
+				lastVal = om
+				last = &lastVal
 			}
 		}
 		if p.Now() >= deadline {
@@ -239,17 +243,18 @@ func (ab *abState) echo(p *sim.Proc, j int, payload any) {
 	if len(rem) == 0 {
 		return
 	}
-	p.StepSend(p.Broadcast(ab.as.pids(rem), payload)...)
+	p.StepBroadcast(ab.as.pids(rem), payload)
 }
 
 // fullCheckpoint informs groups fromG..G that subchunk c is complete,
 // checkpointing each notification back to j's own group (paper Fig. 1).
 func (ab *abState) fullCheckpoint(p *sim.Proc, j, c, fromG int) {
 	for g := fromG; g <= ab.q.G; g++ {
-		members := ab.q.Members(g)
-		sends := p.Broadcast(ab.as.pids(members), FullCP{C: c, G: g})
-		if len(sends) > 0 {
-			p.StepSend(sends...)
+		pids := ab.as.pids(ab.q.Members(g))
+		// Skip the round only when the group is just the sender itself (the
+		// broadcast would be empty).
+		if len(pids) > 1 || (len(pids) == 1 && pids[0] != p.ID()) {
+			p.StepBroadcast(pids, FullCP{C: c, G: g})
 		}
 		ab.echo(p, j, FullCP{C: c, G: g})
 	}

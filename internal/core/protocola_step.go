@@ -12,11 +12,23 @@ type aMachine struct {
 	ab       *abState
 	j        int
 	deadline int64
-	last     *ordMsg
+	last     ordMsg // valid only when hasLast
+	hasLast  bool
 	working  bool
 	dwReady  bool
 	dw       dwMachine
 }
+
+// lastPtr is the nil-able view of last that DoWork's takeover logic expects.
+func (m *aMachine) lastPtr() *ordMsg {
+	if !m.hasLast {
+		return nil
+	}
+	return &m.last
+}
+
+// Step implements sim.Stepper.
+func (m *aMachine) Step(p *sim.Proc) sim.Yield { return machineYield(m, p) }
 
 func newAMachine(ab *abState, j int) *aMachine {
 	m := &aMachine{ab: ab, j: j}
@@ -32,7 +44,7 @@ func (m *aMachine) step(p *sim.Proc) (sim.Yield, bool) {
 	for {
 		if m.working {
 			if !m.dwReady {
-				m.dw.init(m.ab, p, m.j, m.last)
+				m.dw.init(m.ab, p, m.j, m.lastPtr())
 				m.dwReady = true
 			}
 			y, done := m.dw.step(p)
@@ -47,15 +59,16 @@ func (m *aMachine) step(p *sim.Proc) (sim.Yield, bool) {
 		}
 		msgs := p.Drain()
 		for i := range msgs {
-			om, _, ok := m.ab.parse(msgs[i])
-			if !ok || om == nil {
+			om, hasOrd, _, ok := m.ab.parse(msgs[i])
+			if !ok || !hasOrd {
 				continue
 			}
-			if m.ab.isTermination(om, m.j) {
+			if m.ab.isTermination(&om, m.j) {
 				return sim.Yield{}, true
 			}
-			if newer(m.last, om) {
+			if newer(m.lastPtr(), &om) {
 				m.last = om
+				m.hasLast = true
 			}
 		}
 		if p.Now() >= m.deadline {
@@ -79,7 +92,7 @@ func ProtocolASteppers(cfg ABConfig) (func(id int) sim.Stepper, error) {
 	// goroutine, but one Procs value may back several engines concurrently.
 	ab.pidsByGroup()
 	return func(id int) sim.Stepper {
-		return machineStepper{m: newAMachine(ab, id)}
+		return newAMachine(ab, id)
 	}, nil
 }
 

@@ -33,16 +33,16 @@ func RunProtocolB(p *sim.Proc, cfg ABConfig, j int) error {
 	}
 	// The fictitious round-0 ordinary message "(0, g)" from process 0
 	// (paper §2.3): it exists only to seed the deadline computation.
-	last := &ordMsg{from: 0, sentAt: cfg.StartRound - 1, c: 0}
+	last := ordMsg{from: 0, sentAt: cfg.StartRound - 1, c: 0}
 	lastRecv := cfg.StartRound
 	for {
 		deadline := lastRecv + ab.tm.ddb(j, last.from)
 		msgs := p.WaitUntil(deadline)
-		ord, goAhead, term := ab.scanInbox(msgs, j, last)
+		ord, hasOrd, goAhead, term := ab.scanInbox(msgs, j, &last)
 		if term {
 			return nil
 		}
-		if ord != nil {
+		if hasOrd {
 			last = ord
 			lastRecv = ord.sentAt + 1
 		}
@@ -52,12 +52,12 @@ func RunProtocolB(p *sim.Proc, cfg ABConfig, j int) error {
 			// concurrently delivered ordinary message has already updated
 			// `last`, so the takeover resumes from the freshest knowledge.
 			if last.c < ab.tm.p {
-				ab.doWork(p, j, realOrNil(last))
+				ab.doWork(p, j, realOrNil(&last))
 				return nil
 			}
 			continue
 		}
-		if ord != nil || p.Now() < deadline {
+		if hasOrd || p.Now() < deadline {
 			continue
 		}
 		done, err := ab.preactive(p, j, &last, &lastRecv)
@@ -80,13 +80,12 @@ func realOrNil(om *ordMsg) *ordMsg {
 }
 
 // scanInbox classifies a batch of delivered messages: the newest ordinary
-// message (if any), whether a go-ahead arrived, and whether a termination
-// indication arrived.
-func (ab *abState) scanInbox(msgs []sim.Message, j int, last *ordMsg) (*ordMsg, bool, bool) {
-	var newest *ordMsg
-	goAhead := false
+// message later than last (valid only when hasNew), whether a go-ahead
+// arrived, and whether a termination indication arrived. Results travel by
+// value — scanning is the per-message hot path.
+func (ab *abState) scanInbox(msgs []sim.Message, j int, last *ordMsg) (newest ordMsg, hasNew, goAhead, term bool) {
 	for i := range msgs {
-		om, ga, ok := ab.parse(msgs[i])
+		om, hasOrd, ga, ok := ab.parse(msgs[i])
 		if !ok {
 			continue
 		}
@@ -94,14 +93,17 @@ func (ab *abState) scanInbox(msgs []sim.Message, j int, last *ordMsg) (*ordMsg, 
 			goAhead = true
 			continue
 		}
-		if ab.isTermination(om, j) {
-			return nil, false, true
+		if !hasOrd {
+			continue
 		}
-		if newer(last, om) && newer(newest, om) {
-			newest = om
+		if ab.isTermination(&om, j) {
+			return ordMsg{}, false, false, true
+		}
+		if newer(last, &om) && (!hasNew || newer(&newest, &om)) {
+			newest, hasNew = om, true
 		}
 	}
-	return newest, goAhead, false
+	return newest, hasNew, goAhead, false
 }
 
 // preactive runs the paper's PreactivePhase: probe the lower-numbered,
@@ -109,36 +111,36 @@ func (ab *abState) scanInbox(msgs []sim.Message, j int, last *ordMsg) (*ordMsg, 
 // rounds apart. Returns done=true when the process retired (it became active
 // and finished, or it learned of termination); otherwise the process went
 // passive again after hearing an ordinary message (recorded in *last).
-func (ab *abState) preactive(p *sim.Proc, j int, last **ordMsg, lastRecv *int64) (bool, error) {
+func (ab *abState) preactive(p *sim.Proc, j int, last *ordMsg, lastRecv *int64) (bool, error) {
 	gj := ab.q.GroupOf(j)
 	var iPrime int
-	if ab.q.GroupOf((*last).from) != gj {
+	if ab.q.GroupOf(last.from) != gj {
 		lo, _ := ab.q.Bounds(gj)
 		iPrime = lo
 	} else {
-		iPrime = (*last).from + 1
+		iPrime = last.from + 1
 	}
 	for iPrime < j {
 		p.StepSend(sim.Send{To: ab.as.pid(iPrime), Payload: GoAhead{}})
 		probeDeadline := p.Now() - 1 + ab.tm.pto() // PTO rounds between probes
 		for {
 			msgs := p.WaitUntil(probeDeadline)
-			ord, goAhead, term := ab.scanInbox(msgs, j, *last)
+			ord, hasOrd, goAhead, term := ab.scanInbox(msgs, j, last)
 			if term {
 				return true, nil
 			}
-			if ord != nil {
+			if hasOrd {
 				*last = ord
 				*lastRecv = ord.sentAt + 1
 			}
 			if goAhead {
-				if (*last).c < ab.tm.p {
-					ab.doWork(p, j, realOrNil(*last))
+				if last.c < ab.tm.p {
+					ab.doWork(p, j, realOrNil(last))
 					return true, nil
 				}
 				return false, nil
 			}
-			if ord != nil {
+			if hasOrd {
 				// The probed process (or another) woke up: back to passive.
 				return false, nil
 			}
@@ -151,7 +153,7 @@ func (ab *abState) preactive(p *sim.Proc, j int, last **ordMsg, lastRecv *int64)
 		}
 		iPrime++
 	}
-	ab.doWork(p, j, realOrNil(*last))
+	ab.doWork(p, j, realOrNil(last))
 	return true, nil
 }
 

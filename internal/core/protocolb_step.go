@@ -12,15 +12,31 @@ type bMachine struct {
 	j  int
 	st int // bPassive, bProbe, bProbeSent, bProbeWait, bWork
 
-	last     *ordMsg
+	last     ordMsg // always valid: seeded with the fictitious round-0 message
 	lastRecv int64
 
 	iPrime        int
 	probeDeadline int64
+	probe         [1]sim.Send // scratch backing the go-ahead poll action
 
-	workLast *ordMsg // what DoWork resumes from (realOrNil applied)
-	dwReady  bool
-	dw       dwMachine
+	workLast    ordMsg // what DoWork resumes from (realOrNil applied)
+	hasWorkLast bool
+	dwReady     bool
+	dw          dwMachine
+}
+
+// setWorkLast records what DoWork resumes from, stripping the fictitious
+// seed message like realOrNil.
+func (m *bMachine) setWorkLast() {
+	m.workLast = m.last
+	m.hasWorkLast = m.last.c != 0 || m.last.full
+}
+
+func (m *bMachine) workLastPtr() *ordMsg {
+	if !m.hasWorkLast {
+		return nil
+	}
+	return &m.workLast
 }
 
 const (
@@ -31,6 +47,9 @@ const (
 	bWork
 )
 
+// Step implements sim.Stepper.
+func (m *bMachine) Step(p *sim.Proc) sim.Yield { return machineYield(m, p) }
+
 func newBMachine(ab *abState, j int) *bMachine {
 	m := &bMachine{ab: ab, j: j}
 	if j == 0 {
@@ -39,7 +58,7 @@ func newBMachine(ab *abState, j int) *bMachine {
 	}
 	// The fictitious round-0 ordinary message "(0, g)" from process 0
 	// (paper §2.3): it exists only to seed the deadline computation.
-	m.last = &ordMsg{from: 0, sentAt: ab.cfg.StartRound - 1, c: 0}
+	m.last = ordMsg{from: 0, sentAt: ab.cfg.StartRound - 1, c: 0}
 	m.lastRecv = ab.cfg.StartRound
 	m.st = bPassive
 	return m
@@ -50,7 +69,7 @@ func (m *bMachine) step(p *sim.Proc) (sim.Yield, bool) {
 		switch m.st {
 		case bWork:
 			if !m.dwReady {
-				m.dw.init(m.ab, p, m.j, m.workLast)
+				m.dw.init(m.ab, p, m.j, m.workLastPtr())
 				m.dwReady = true
 			}
 			y, done := m.dw.step(p)
@@ -65,11 +84,11 @@ func (m *bMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			if shouldSleep(p, deadline) {
 				return sleepYield(deadline), false
 			}
-			ord, goAhead, term := m.ab.scanInbox(p.Drain(), m.j, m.last)
+			ord, hasOrd, goAhead, term := m.ab.scanInbox(p.Drain(), m.j, &m.last)
 			if term {
 				return sim.Yield{}, true
 			}
-			if ord != nil {
+			if hasOrd {
 				m.last = ord
 				m.lastRecv = ord.sentAt + 1
 			}
@@ -79,12 +98,12 @@ func (m *bMachine) step(p *sim.Proc) (sim.Yield, bool) {
 				// concurrently delivered ordinary message has already updated
 				// `last`, so the takeover resumes from the freshest knowledge.
 				if m.last.c < m.ab.tm.p {
-					m.workLast = realOrNil(m.last)
+					m.setWorkLast()
 					m.st = bWork
 				}
 				continue
 			}
-			if ord != nil || p.Now() < deadline {
+			if hasOrd || p.Now() < deadline {
 				continue
 			}
 			// Go preactive: probe the lower-numbered, not-yet-cleared
@@ -100,12 +119,13 @@ func (m *bMachine) step(p *sim.Proc) (sim.Yield, bool) {
 
 		case bProbe:
 			if m.iPrime >= m.j {
-				m.workLast = realOrNil(m.last)
+				m.setWorkLast()
 				m.st = bWork
 				continue
 			}
 			m.st = bProbeSent
-			return sendYield([]sim.Send{{To: m.ab.as.pid(m.iPrime), Payload: GoAhead{}}}), false
+			m.probe[0] = sim.Send{To: m.ab.as.pid(m.iPrime), Payload: GoAhead{}}
+			return sendYield(m.probe[:]), false
 
 		case bProbeSent:
 			// PTO rounds between probes, measured from the send round (the
@@ -117,24 +137,24 @@ func (m *bMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			if shouldSleep(p, m.probeDeadline) {
 				return sleepYield(m.probeDeadline), false
 			}
-			ord, goAhead, term := m.ab.scanInbox(p.Drain(), m.j, m.last)
+			ord, hasOrd, goAhead, term := m.ab.scanInbox(p.Drain(), m.j, &m.last)
 			if term {
 				return sim.Yield{}, true
 			}
-			if ord != nil {
+			if hasOrd {
 				m.last = ord
 				m.lastRecv = ord.sentAt + 1
 			}
 			if goAhead {
 				if m.last.c < m.ab.tm.p {
-					m.workLast = realOrNil(m.last)
+					m.setWorkLast()
 					m.st = bWork
 				} else {
 					m.st = bPassive
 				}
 				continue
 			}
-			if ord != nil {
+			if hasOrd {
 				// The probed process (or another) woke up: back to passive.
 				m.st = bPassive
 				continue
@@ -166,7 +186,7 @@ func ProtocolBSteppers(cfg ABConfig) (func(id int) sim.Stepper, error) {
 	// goroutine, but one Procs value may back several engines concurrently.
 	ab.pidsByGroup()
 	return func(id int) sim.Stepper {
-		return machineStepper{m: newBMachine(ab, id)}
+		return newBMachine(ab, id)
 	}, nil
 }
 

@@ -126,11 +126,8 @@ func RunProtocolC(p *sim.Proc, cfg CConfig, i int) error {
 			}
 		}
 		if len(pollers) > 0 {
-			sends := make([]sim.Send, len(pollers))
-			for k, q := range pollers {
-				sends[k] = sim.Send{To: q, Payload: Alive{}}
-			}
-			p.StepSend(sends...)
+			// One Alive payload to every poller: a single broadcast record.
+			p.StepBroadcast(pollers, Alive{})
 		}
 		if lastOrd >= 0 {
 			deadline = satAdd(lastOrd, st.tm.deadline(i, v.Reduced()))

@@ -38,6 +38,9 @@ const (
 	cWorkAfter
 )
 
+// Step implements sim.Stepper.
+func (m *cMachine) Step(p *sim.Proc) sim.Yield { return machineYield(m, p) }
+
 func newCMachine(st *cState, i int) *cMachine {
 	return &cMachine{st: st, i: i, v: view.New(st.ix, i, st.cfg.T), state: cInit}
 }
@@ -80,11 +83,8 @@ func (m *cMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			}
 			m.state = cAfterAlive
 			if len(m.pollers) > 0 {
-				sends := make([]sim.Send, len(m.pollers))
-				for k, q := range m.pollers {
-					sends[k] = sim.Send{To: q, Payload: Alive{}}
-				}
-				return sendYield(sends), false
+				// One Alive payload to every poller: a single broadcast record.
+				return broadcastYield(p, m.pollers, Alive{}), false
 			}
 
 		case cAfterAlive:
@@ -237,7 +237,7 @@ func ProtocolCSteppers(cfg CConfig) (func(id int) sim.Stepper, error) {
 		return nil, err
 	}
 	return func(id int) sim.Stepper {
-		return machineStepper{m: newCMachine(st, id)}
+		return newCMachine(st, id)
 	}, nil
 }
 

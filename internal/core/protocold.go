@@ -188,17 +188,13 @@ func (st *dState) agree(p *sim.Proc, j, phase int, s, t *bitset.Set, grace bool,
 	}
 }
 
-// bcast sends the current view to every other member of u (one round; an
-// empty recipient list still consumes the round to keep processes aligned).
+// bcast sends the current view to every other member of u as one broadcast
+// record (one round; an empty recipient list still consumes the round to
+// keep processes aligned). The view's word slices are copy-on-write shared
+// snapshots of the sender's sets.
 func (st *dState) bcast(p *sim.Proc, j, phase int, u, s, t *bitset.Set, done bool) {
-	v := DView{Phase: phase, S: s.Snapshot(), T: t.Snapshot(), Done: done}
-	sends := make([]sim.Send, 0, u.Count())
-	for _, i := range u.Members() {
-		if i != j {
-			sends = append(sends, sim.Send{To: i, Payload: v})
-		}
-	}
-	p.StepSend(sends...)
+	v := DView{Phase: phase, S: s.Shared(), T: t.Shared(), Done: done}
+	p.StepBroadcast(u.Members(), v)
 }
 
 type taggedView struct {

@@ -12,6 +12,11 @@ import (
 // the style of Eventual Byzantine Agreement, and the Protocol A revert
 // (running an embedded aMachine over the survivors) when more than the
 // revert factor's share of a phase's processes die.
+//
+// The machine is allocation-frugal on the hot path: the view sets it
+// broadcasts are copy-on-write shared snapshots (bitset.Shared /
+// AdoptShared), member lists and received views land in reusable scratch
+// buffers, and every broadcast is one engine record via the broadcast plane.
 type dMachine struct {
 	st    *dState
 	j     int
@@ -21,14 +26,22 @@ type dMachine struct {
 	s, t  *bitset.Set
 	buf   map[int][]taggedView
 
-	// Work phase cursors.
+	// Work phase cursors; units is a reused scratch of s's members.
 	units         []int
 	lo, hi, chunk int
 	k, padK       int
 
-	// Agreement phase (the paper's Agree, Fig. 4).
-	u, tNew, sCur, tPrev *bitset.Set
+	// Agreement phase (the paper's Agree, Fig. 4). u, uPrev, tNew and sCur
+	// are machine-owned sets reused across phases (sCur and tNew swap roles
+	// with s and t when a phase decides); tPrevCount is |T| at the start of
+	// the phase, kept for the revert check. heard, views and rcpts are
+	// per-round scratch.
+	u, uPrev, tNew, sCur *bitset.Set
+	tPrevCount           int
 	ctr                  int
+	heard                []bool
+	views                []taggedView
+	rcpts                []int
 
 	rev *aMachine
 }
@@ -43,6 +56,9 @@ const (
 	dRevert
 )
 
+// Step implements sim.Stepper.
+func (m *dMachine) Step(p *sim.Proc) sim.Yield { return machineYield(m, p) }
+
 func newDMachine(st *dState, j int) *dMachine {
 	// S is 1-based over units: slot 0 unused.
 	s := bitset.New(st.cfg.N+1, true)
@@ -52,6 +68,11 @@ func newDMachine(st *dState, j int) *dMachine {
 		j:     j,
 		s:     s,
 		t:     bitset.New(st.cfg.T, true),
+		u:     bitset.New(st.cfg.T, false),
+		uPrev: bitset.New(st.cfg.T, false),
+		tNew:  bitset.New(st.cfg.T, false),
+		sCur:  bitset.New(st.cfg.N+1, false),
+		heard: make([]bool, st.cfg.T),
 		buf:   make(map[int][]taggedView),
 		state: dPhaseTop,
 	}
@@ -68,7 +89,7 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			// ---- Work phase: the members of T split S evenly by rank. ----
 			m.chunk = (m.s.Count() + m.t.Count() - 1) / m.t.Count()
 			rank := m.t.RankOf(m.j)
-			m.units = m.s.Members()
+			m.units = m.s.AppendMembers(m.units[:0])
 			m.lo = min(rank*m.chunk, len(m.units))
 			m.hi = min(m.lo+m.chunk, len(m.units))
 			m.k = m.lo
@@ -95,12 +116,12 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			for k := m.lo; k < m.hi; k++ {
 				m.s.Remove(m.units[k])
 			}
-			m.tPrev = m.t
+			m.tPrevCount = m.t.Count()
 			// ---- Agreement phase. ----
-			m.u = m.t.Clone()                      // who we still listen to (paper's U)
-			m.tNew = bitset.New(m.st.cfg.T, false) // paper's T, rebuilt from who we hear
+			m.u.CopyFrom(m.t) // who we still listen to (paper's U)
+			m.tNew.Clear()    // paper's T, rebuilt from who we hear
 			m.tNew.Add(m.j)
-			m.sCur = m.s.Clone()
+			m.sCur.CopyFrom(m.s)
 			m.ctr = 1
 			if m.phase > 1 {
 				m.ctr = 0 // one-round grace: processes may be skewed by one round
@@ -110,14 +131,15 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 
 		case dAgreeCollect:
 			views := m.collect(p)
-			uPrev := m.u.Clone()
-			heard := make(map[int]bool, len(views))
+			m.uPrev.CopyFrom(m.u)
+			clear(m.heard)
 			done := false
-			for _, v := range views {
-				heard[v.sender] = true
+			for i := range views {
+				v := &views[i]
+				m.heard[v.sender] = true
 				if v.Done {
-					m.sCur = bitset.From(v.S, m.st.cfg.N+1)
-					m.tNew = bitset.From(v.T, m.st.cfg.T)
+					m.sCur.AdoptShared(v.S)
+					m.tNew.AdoptShared(v.T)
 					done = true
 				} else if !done {
 					m.sCur.Intersect(v.S)
@@ -125,12 +147,14 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 				}
 			}
 			if !done {
-				for _, i := range uPrev.Members() {
-					if i != m.j && !heard[i] && m.ctr >= 1 {
-						m.u.Remove(i)
-					}
+				if m.ctr >= 1 {
+					m.uPrev.ForEach(func(i int) {
+						if i != m.j && !m.heard[i] {
+							m.u.Remove(i)
+						}
+					})
 				}
-				if m.u.Equal(uPrev) && m.ctr >= 1 {
+				if m.u.Equal(m.uPrev) && m.ctr >= 1 {
 					done = true
 				}
 			}
@@ -142,12 +166,15 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			return m.bcastYield(p, false), false
 
 		case dAgreeDone:
-			m.s, m.t = m.sCur, m.tNew
+			// Adopt the decided view by swapping roles with the scratch sets;
+			// sCur and tNew are rebuilt at the next dAgreeBegin.
+			m.s, m.sCur = m.sCur, m.s
+			m.t, m.tNew = m.tNew, m.t
 			if !m.t.Has(m.j) {
 				panic(fmt.Sprintf("core: protocol D: correct process %d dropped from T", m.j))
 			}
 			// ---- Revert check (Theorem 4.1 part 2). ----
-			if !m.st.cfg.DisableRevert && float64(m.tPrev.Count()) > m.st.factor*float64(m.t.Count()) {
+			if !m.st.cfg.DisableRevert && float64(m.tPrevCount) > m.st.factor*float64(m.t.Count()) {
 				workers := m.t.Members()
 				remaining := m.s.Members()
 				pos := m.t.RankOf(m.j)
@@ -174,20 +201,25 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 	}
 }
 
-// bcastYield sends the current view to every other member of u (one round;
-// an empty recipient list still consumes the round to keep processes
-// aligned).
+// bcastYield sends the current view to every other member of u as one
+// broadcast record (one round; an empty recipient list still consumes the
+// round to keep processes aligned). The view's word slices are shared
+// copy-on-write snapshots — every recipient reads the same frozen words.
 func (m *dMachine) bcastYield(p *sim.Proc, done bool) sim.Yield {
-	v := DView{Phase: m.phase, S: m.sCur.Snapshot(), T: m.tNew.Snapshot(), Done: done}
-	return sendYield(p.Broadcast(m.u.Members(), v))
+	v := DView{Phase: m.phase, S: m.sCur.Shared(), T: m.tNew.Shared(), Done: done}
+	m.rcpts = m.u.AppendMembers(m.rcpts[:0])
+	return broadcastYield(p, m.rcpts, v)
 }
 
 // collect drains the messages delivered this round, returning the current
-// phase's views in sender order; views for future phases are buffered, stale
-// ones dropped.
+// phase's views in sender order (in a scratch buffer valid until the next
+// collect); views for future phases are buffered, stale ones dropped.
 func (m *dMachine) collect(p *sim.Proc) []taggedView {
-	views := m.buf[m.phase]
-	delete(m.buf, m.phase)
+	views := m.views[:0]
+	if b, ok := m.buf[m.phase]; ok {
+		views = append(views, b...)
+		delete(m.buf, m.phase)
+	}
 	for _, msg := range p.Drain() {
 		v, ok := msg.Payload.(DView)
 		if !ok {
@@ -200,6 +232,7 @@ func (m *dMachine) collect(p *sim.Proc) []taggedView {
 			m.buf[v.Phase] = append(m.buf[v.Phase], taggedView{DView: v, sender: msg.From})
 		}
 	}
+	m.views = views
 	return views
 }
 
@@ -215,7 +248,7 @@ func ProtocolDSteppers(cfg DConfig) (func(id int) sim.Stepper, error) {
 		return nil, err
 	}
 	return func(id int) sim.Stepper {
-		return machineStepper{m: newDMachine(st, id)}
+		return newDMachine(st, id)
 	}, nil
 }
 

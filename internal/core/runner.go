@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -30,15 +31,36 @@ type Procs struct {
 	Steppers func(id int) sim.Stepper
 }
 
+// enginePool recycles engines — and with them the Proc objects, inbox
+// buffers, run queue, heap and message buffers a run accumulates — across
+// the millions of runs a sweep performs. Engine.Reset makes a pooled engine
+// indistinguishable from a fresh one, so every core entry point runs
+// pooled; sync.Pool's per-P caches give each batch worker its own engine
+// without coordination.
+var enginePool = sync.Pool{New: func() any { return new(sim.Engine) }}
+
+// runPooled executes one run on a recycled engine. The engine is returned
+// to the pool even when the run errs (the engine stays consistent); it is
+// deliberately dropped if anything panics through Run.
+func runPooled(cfg sim.Config, steppers func(id int) sim.Stepper) (sim.Result, error) {
+	eng := enginePool.Get().(*sim.Engine)
+	eng.Reset(cfg, steppers)
+	res, err := eng.Run()
+	enginePool.Put(eng)
+	return res, err
+}
+
 // Run executes scripts for an (n, t) instance and returns the metrics.
 func Run(n, t int, scripts func(id int) sim.Script, opt RunOptions) (sim.Result, error) {
-	return sim.New(engineConfig(n, t, opt), scripts).Run()
+	return runPooled(engineConfig(n, t, opt), func(id int) sim.Stepper {
+		return sim.ScriptStepper(scripts(id))
+	})
 }
 
 // RunSteppers executes steppers for an (n, t) instance and returns the
 // metrics.
 func RunSteppers(n, t int, steppers func(id int) sim.Stepper, opt RunOptions) (sim.Result, error) {
-	return sim.NewStepper(engineConfig(n, t, opt), steppers).Run()
+	return runPooled(engineConfig(n, t, opt), steppers)
 }
 
 // RunProcs executes a protocol on whichever substrate its builder chose.

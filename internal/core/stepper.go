@@ -25,11 +25,11 @@ type machine interface {
 	step(p *sim.Proc) (sim.Yield, bool)
 }
 
-// machineStepper adapts a machine to sim.Stepper, converting done into halt.
-type machineStepper struct{ m machine }
-
-func (s machineStepper) Step(p *sim.Proc) sim.Yield {
-	y, done := s.m.step(p)
+// machineYield adapts one machine step to the Stepper contract, converting
+// done into halt. Each machine type implements sim.Stepper directly through
+// it, so a process costs one machine allocation and no interface box.
+func machineYield(m machine, p *sim.Proc) sim.Yield {
+	y, done := m.step(p)
 	if done {
 		return sim.Yield{Kind: sim.YieldHalt}
 	}
@@ -42,6 +42,12 @@ func sleepYield(until int64) sim.Yield {
 
 func sendYield(sends []sim.Send) sim.Yield {
 	return sim.Yield{Kind: sim.YieldAction, Action: sim.Action{Sends: sends}}
+}
+
+// broadcastYield commits one payload to every PID in to except the caller,
+// as a single broadcast record on the engine's message plane.
+func broadcastYield(p *sim.Proc, to []int, payload any) sim.Yield {
+	return sim.Yield{Kind: sim.YieldAction, Action: sim.Action{Broadcast: p.BroadcastTo(to, payload)}}
 }
 
 func workYield(unit int) sim.Yield {
@@ -160,15 +166,15 @@ func (m *dwMachine) step(p *sim.Proc) (sim.Yield, bool) {
 		case dwChorePartial:
 			m.op = dwChoreEcho
 			if m.hasPartial {
-				if sends, ok := m.partialSends(p, m.c); ok {
-					return sendYield(sends), false
+				if y, ok := m.partialYield(p, m.c); ok {
+					return y, false
 				}
 			}
 		case dwChoreEcho:
 			m.op = dwChoreFull
 			if m.hasEcho {
-				if sends, ok := m.echoSends(p, m.echoPay); ok {
-					return sendYield(sends), false
+				if y, ok := m.echoYield(p, m.echoPay); ok {
+					return y, false
 				}
 			}
 		case dwChoreFull:
@@ -195,8 +201,8 @@ func (m *dwMachine) step(p *sim.Proc) (sim.Yield, bool) {
 			return workYield(m.ab.as.unitID(u)), false
 		case dwPartial:
 			m.op = dwFullCheck
-			if sends, ok := m.partialSends(p, m.sc); ok {
-				return sendYield(sends), false
+			if y, ok := m.partialYield(p, m.sc); ok {
+				return y, false
 			}
 		case dwFullCheck:
 			if m.ab.chunkBoundary(m.sc) {
@@ -211,16 +217,16 @@ func (m *dwMachine) step(p *sim.Proc) (sim.Yield, bool) {
 				continue
 			}
 			m.op = dwFullEcho
-			sends := p.Broadcast(m.groupPIDs[m.fcG], FullCP{C: m.fcC, G: m.fcG})
-			if len(sends) > 0 {
-				return sendYield(sends), false
+			bc := p.BroadcastTo(m.groupPIDs[m.fcG], FullCP{C: m.fcC, G: m.fcG})
+			if len(bc.To) > 0 {
+				return sim.Yield{Kind: sim.YieldAction, Action: sim.Action{Broadcast: bc}}, false
 			}
 		case dwFullEcho:
 			pay := FullCP{C: m.fcC, G: m.fcG}
 			m.fcG++
 			m.op = dwFullGroup
-			if sends, ok := m.echoSends(p, pay); ok {
-				return sendYield(sends), false
+			if y, ok := m.echoYield(p, pay); ok {
+				return y, false
 			}
 		case dwDone:
 			return sim.Yield{}, true
@@ -228,22 +234,22 @@ func (m *dwMachine) step(p *sim.Proc) (sim.Yield, bool) {
 	}
 }
 
-// partialSends builds the partial checkpoint "(c)" to the group remainder;
+// partialYield builds the partial checkpoint "(c)" to the group remainder;
 // ok=false when it is suppressed (FullOnly ablation or empty remainder).
-func (m *dwMachine) partialSends(p *sim.Proc, c int) ([]sim.Send, bool) {
+func (m *dwMachine) partialYield(p *sim.Proc, c int) (sim.Yield, bool) {
 	if m.ab.cfg.FullOnly {
-		return nil, false
+		return sim.Yield{}, false
 	}
-	return m.echoSends(p, PartialCP{C: c})
+	return m.echoYield(p, PartialCP{C: c})
 }
 
-// echoSends builds a broadcast of payload to the group remainder; ok=false
+// echoYield builds a broadcast of payload to the group remainder; ok=false
 // when the remainder is empty (the broadcast consumes no round).
-func (m *dwMachine) echoSends(p *sim.Proc, payload any) ([]sim.Send, bool) {
+func (m *dwMachine) echoYield(p *sim.Proc, payload any) (sim.Yield, bool) {
 	if len(m.remPIDs) == 0 {
-		return nil, false
+		return sim.Yield{}, false
 	}
-	return p.Broadcast(m.remPIDs, payload), true
+	return broadcastYield(p, m.remPIDs, payload), true
 }
 
 // steppable reports whether a work executor can run on the stepper

@@ -189,19 +189,16 @@ func agree(p *sim.Proc, cfg Config, j, phase int, known, done, t *bitset.Set, gr
 	}
 }
 
+// bcast sends the (known, done, T) view to every other member of u as one
+// broadcast record; the word slices are copy-on-write shared snapshots, so
+// all recipients read the same frozen words.
 func bcast(p *sim.Proc, cfg Config, j, phase int, u, known, done, t *bitset.Set, dec bool) {
 	v := View{
 		Phase: phase,
-		Known: known.Snapshot(), Done: done.Snapshot(), T: t.Snapshot(),
+		Known: known.Shared(), Done: done.Shared(), T: t.Shared(),
 		Dec: dec,
 	}
-	sends := make([]sim.Send, 0, u.Count())
-	for _, i := range u.Members() {
-		if i != j {
-			sends = append(sends, sim.Send{To: i, Payload: v})
-		}
-	}
-	p.StepSend(sends...)
+	p.StepBroadcast(u.Members(), v)
 }
 
 func collect(p *sim.Proc, phase int, buf map[int][]view) []view {

@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// subsetAdversary crashes one PID at its first sending action, delivering
+// the given Deliver mask over the action's virtual send list.
+type subsetAdversary struct {
+	NopAdversary
+	pid     int
+	deliver []bool
+	fired   bool
+}
+
+func (a *subsetAdversary) OnAction(_ int64, pid int, act Action) Verdict {
+	if a.fired || pid != a.pid || act.SendCount() == 0 {
+		return Survive()
+	}
+	a.fired = true
+	return Verdict{Crash: true, KeepWork: true, Deliver: a.deliver}
+}
+
+// TestBroadcastDelivery pins the record plane's visible semantics: one
+// StepBroadcast reaches every recipient except the sender, one round later,
+// as ordinary per-sender-ordered messages carrying the same payload.
+func TestBroadcastDelivery(t *testing.T) {
+	const n = 4
+	got := make([][]Message, n)
+	res, err := New(Config{NumProcs: n, DetailedMetrics: true}, func(id int) Script {
+		return func(p *Proc) {
+			if id == 0 {
+				// Recipient list includes the sender: it must be filtered.
+				p.StepBroadcast([]int{0, 1, 2, 3}, "cp")
+				return
+			}
+			got[id] = append(got[id], p.WaitUntil(2)...)
+		}
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 3 {
+		t.Fatalf("Messages = %d, want 3 (self filtered)", res.Messages)
+	}
+	if res.MessagesByKind["string"] != 3 {
+		t.Fatalf("MessagesByKind = %v, want string:3", res.MessagesByKind)
+	}
+	if res.PerProc[0].Sent != 3 {
+		t.Fatalf("sender Sent = %d, want 3", res.PerProc[0].Sent)
+	}
+	for id := 1; id < n; id++ {
+		if len(got[id]) != 1 {
+			t.Fatalf("proc %d received %d messages, want 1", id, len(got[id]))
+		}
+		m := got[id][0]
+		if m.From != 0 || m.To != id || m.SentAt != 0 || m.Payload != "cp" {
+			t.Fatalf("proc %d got %+v", id, m)
+		}
+	}
+}
+
+// TestBroadcastCrashSubset drives a crash-mid-broadcast verdict against the
+// shared record: the Deliver mask applies per recipient, so an arbitrary
+// subset of the recipients receives the message.
+func TestBroadcastCrashSubset(t *testing.T) {
+	const n = 5
+	adv := &subsetAdversary{pid: 0, deliver: []bool{true, false, true, false}}
+	heard := make([]bool, n)
+	res, err := New(Config{NumProcs: n, Adversary: adv}, func(id int) Script {
+		return func(p *Proc) {
+			if id == 0 {
+				p.StepBroadcast([]int{1, 2, 3, 4}, "boom")
+				return
+			}
+			if msgs := p.WaitUntil(2); len(msgs) > 0 {
+				heard[id] = true
+			}
+		}
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", res.Crashes)
+	}
+	want := []bool{false, true, false, true, false}
+	if !reflect.DeepEqual(heard, want) {
+		t.Fatalf("heard = %v, want %v", heard, want)
+	}
+	// The surviving subset counts as transmitted messages.
+	if res.Messages != 2 {
+		t.Fatalf("Messages = %d, want 2", res.Messages)
+	}
+}
+
+// TestBroadcastCrashSubsetMixed covers a Deliver mask spanning explicit
+// sends and a broadcast in one action: indices cover Sends first, then the
+// broadcast per recipient.
+func TestBroadcastCrashSubsetMixed(t *testing.T) {
+	const n = 4
+	adv := &subsetAdversary{pid: 0, deliver: []bool{false, true, true}}
+	heard := make([]int, n)
+	_, err := NewStepper(Config{NumProcs: n, Adversary: adv}, func(id int) Stepper {
+		return ScriptStepper(func(p *Proc) {
+			if id == 0 {
+				p.yield(yieldMsg{kind: yieldAction, action: Action{
+					Sends:     []Send{{To: 1, Payload: "pt"}},
+					Broadcast: p.BroadcastTo([]int{2, 3}, "bc"),
+				}})
+				return
+			}
+			heard[id] = len(p.WaitUntil(2))
+		})
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heard[1] != 0 || heard[2] != 1 || heard[3] != 1 {
+		t.Fatalf("heard = %v, want [_ 0 1 1]", heard)
+	}
+}
+
+// TestBroadcastInvalidPID mirrors the flat plane's failure semantics.
+func TestBroadcastInvalidPID(t *testing.T) {
+	_, err := New(Config{NumProcs: 2}, func(id int) Script {
+		return func(p *Proc) {
+			if id == 0 {
+				p.StepBroadcast([]int{1, 9}, "x")
+			}
+		}
+	}).Run()
+	if err == nil {
+		t.Fatal("want invalid-pid error")
+	}
+}
+
+// TestActionSendVirtualization pins SendCount/SendAt, which adversaries use
+// to see broadcast and flat actions identically.
+func TestActionSendVirtualization(t *testing.T) {
+	a := Action{
+		Sends:     []Send{{To: 7, Payload: "s"}},
+		Broadcast: Broadcast{To: []int{1, 2}, Payload: "b"},
+	}
+	if a.SendCount() != 3 {
+		t.Fatalf("SendCount = %d, want 3", a.SendCount())
+	}
+	want := []Send{{To: 7, Payload: "s"}, {To: 1, Payload: "b"}, {To: 2, Payload: "b"}}
+	for i, w := range want {
+		if got := a.SendAt(i); got != w {
+			t.Fatalf("SendAt(%d) = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+// ringScripts is a small deterministic workload exercising sends,
+// broadcasts, sleeps and work.
+func ringScripts(n int) func(id int) Script {
+	return func(id int) Script {
+		return func(p *Proc) {
+			for round := 0; round < 3; round++ {
+				p.StepWork(id + round*n + 1)
+				if id == 0 {
+					to := make([]int, n)
+					for i := range to {
+						to[i] = i
+					}
+					p.StepBroadcast(to, round)
+				} else {
+					p.StepSend(Send{To: (id + 1) % n, Payload: round})
+				}
+				p.WaitUntil(p.Now() + 1)
+			}
+		}
+	}
+}
+
+// TestFlattenBroadcastsEquivalence pins the record plane against its
+// per-send expansion on the same workload.
+func TestFlattenBroadcastsEquivalence(t *testing.T) {
+	cfg := Config{NumProcs: 4, NumUnits: 12, DetailedMetrics: true}
+	native, err := New(cfg, ringScripts(4)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := NewStepper(cfg, func(id int) Stepper {
+		return FlattenBroadcasts(ScriptStepper(ringScripts(4)(id)))
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(native, flat) {
+		t.Fatalf("planes diverge:\nnative: %+v\nflat:   %+v", native, flat)
+	}
+}
+
+// TestEngineResetDeterminism reuses one engine across runs — same shape,
+// grown shape, shrunk shape, and after an aborted run — and requires every
+// reused run to equal a fresh engine's Result exactly.
+func TestEngineResetDeterminism(t *testing.T) {
+	shapes := []Config{
+		{NumProcs: 4, NumUnits: 12, DetailedMetrics: true},
+		{NumProcs: 7, NumUnits: 21, DetailedMetrics: true}, // grow
+		{NumProcs: 2, NumUnits: 6, DetailedMetrics: true},  // shrink
+		{NumProcs: 4, NumUnits: 12, DetailedMetrics: true}, // back to start
+	}
+	eng := New(shapes[0], ringScripts(shapes[0].NumProcs))
+	for i, cfg := range shapes {
+		if i > 0 {
+			scripts := ringScripts(cfg.NumProcs)
+			eng.Reset(cfg, func(id int) Stepper { return ScriptStepper(scripts(id)) })
+		}
+		reused, err := eng.Run()
+		if err != nil {
+			t.Fatalf("shape %d: %v", i, err)
+		}
+		fresh, err := New(cfg, ringScripts(cfg.NumProcs)).Run()
+		if err != nil {
+			t.Fatalf("shape %d fresh: %v", i, err)
+		}
+		if !reflect.DeepEqual(reused, fresh) {
+			t.Fatalf("shape %d diverges:\nreused: %+v\nfresh:  %+v", i, reused, fresh)
+		}
+	}
+
+	// Abort a run (round limit), then verify Reset still yields clean state.
+	abortCfg := Config{NumProcs: 2, NumUnits: 4, MaxRound: 1}
+	spin := func(id int) Script {
+		return func(p *Proc) {
+			for {
+				p.StepIdle()
+			}
+		}
+	}
+	eng.Reset(abortCfg, func(id int) Stepper { return ScriptStepper(spin(id)) })
+	if _, err := eng.Run(); !errors.Is(err, ErrRoundLimit) {
+		t.Fatalf("aborted run err = %v, want ErrRoundLimit", err)
+	}
+	cfg := shapes[0]
+	scripts := ringScripts(cfg.NumProcs)
+	eng.Reset(cfg, func(id int) Stepper { return ScriptStepper(scripts(id)) })
+	reused, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(cfg, ringScripts(cfg.NumProcs)).Run()
+	if !reflect.DeepEqual(reused, fresh) {
+		t.Fatalf("post-abort reuse diverges:\nreused: %+v\nfresh:  %+v", reused, fresh)
+	}
+}

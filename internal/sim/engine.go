@@ -97,10 +97,21 @@ type ProcStats struct {
 type Engine struct {
 	cfg   Config
 	procs []*Proc
-	now   int64
+	// allProcs retains every Proc ever built by this engine (slab-allocated)
+	// so Reset can rearm them — inbox and scratch buffers included — instead
+	// of reallocating; procs is allProcs[:cfg.NumProcs].
+	allProcs []*Proc
+	now      int64
 
-	pendingNext []Message // messages committed this round, due next round
+	pendingNext []Message // point-to-point messages committed this round, due next round
 	spare       []Message // recycled backing buffer for pendingNext
+	// pendingBcast holds one shared record per committed broadcast, due next
+	// round like every send: a t-recipient broadcast costs one record here
+	// instead of t Messages. Delivery expands each record into the
+	// recipients' inboxes (the Message values merely reference the record's
+	// shared payload).
+	pendingBcast []bcastRec
+	spareBcast   []bcastRec // recycled backing buffer for pendingBcast
 	// pendingUnsorted is set at append time if a commit ever lands behind a
 	// higher sender PID; deliver then restores ascending-PID order. Commits
 	// run in ascending PID order within a round, so this stays false and the
@@ -135,46 +146,76 @@ func New(cfg Config, scripts func(id int) Script) *Engine {
 // supplies each process's Stepper. Substrates may be mixed by returning
 // ScriptStepper-wrapped scripts for some IDs.
 func NewStepper(cfg Config, steppers func(id int) Stepper) *Engine {
+	e := &Engine{}
+	e.Reset(cfg, steppers)
+	return e
+}
+
+// Reset rearms the engine for a fresh run, recycling every piece of run
+// state a previous run left behind — the Proc objects and their inbox and
+// scratch buffers, the run queue, the sleeper heap, the next-round message
+// buffers and the units table — so sweeps that reuse one engine per worker
+// pay near-zero setup allocation per run. A Reset engine is
+// indistinguishable from a NewStepper one: the reuse-determinism tests pin
+// byte-identical Results. Safe after a completed, failed or aborted Run;
+// not safe concurrently with one.
+func (e *Engine) Reset(cfg Config, steppers func(id int) Stepper) {
 	if cfg.Adversary == nil {
 		cfg.Adversary = NopAdversary{}
 	}
 	if cfg.MaxRound == 0 {
 		cfg.MaxRound = Forever
 	}
-	e := &Engine{
-		cfg:       cfg,
-		runq:      newRunSet(cfg.NumProcs),
-		live:      cfg.NumProcs,
-		unitsDone: make([]bool, cfg.NumUnits+1),
+	e.cfg = cfg
+	e.now = 0
+	e.err = nil
+	e.live = cfg.NumProcs
+	e.activeCount = 0
+	e.distinctDone = 0
+	e.pendingUnsorted = false
+	// The recycled buffers were scrubbed of stale references when the
+	// previous Run ended (see scrub); truncation is all that is left to do.
+	e.pendingNext = e.pendingNext[:0]
+	e.spare = e.spare[:0]
+	e.pendingBcast = e.pendingBcast[:0]
+	e.spareBcast = e.spareBcast[:0]
+	e.sleepers = e.sleepers[:0]
+	e.runq.reset(cfg.NumProcs)
+	if n := cfg.NumUnits + 1; n <= cap(e.unitsDone) {
+		e.unitsDone = e.unitsDone[:n]
+		clear(e.unitsDone)
+	} else {
+		e.unitsDone = make([]bool, n)
 	}
-	e.metrics.CompletedRound = -1
+	// A fresh Result every run: the previous one escaped to the caller and
+	// must not observe this run's counters (or map writes).
+	e.metrics = Result{CompletedRound: -1}
 	if cfg.NumUnits == 0 {
 		e.metrics.CompletedRound = 0
 	}
 	if cfg.DetailedMetrics {
 		e.metrics.MessagesByKind = make(map[string]int64)
 	}
-	e.procs = make([]*Proc, cfg.NumProcs)
-	for id := 0; id < cfg.NumProcs; id++ {
-		p := &Proc{
-			id:      id,
-			engine:  e,
-			stepper: steppers(id),
-			status:  StatusRunning,
+	if cfg.NumProcs > len(e.allProcs) {
+		slab := make([]Proc, cfg.NumProcs-len(e.allProcs))
+		for i := range slab {
+			e.allProcs = append(e.allProcs, &slab[i])
 		}
-		if sp, ok := p.stepper.(shimHolder); ok {
-			p.shim = sp.scriptShim()
-		}
-		e.procs[id] = p
+	}
+	e.procs = e.allProcs[:cfg.NumProcs]
+	for id, p := range e.procs {
+		p.reset(e, id, steppers(id))
 		e.runq.add(id)
 	}
-	return e
 }
 
 // Run executes the simulation until every process has retired, then returns
-// the aggregated metrics. The engine cannot be reused afterwards.
+// the aggregated metrics. Reset rearms the engine for another run.
 func (e *Engine) Run() (Result, error) {
-	defer e.killAll()
+	defer func() {
+		e.killAll()
+		e.scrub()
+	}()
 	for e.live > 0 {
 		if e.now > e.cfg.MaxRound {
 			e.fail(fmt.Errorf("%w: round %d > %d", ErrRoundLimit, e.now, e.cfg.MaxRound))
@@ -224,31 +265,71 @@ func (e *Engine) crashScheduled() {
 	}
 }
 
+// bcastRec is one committed broadcast awaiting delivery: the single shared
+// record behind what recipients see as ordinary Messages. to is referenced
+// from the committing action (see Broadcast); the sender cannot step — and
+// so cannot reuse its scratch — before the record is delivered.
+type bcastRec struct {
+	from    int
+	sentAt  int64
+	payload any
+	to      []int
+}
+
 // deliver moves the messages committed last round into inboxes. Every send
-// is due exactly one round after commit, so the whole buffer is due now;
-// recipients gaining mail become runnable.
+// is due exactly one round after commit, so both buffers are due now;
+// recipients gaining mail become runnable. Point-to-point messages and
+// broadcast records are merged by sender PID, expanding each record per
+// recipient, so inboxes observe the exact (delivery round, sender) order of
+// the flat per-send plane.
 func (e *Engine) deliver() {
-	msgs := e.pendingNext
-	if len(msgs) == 0 {
+	msgs, recs := e.pendingNext, e.pendingBcast
+	if len(msgs) == 0 && len(recs) == 0 {
 		return
 	}
-	// Commits happen in ascending PID order within a round, so msgs is
-	// already sorted by sender; commit flags the rare violation at append
-	// time instead of re-scanning the whole buffer every round.
+	// Commits happen in ascending PID order within a round, so both buffers
+	// are already sorted by sender; commit flags the rare violation at
+	// append time instead of re-scanning the whole buffer every round.
 	if e.pendingUnsorted {
 		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].from < recs[j].from })
 		e.pendingUnsorted = false
 	}
-	for _, m := range msgs {
-		p := e.procs[m.To]
-		if p.status != StatusRunning {
+	mi, ri := 0, 0
+	for mi < len(msgs) || ri < len(recs) {
+		// On a PID tie the explicit sends go first, matching the action's
+		// virtual send order (Sends, then the broadcast).
+		if mi < len(msgs) && (ri >= len(recs) || msgs[mi].From <= recs[ri].from) {
+			m := msgs[mi]
+			mi++
+			e.deposit(m)
 			continue
 		}
-		p.inbox = append(p.inbox, m)
-		e.runq.add(m.To)
+		r := recs[ri]
+		ri++
+		for _, to := range r.to {
+			e.deposit(Message{From: r.from, To: to, SentAt: r.sentAt, Payload: r.payload})
+		}
 	}
 	e.pendingNext = e.spare[:0]
 	e.spare = msgs[:0]
+	// Drop the record references (payloads, recipient slices) before
+	// recycling so a pooled engine does not retain them across runs.
+	for i := range recs {
+		recs[i] = bcastRec{}
+	}
+	e.pendingBcast = e.spareBcast[:0]
+	e.spareBcast = recs[:0]
+}
+
+// deposit appends one delivered message to its recipient's inbox.
+func (e *Engine) deposit(m Message) {
+	p := e.procs[m.To]
+	if p.status != StatusRunning {
+		return
+	}
+	p.inbox = append(p.inbox, m)
+	e.runq.add(m.To)
 }
 
 // wakeSleepers moves every sleeper whose wake time has arrived onto the run
@@ -327,13 +408,18 @@ func stepProc(p *Proc) (y Yield, pv any, panicked bool) {
 func (e *Engine) commit(p *Proc, a Action) {
 	verdict := e.cfg.Adversary.OnAction(e.now, p.id, a)
 	keepWork := true
-	deliver := a.Sends
+	sends := a.Sends
+	bcast := a.Broadcast
 	if verdict.Crash {
 		keepWork = verdict.KeepWork
-		deliver = nil
-		for i, s := range a.Sends {
-			if i < len(verdict.Deliver) && verdict.Deliver[i] {
-				deliver = append(deliver, s)
+		// Crash mid-action: Deliver indexes the action's virtual send list
+		// (explicit sends, then the broadcast per recipient), so subset
+		// verdicts apply per recipient against the broadcast record. The
+		// rare surviving subset is materialized as plain messages.
+		sends, bcast = nil, Broadcast{}
+		for i, n := 0, a.SendCount(); i < n && i < len(verdict.Deliver); i++ {
+			if verdict.Deliver[i] {
+				sends = append(sends, a.SendAt(i))
 			}
 		}
 	}
@@ -348,15 +434,19 @@ func (e *Engine) commit(p *Proc, a Action) {
 			}
 		}
 	}
-	if n := len(e.pendingNext); n > 0 && len(deliver) > 0 && e.pendingNext[n-1].From > p.id {
-		e.pendingUnsorted = true
+	if len(sends) > 0 || len(bcast.To) > 0 {
+		if n := len(e.pendingNext); n > 0 && e.pendingNext[n-1].From > p.id {
+			e.pendingUnsorted = true
+		}
+		if n := len(e.pendingBcast); n > 0 && e.pendingBcast[n-1].from > p.id {
+			e.pendingUnsorted = true
+		}
 	}
 	// Per-kind counts are accumulated per run of equal kinds rather than one
-	// map update per send: broadcasts carry one payload to many recipients,
-	// so a whole action usually costs a single map operation.
+	// map update per send; a whole broadcast costs a single map operation.
 	var runKind string
 	var runCount int64
-	for _, s := range deliver {
+	for _, s := range sends {
 		if s.To < 0 || s.To >= len(e.procs) {
 			if runCount > 0 { // keep MessagesByKind consistent with Messages
 				e.metrics.MessagesByKind[runKind] += runCount
@@ -383,6 +473,31 @@ func (e *Engine) commit(p *Proc, a Action) {
 	if runCount > 0 {
 		e.metrics.MessagesByKind[runKind] += runCount
 	}
+	if len(bcast.To) > 0 {
+		// One shared record regardless of fanout. Counters still advance per
+		// recipient (a broadcast is len(To) point-to-point messages in the
+		// model), mirroring the flat plane's valid-prefix accounting on the
+		// invalid-PID failure path.
+		var counted int64
+		for _, to := range bcast.To {
+			if to < 0 || to >= len(e.procs) {
+				if counted > 0 && e.metrics.MessagesByKind != nil {
+					e.metrics.MessagesByKind[payloadKind(bcast.Payload)] += counted
+				}
+				e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, to))
+				return
+			}
+			counted++
+			e.metrics.Messages++
+			p.msgsSent++
+		}
+		if e.metrics.MessagesByKind != nil {
+			e.metrics.MessagesByKind[payloadKind(bcast.Payload)] += counted
+		}
+		e.pendingBcast = append(e.pendingBcast, bcastRec{
+			from: p.id, sentAt: e.now, payload: bcast.Payload, to: bcast.To,
+		})
+	}
 	e.trace(p, a, verdict.Crash, false)
 	if verdict.Crash {
 		e.crash(p)
@@ -395,7 +510,7 @@ func (e *Engine) crash(p *Proc) {
 	p.status = StatusCrashed
 	e.setInactive(p)
 	p.retireRound = e.now
-	p.inbox = nil
+	p.inbox = p.inbox[:0] // drop undelivered mail, keep the buffer for reuse
 	e.live--
 	e.runq.remove(p.id)
 	e.metrics.Crashes++
@@ -419,7 +534,7 @@ func (e *Engine) trace(p *Proc, a Action, crashed, halted bool) {
 	}
 	e.cfg.Tracer(Event{
 		Round: e.now, PID: p.id, Label: p.label,
-		Work: a.WorkUnit, Sent: len(a.Sends),
+		Work: a.WorkUnit, Sent: a.SendCount(),
 		Crashed: crashed, Halted: halted,
 	})
 }
@@ -438,7 +553,7 @@ func (e *Engine) checkInvariants() error {
 // nextRound chooses the next round to simulate, fast-forwarding over quiet
 // stretches in which every live process sleeps.
 func (e *Engine) nextRound() int64 {
-	if e.runq.count > 0 || len(e.pendingNext) > 0 {
+	if e.runq.count > 0 || len(e.pendingNext) > 0 || len(e.pendingBcast) > 0 {
 		// Someone acted this round (and so runs again next round), gained
 		// mail, or has mail in flight.
 		return e.now + 1
@@ -497,5 +612,34 @@ func (e *Engine) killAll() {
 				p.shim.kill()
 			}
 		}
+	}
+}
+
+// scrubSlice zeroes a recycled buffer through its full capacity — dropping
+// the payload references parked in the cap region — and truncates it.
+func scrubSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	clear(s[:cap(s)])
+	return s[:0]
+}
+
+// scrub runs at the end of every Run: it releases every payload reference
+// the run parked in the engine's recycled buffers (next-round messages and
+// records, inboxes, send scratch), so an idle engine sitting in a pool does
+// not keep the previous run's data alive.
+func (e *Engine) scrub() {
+	e.pendingNext = scrubSlice(e.pendingNext)
+	e.spare = scrubSlice(e.spare)
+	e.pendingBcast = scrubSlice(e.pendingBcast)
+	e.spareBcast = scrubSlice(e.spareBcast)
+	for _, p := range e.allProcs {
+		p.inbox = scrubSlice(p.inbox)
+		p.inboxSpare = scrubSlice(p.inboxSpare)
+		p.sendScratch = scrubSlice(p.sendScratch)
+		p.stepper = nil
+		p.shim = nil
+		p.tap = nil
 	}
 }

@@ -15,7 +15,11 @@
 // exponential deadlines (Protocol C) executable.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"reflect"
+	"sync"
+)
 
 // Message is a point-to-point message as seen by the recipient.
 type Message struct {
@@ -31,11 +35,44 @@ type Send struct {
 	Payload any
 }
 
+// Broadcast is the one-payload, many-recipient half of an Action. The DHW
+// protocols are broadcast-shaped — one checkpoint or view goes to a whole
+// group every round — so the engine stores a committed broadcast as a single
+// shared record in the next-round buffer instead of one boxed Message per
+// recipient; see Engine.commit.
+//
+// The recipient slice is referenced, not copied: it must not be mutated
+// until the sending process is stepped again (Proc.BroadcastTo's scratch
+// buffer and the protocols' immutable PID caches both satisfy this by
+// construction). An empty To means no broadcast.
+type Broadcast struct {
+	To      []int
+	Payload any
+}
+
 // Action is everything a process commits in a single round: at most one unit
-// of work plus any number of sends. The zero Action is an idle round.
+// of work, any number of point-to-point sends, plus at most one broadcast.
+// The zero Action is an idle round.
 type Action struct {
-	WorkUnit int // 0 means no work; unit IDs are 1-based
-	Sends    []Send
+	WorkUnit  int // 0 means no work; unit IDs are 1-based
+	Sends     []Send
+	Broadcast Broadcast
+}
+
+// SendCount returns the number of point-to-point messages the action
+// transmits: the explicit sends plus one per broadcast recipient.
+func (a Action) SendCount() int { return len(a.Sends) + len(a.Broadcast.To) }
+
+// SendAt flattens the action's outgoing messages into one virtual list —
+// the explicit sends first, then the broadcast expanded per recipient — and
+// returns the i-th entry. Adversaries index Verdict.Deliver by this list, so
+// a broadcast-native action and its per-send expansion receive identical
+// crash verdicts (the plane-equivalence tests pin this down).
+func (a Action) SendAt(i int) Send {
+	if i < len(a.Sends) {
+		return a.Sends[i]
+	}
+	return Send{To: a.Broadcast.To[i-len(a.Sends)], Payload: a.Broadcast.Payload}
 }
 
 // Kinder lets payloads report a short kind string for per-kind message
@@ -45,11 +82,23 @@ type Kinder interface {
 	Kind() string
 }
 
+// kindCache memoises the fmt.Sprintf("%T") string per dynamic type for
+// payloads that do not implement Kinder, so counted sends stop formatting a
+// fresh string each time. It is a sync.Map because engines run concurrently
+// under the batch fan-out.
+var kindCache sync.Map // map[reflect.Type]string
+
 func payloadKind(p any) string {
 	if k, ok := p.(Kinder); ok {
 		return k.Kind()
 	}
-	return fmt.Sprintf("%T", p)
+	t := reflect.TypeOf(p)
+	if s, ok := kindCache.Load(t); ok {
+		return s.(string)
+	}
+	s := fmt.Sprintf("%T", p)
+	kindCache.Store(t, s)
+	return s
 }
 
 // Status describes the lifecycle state of a simulated process.

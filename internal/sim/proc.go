@@ -54,12 +54,37 @@ type Proc struct {
 	inbox      []Message
 	inboxSpare []Message
 	// sendScratch backs Broadcast so per-checkpoint broadcasts reuse one
-	// buffer per process.
+	// buffer per process; pidScratch likewise backs BroadcastTo's filtered
+	// recipient lists.
 	sendScratch []Send
+	pidScratch  []int
 
 	retireRound int64
 	workDone    int64
 	msgsSent    int64
+}
+
+// reset rearms a (possibly recycled) Proc for a new run, keeping the inbox
+// and scratch buffer capacities it accumulated.
+func (p *Proc) reset(e *Engine, id int, st Stepper) {
+	p.id = id
+	p.engine = e
+	p.stepper = st
+	p.shim = nil
+	if sp, ok := st.(shimHolder); ok {
+		p.shim = sp.scriptShim()
+	}
+	p.status = StatusRunning
+	p.sleeping = false
+	p.wakeAt = 0
+	p.active = false
+	p.label = ""
+	p.tap = nil
+	p.inbox = p.inbox[:0]
+	p.inboxSpare = p.inboxSpare[:0]
+	p.retireRound = 0
+	p.workDone = 0
+	p.msgsSent = 0
 }
 
 // ID returns the process identifier (0-based).
@@ -136,6 +161,9 @@ func (p *Proc) StepIdle() {
 // this process's next Broadcast call, which is always after the engine has
 // consumed the previous batch (sends are copied into messages when the
 // action commits).
+//
+// Prefer BroadcastTo / StepBroadcast: a Broadcast-valued action costs the
+// engine one shared record instead of one boxed Message per recipient.
 func (p *Proc) Broadcast(to []int, payload any) []Send {
 	sends := p.sendScratch[:0]
 	for _, dst := range to {
@@ -146,6 +174,33 @@ func (p *Proc) Broadcast(to []int, payload any) []Send {
 	}
 	p.sendScratch = sends
 	return sends
+}
+
+// BroadcastTo builds the broadcast half of an Action: payload addressed to
+// every PID in to except the caller itself. The recipient list is backed by
+// a per-process scratch buffer, which is safe to hand to the engine: the
+// committed record is delivered before this process can step (and so reuse
+// the scratch) again. Valid until the process's next BroadcastTo call.
+func (p *Proc) BroadcastTo(to []int, payload any) Broadcast {
+	rcpts := p.pidScratch[:0]
+	for _, dst := range to {
+		if dst == p.id {
+			continue
+		}
+		rcpts = append(rcpts, dst)
+	}
+	p.pidScratch = rcpts
+	if len(rcpts) == 0 {
+		return Broadcast{}
+	}
+	return Broadcast{To: rcpts, Payload: payload}
+}
+
+// StepBroadcast transmits payload to every PID in to except the caller and
+// ends the round. An empty recipient list still consumes the round (like an
+// empty StepSend), keeping lock-step protocols aligned.
+func (p *Proc) StepBroadcast(to []int, payload any) {
+	p.yield(yieldMsg{kind: yieldAction, action: Action{Broadcast: p.BroadcastTo(to, payload)}})
 }
 
 // WaitUntil blocks until at least one message has been delivered or the

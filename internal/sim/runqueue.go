@@ -16,6 +16,19 @@ func newRunSet(n int) runSet {
 	return runSet{words: make([]uint64, (n+63)/64)}
 }
 
+// reset empties the set and resizes it for n processes, reusing the word
+// buffer when it is large enough.
+func (s *runSet) reset(n int) {
+	need := (n + 63) / 64
+	if need <= cap(s.words) {
+		s.words = s.words[:need]
+		clear(s.words)
+	} else {
+		s.words = make([]uint64, need)
+	}
+	s.count = 0
+}
+
 func (s *runSet) add(i int) {
 	w, b := i>>6, uint64(1)<<(i&63)
 	if s.words[w]&b == 0 {

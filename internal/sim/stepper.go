@@ -64,6 +64,40 @@ type shimHolder interface{ scriptShim() *goShim }
 
 func (sh *goShim) scriptShim() *goShim { return sh }
 
+// FlattenBroadcasts wraps a stepper so every broadcast-valued action it
+// yields is expanded into the equivalent per-send action before reaching the
+// engine. The flat plane is the reference semantics of the broadcast record
+// plane: running a protocol both ways must produce reflect.DeepEqual Results
+// (the plane-equivalence tests use exactly this wrapper). Script-backed
+// steppers may be wrapped too; the shim is forwarded.
+func FlattenBroadcasts(s Stepper) Stepper {
+	if sh, ok := s.(shimHolder); ok {
+		return flattenShim{flatten{s}, sh.scriptShim()}
+	}
+	return flatten{s}
+}
+
+type flatten struct{ inner Stepper }
+
+func (f flatten) Step(p *Proc) Yield {
+	y := f.inner.Step(p)
+	if y.Kind != YieldAction || len(y.Action.Broadcast.To) == 0 {
+		return y
+	}
+	sends := make([]Send, 0, y.Action.SendCount())
+	for i, n := 0, y.Action.SendCount(); i < n; i++ {
+		sends = append(sends, y.Action.SendAt(i))
+	}
+	return Yield{Kind: YieldAction, Action: Action{WorkUnit: y.Action.WorkUnit, Sends: sends}}
+}
+
+type flattenShim struct {
+	flatten
+	shim *goShim
+}
+
+func (f flattenShim) scriptShim() *goShim { return f.shim }
+
 // goShim runs a Script in its own goroutine and adapts the channel handshake
 // to the Stepper interface. The goroutine is started lazily on the first
 // Step, so a process that crashes before ever running costs nothing.
