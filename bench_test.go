@@ -1,5 +1,5 @@
 // Benchmarks, one per experiment in DESIGN.md's index (T1–T9, F1–F7,
-// X1–X3): each run regenerates the corresponding EXPERIMENTS.md table and
+// X1–X4): each run regenerates the corresponding EXPERIMENTS.md table and
 // fails if any paper bound is violated, so `go test -bench=.` re-verifies
 // the whole reproduction. The Suite* benchmarks run the whole deterministic
 // suite through the internal/batch fan-out runner (sequential vs all-cores
@@ -70,6 +70,9 @@ func BenchmarkX2_PartialCheckpointAblation(b *testing.B) {
 }
 func BenchmarkX3_RevertThreshold(b *testing.B) {
 	benchExperiment(b, experiments.X3RevertThreshold)
+}
+func BenchmarkX4_ScheduleSpace(b *testing.B) {
+	benchExperiment(b, experiments.X4ScheduleSpace)
 }
 
 // Suite benchmarks: the full deterministic experiment suite through the
@@ -153,6 +156,20 @@ func BenchmarkSweepReuse(b *testing.B) {
 		}
 	}
 	b.Fatal("unknown sweep case")
+}
+
+// BenchmarkExploreSmall measures schedule-space certification throughput
+// (schedules/sec): one op exhaustively walks and certifies the Protocol B
+// schedule space at the acceptance-criterion instance. Shared with
+// cmd/bench so BENCH_engine.json tracks exploration speed.
+func BenchmarkExploreSmall(b *testing.B) {
+	for _, c := range benchmarks.ExploreCases() {
+		if c.Name == "ExploreSmall" {
+			benchmarks.RunExplore(b, c)
+			return
+		}
+	}
+	b.Fatal("unknown explore case")
 }
 
 func BenchmarkAgreementViaB(b *testing.B) {

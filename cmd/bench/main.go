@@ -33,8 +33,12 @@ func main() {
 
 	recs := benchmarks.Measure()
 	for _, r := range recs {
-		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op %8.0f events/run\n",
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op %8.0f events/run",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.EventsPerRun)
+		if r.SchedulesPerSec > 0 {
+			fmt.Printf(" %10.0f schedules/sec", r.SchedulesPerSec)
+		}
+		fmt.Println()
 	}
 
 	if *out != "" {

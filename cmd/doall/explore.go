@@ -1,0 +1,125 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// runExplore implements `doall explore`: walk the schedule space of one
+// (protocol, n, t) instance — exhaustively for small spaces, by worst-case
+// search for larger ones — certifying the paper's bounds on every explored
+// execution. Stdout is a pure function of the inputs (timings go to
+// stderr), so output is byte-identical for every -jobs value.
+func runExplore(args []string) error {
+	fs := flag.NewFlagSet("doall explore", flag.ExitOnError)
+	var (
+		protoName = fs.String("protocol", "a", "protocol: a|b|c|c-lowmsg|d|single-checkpoint|naive")
+		n         = fs.Int("n", 8, "number of work units (n)")
+		t         = fs.Int("t", 3, "number of processes (t)")
+		crashes   = fs.Int("crashes", 2, "max crashes per schedule (at most t-1)")
+		depth     = fs.Int("depth", 0, "action-index horizon (0 = probe the failure-free run)")
+		maxPrefix = fs.Int("max-prefix", -1, "delivery-prefix cap per crash (-1 = t)")
+		mode      = fs.String("mode", "exhaustive", "exhaustive|search")
+		budget    = fs.Int("budget", 2048, "schedule budget (search mode)")
+		seed      = fs.Int64("seed", 1, "random-phase seed (search mode)")
+		objName   = fs.String("objective", "effort", "search objective: effort|work|messages|rounds")
+		jobs      = fs.Int("jobs", 0, "parallel shards (0 = GOMAXPROCS, 1 = sequential)")
+		maxSched  = fs.Int64("max-schedules", 0, "refuse spaces larger than this (0 = 4194304)")
+		replay    = fs.String("replay", "", "replay one decision vector (e.g. '0@a7:keep:p0,1@a3:keep:p0') and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "Usage: doall explore [flags]")
+		fmt.Fprintln(os.Stderr, "Certifies the paper's bounds over the instance's crash-schedule space.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	target, err := explore.NewTarget(strings.ToLower(*protoName), *n, *t, *crashes)
+	if err != nil {
+		return err
+	}
+
+	if *replay != "" {
+		vec, err := explore.ParseVector(*replay)
+		if err != nil {
+			return err
+		}
+		cert := target.Certify(vec)
+		res := cert.Result
+		fmt.Printf("replay:    %s\n", vec)
+		fmt.Printf("work:      %d performed (%d distinct of %d)\n", res.WorkTotal, res.WorkDistinct, *n)
+		fmt.Printf("messages:  %d\n", res.Messages)
+		fmt.Printf("effort:    %d\n", res.Effort())
+		fmt.Printf("rounds:    %d\n", res.Rounds)
+		fmt.Printf("processes: %d survived, %d crashed\n", res.Survivors, res.Crashes)
+		fmt.Printf("collapsed: %v\n", cert.Collapsed)
+		for _, v := range cert.Violations {
+			fmt.Printf("VIOLATION: %s\n", v.Reason)
+		}
+		if len(cert.Violations) > 0 {
+			return fmt.Errorf("%d violations", len(cert.Violations))
+		}
+		return nil
+	}
+
+	prefix := *maxPrefix
+	if prefix < 0 {
+		prefix = *t
+	}
+
+	start := time.Now()
+	switch *mode {
+	case "exhaustive":
+		horizon := *depth
+		if horizon <= 0 {
+			probed, err := target.DefaultDepth()
+			if err != nil {
+				return err
+			}
+			horizon = probed
+		}
+		space := explore.NewSpace(*t, *crashes, horizon, prefix)
+		rep, err := target.Enumerate(space, explore.Options{Jobs: *jobs, MaxSchedules: *maxSched})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Text())
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "%d schedules in %v (%.0f schedules/sec)\n",
+			rep.Schedules, elapsed.Round(time.Millisecond),
+			float64(rep.Schedules)/elapsed.Seconds())
+		if rep.ViolationCount > 0 {
+			return fmt.Errorf("%d bound violations", rep.ViolationCount)
+		}
+	case "search":
+		obj, err := explore.ParseObjective(*objName)
+		if err != nil {
+			return err
+		}
+		sr, err := target.Search(explore.SearchOptions{
+			Objective: obj, Budget: *budget, Seed: *seed,
+			Depth: *depth, MaxPrefix: prefix, Jobs: *jobs,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(sr.Text())
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "%d schedules in %v (%.0f schedules/sec)\n",
+			sr.Evaluated, elapsed.Round(time.Millisecond),
+			float64(sr.Evaluated)/elapsed.Seconds())
+		if sr.ViolationCount > 0 {
+			return fmt.Errorf("%d bound violations", sr.ViolationCount)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q (want exhaustive|search)", *mode)
+	}
+	return nil
+}

@@ -1,7 +1,9 @@
 // Command doall runs one work-performing protocol on an (n, t) instance
 // under a chosen failure pattern and prints the paper's cost measures. The
 // sweep subcommand crosses protocols × failure patterns × (n, t) grids ×
-// seeds and runs the whole set in parallel via internal/batch.
+// seeds and runs the whole set in parallel via internal/batch. The explore
+// subcommand walks the instance's crash-schedule space (exhaustively, or by
+// worst-case search) and certifies the paper's bounds on every execution.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	doall -protocol C -units 16 -workers 8 -failures random -crash-p 0.05 -seed 7
 //	doall -protocol D -units 256 -workers 16 -failures schedule -crash 1@10 -crash 2@20
 //	doall sweep -protocols a,b,d -failures none,cascade,random -units 64,256 -workers 8,16 -seeds 1,2
+//	doall explore -protocol A -n 8 -t 3 -crashes 2
+//	doall explore -protocol B -n 64 -t 8 -crashes 7 -mode search -budget 5000
 package main
 
 import (
@@ -60,9 +64,12 @@ var protocols = map[string]doall.Protocol{
 
 func main() {
 	var err error
-	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+	switch {
+	case len(os.Args) > 1 && os.Args[1] == "sweep":
 		err = runSweep(os.Args[2:])
-	} else {
+	case len(os.Args) > 1 && os.Args[1] == "explore":
+		err = runExplore(os.Args[2:])
+	default:
 		err = run()
 	}
 	if err != nil {

@@ -1,0 +1,184 @@
+package adversary
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Engine-level edge cases for Schedule: the crash plan corners that unit
+// tests on OnAction alone cannot reach — round-0 crashes before any action,
+// duplicate PIDs in one round, Deliver masks shorter and longer than the
+// send list, and action triggers on processes that never act.
+
+// workerScript performs units 1..n, broadcasting a marker to every other
+// process after each unit.
+func workerScript(n, t int) sim.Script {
+	return func(p *sim.Proc) {
+		var to []int
+		for i := 0; i < t; i++ {
+			to = append(to, i)
+		}
+		for u := 1; u <= n; u++ {
+			p.StepWork(u)
+			p.StepSend(p.Broadcast(to, u)...)
+		}
+	}
+}
+
+// listenerScript drains mail until the deadline, then halts.
+func listenerScript(deadline int64) sim.Script {
+	return func(p *sim.Proc) {
+		for p.Now() < deadline {
+			p.WaitUntil(deadline)
+		}
+	}
+}
+
+func runSchedule(t *testing.T, cfg sim.Config, scripts func(int) sim.Script) sim.Result {
+	t.Helper()
+	res, err := sim.New(cfg, scripts).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestScheduleCrashAtRoundZero kills a process at the start of round 0: it
+// must retire having committed no actions at all.
+func TestScheduleCrashAtRoundZero(t *testing.T) {
+	res := runSchedule(t, sim.Config{
+		NumProcs: 2, NumUnits: 3,
+		Adversary: NewSchedule(Crash{PID: 0, Round: 0}),
+	}, func(id int) sim.Script {
+		if id == 0 {
+			return workerScript(3, 2)
+		}
+		return listenerScript(10)
+	})
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+	p0 := res.PerProc[0]
+	if p0.Status != sim.StatusCrashed || p0.RetireRound != 0 {
+		t.Fatalf("proc 0: %+v, want crashed at round 0", p0)
+	}
+	if p0.Actions != 0 || p0.Work != 0 || p0.Sent != 0 {
+		t.Fatalf("proc 0 acted before the round-0 crash: %+v", p0)
+	}
+}
+
+// TestScheduleDuplicatePIDOneRound plans the same victim twice in the same
+// round: the engine must count a single crash (the second entry sees a
+// non-running process).
+func TestScheduleDuplicatePIDOneRound(t *testing.T) {
+	s := NewSchedule(Crash{PID: 1, Round: 2}, Crash{PID: 1, Round: 2})
+	if got := s.ScheduledCrashes(2); len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Fatalf("ScheduledCrashes(2) = %v (duplicates are the adversary's problem to expose)", got)
+	}
+	res := runSchedule(t, sim.Config{
+		NumProcs: 2, NumUnits: 4,
+		Adversary: NewSchedule(Crash{PID: 1, Round: 2}, Crash{PID: 1, Round: 2}),
+	}, func(id int) sim.Script {
+		return workerScript(4, 2)
+	})
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1 despite the duplicate plan", res.Crashes)
+	}
+	if res.PerProc[1].Status != sim.StatusCrashed {
+		t.Fatalf("proc 1: %+v", res.PerProc[1])
+	}
+}
+
+// TestScheduleDeliverMaskShorter crashes mid-broadcast with a mask shorter
+// than the send list: unmasked sends are suppressed.
+func TestScheduleDeliverMaskShorter(t *testing.T) {
+	res := runSchedule(t, sim.Config{
+		NumProcs: 4, NumUnits: 1,
+		Adversary: NewSchedule(Crash{
+			PID: 0, AtAction: 2, KeepWork: true, Deliver: []bool{true},
+		}),
+	}, func(id int) sim.Script {
+		if id == 0 {
+			return workerScript(1, 4) // action 2 is the 3-recipient broadcast
+		}
+		return listenerScript(5)
+	})
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+	// Only the first of the three sends survives the one-true mask.
+	if res.Messages != 1 || res.PerProc[0].Sent != 1 {
+		t.Fatalf("messages = %d (proc 0 sent %d), want 1 delivered", res.Messages, res.PerProc[0].Sent)
+	}
+	if res.WorkTotal != 1 {
+		t.Fatalf("work = %d, want the kept unit", res.WorkTotal)
+	}
+}
+
+// TestScheduleDeliverMaskLonger uses a mask longer than the send list: the
+// extra entries are ignored, every real send is delivered, nothing panics,
+// and KeepWork = false discards the work unit of the crashed action.
+func TestScheduleDeliverMaskLonger(t *testing.T) {
+	res := runSchedule(t, sim.Config{
+		NumProcs: 3, NumUnits: 1,
+		Adversary: NewSchedule(Crash{
+			PID: 0, AtAction: 1, KeepWork: false,
+			Deliver: []bool{true, true, true, true, true, true},
+		}),
+	}, func(id int) sim.Script {
+		if id == 0 {
+			return func(p *sim.Proc) { // one combined work+broadcast action
+				p.StepWorkSend(1, sim.Send{To: 1, Payload: 1}, sim.Send{To: 2, Payload: 1})
+			}
+		}
+		return listenerScript(5)
+	})
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+	if res.Messages != 2 {
+		t.Fatalf("messages = %d, want both real sends delivered", res.Messages)
+	}
+	if res.WorkTotal != 0 {
+		t.Fatalf("work = %d, want 0 (KeepWork = false on the crashed action)", res.WorkTotal)
+	}
+}
+
+// TestScheduleActionCrashOnSilentPID plans an action-triggered crash for a
+// process that never commits an action: the crash never fires and the run
+// completes untouched.
+func TestScheduleActionCrashOnSilentPID(t *testing.T) {
+	res := runSchedule(t, sim.Config{
+		NumProcs: 2, NumUnits: 2,
+		Adversary: NewSchedule(Crash{PID: 1, AtAction: 1, KeepWork: true}),
+	}, func(id int) sim.Script {
+		if id == 0 {
+			return workerScript(2, 1) // broadcasts reach nobody: t=1 list
+		}
+		return func(p *sim.Proc) {} // halts immediately, zero actions
+	})
+	if res.Crashes != 0 {
+		t.Fatalf("crashes = %d, want 0 (victim never acts)", res.Crashes)
+	}
+	if res.PerProc[1].Status != sim.StatusTerminated || res.PerProc[1].Actions != 0 {
+		t.Fatalf("proc 1: %+v", res.PerProc[1])
+	}
+	if !res.Complete() {
+		t.Fatal("run incomplete")
+	}
+}
+
+// TestScheduleActionCrashOutOfRangePID plans a crash for a PID outside the
+// process set: it must be inert.
+func TestScheduleActionCrashOutOfRangePID(t *testing.T) {
+	res := runSchedule(t, sim.Config{
+		NumProcs: 2, NumUnits: 2,
+		Adversary: NewSchedule(Crash{PID: 9, AtAction: 1}, Crash{PID: 7, Round: 1}),
+	}, func(id int) sim.Script {
+		return workerScript(2, 2)
+	})
+	if res.Crashes != 0 || !res.Complete() {
+		t.Fatalf("crashes = %d complete = %v, want inert plan", res.Crashes, res.Complete())
+	}
+}

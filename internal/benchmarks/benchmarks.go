@@ -13,6 +13,7 @@ import (
 
 	doall "repro"
 	"repro/internal/batch"
+	"repro/internal/explore"
 )
 
 // EngineCase is one simulator micro-benchmark: the cost of one protocol run.
@@ -130,6 +131,55 @@ func Run(b *testing.B, c EngineCase) {
 	b.ReportMetric(float64(events), "events/run")
 }
 
+// ExploreCase measures schedule-space exploration throughput: one op is a
+// full exhaustive certification walk, and schedules/sec is the tracked
+// headline metric.
+type ExploreCase struct {
+	Name     string
+	Protocol string
+	N, T     int
+	Crashes  int
+	Depth    int
+	Prefix   int
+}
+
+// ExploreCases returns the Explore* benchmark definitions.
+func ExploreCases() []ExploreCase {
+	return []ExploreCase{
+		{
+			// Protocol B at the acceptance-criterion instance: ~10k schedules
+			// per op through the universal adversary and pooled engines.
+			Name:     "ExploreSmall",
+			Protocol: "b", N: 8, T: 3, Crashes: 2, Depth: 8, Prefix: 2,
+		},
+	}
+}
+
+// RunExplore executes one explore case b.N times on a single worker and
+// reports schedules/sec (the metric cmd/bench tracks) alongside the usual
+// allocation counters.
+func RunExplore(b *testing.B, c ExploreCase) {
+	b.Helper()
+	b.ReportAllocs()
+	target, err := explore.NewTarget(c.Protocol, c.N, c.T, c.Crashes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := explore.NewSpace(c.T, c.Crashes, c.Depth, c.Prefix)
+	var schedules int64
+	for i := 0; i < b.N; i++ {
+		rep, err := target.Enumerate(space, explore.Options{Jobs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.ViolationCount > 0 {
+			b.Fatalf("%d violations", rep.ViolationCount)
+		}
+		schedules += rep.Schedules
+	}
+	b.ReportMetric(float64(schedules)/b.Elapsed().Seconds(), "schedules/sec")
+}
+
 // Record is one benchmark measurement as persisted in BENCH_engine.json.
 type Record struct {
 	Name         string  `json:"name"`
@@ -137,21 +187,27 @@ type Record struct {
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	EventsPerRun float64 `json:"events_per_run"`
+	// SchedulesPerSec is the Explore* cases' throughput (0 elsewhere):
+	// schedule-space certification speed, tracked so exploration
+	// regressions leave a trail like engine ones.
+	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
 }
 
-// Measure runs every engine and sweep case through testing.Benchmark and
-// returns the records sorted by name.
+// Measure runs every engine, sweep and explore case through
+// testing.Benchmark and returns the records sorted by name.
 func Measure() []Record {
 	engines := EngineCases()
 	sweeps := SweepCases()
-	out := make([]Record, 0, len(engines)+len(sweeps))
+	explores := ExploreCases()
+	out := make([]Record, 0, len(engines)+len(sweeps)+len(explores))
 	toRecord := func(name string, r testing.BenchmarkResult) Record {
 		return Record{
-			Name:         name,
-			NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp:  r.AllocsPerOp(),
-			BytesPerOp:   r.AllocedBytesPerOp(),
-			EventsPerRun: r.Extra["events/run"],
+			Name:            name,
+			NsPerOp:         float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:     r.AllocsPerOp(),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			EventsPerRun:    r.Extra["events/run"],
+			SchedulesPerSec: r.Extra["schedules/sec"],
 		}
 	}
 	for _, c := range engines {
@@ -161,6 +217,10 @@ func Measure() []Record {
 	for _, c := range sweeps {
 		c := c
 		out = append(out, toRecord(c.Name, testing.Benchmark(func(b *testing.B) { RunSweep(b, c) })))
+	}
+	for _, c := range explores {
+		c := c
+		out = append(out, toRecord(c.Name, testing.Benchmark(func(b *testing.B) { RunExplore(b, c) })))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

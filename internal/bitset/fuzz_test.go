@@ -1,0 +1,153 @@
+package bitset
+
+import (
+	"testing"
+)
+
+// Fuzzing the copy-on-write snapshot machinery: arbitrary interleavings of
+// mutators with Shared / AdoptShared / CopyFrom across two sets, checked
+// against a plain-copy oracle. Two invariants are enforced after every
+// operation:
+//
+//  1. each set's contents equal its oracle's (membership, count, members
+//     order);
+//  2. every previously published shared view is frozen: the words a holder
+//     received keep the exact values they had at publish time, no matter
+//     how either set mutates afterwards.
+
+const fuzzDomain = 77 // deliberately not a multiple of 64: padding bits exist
+
+// oracle is the reference implementation: a plain bool slice, copied
+// eagerly where Set copies lazily.
+type oracle []bool
+
+func (o oracle) count() int {
+	n := 0
+	for _, b := range o {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func (o oracle) words() []uint64 {
+	w := make([]uint64, (len(o)+63)/64)
+	for i, b := range o {
+		if b {
+			w[i>>6] |= 1 << (i & 63)
+		}
+	}
+	return w
+}
+
+type frozenView struct {
+	view []uint64 // what the holder received
+	want []uint64 // its contents at publish time
+}
+
+func checkFrozen(t *testing.T, views []frozenView, step int) {
+	t.Helper()
+	for vi, fv := range views {
+		for i := range fv.want {
+			if fv.view[i] != fv.want[i] {
+				t.Fatalf("step %d: published view %d mutated: word %d = %#x, frozen %#x",
+					step, vi, i, fv.view[i], fv.want[i])
+			}
+		}
+	}
+}
+
+func checkMatches(t *testing.T, s *Set, o oracle, step int, name string) {
+	t.Helper()
+	if s.Count() != o.count() {
+		t.Fatalf("step %d: %s.Count() = %d, oracle %d", step, name, s.Count(), o.count())
+	}
+	for i := 0; i < fuzzDomain; i++ {
+		if s.Has(i) != o[i] {
+			t.Fatalf("step %d: %s.Has(%d) = %v, oracle %v", step, name, i, s.Has(i), o[i])
+		}
+	}
+	want := o.words()
+	for i, w := range s.Words() {
+		if w != want[i] {
+			t.Fatalf("step %d: %s word %d = %#x, oracle %#x (padding corruption?)",
+				step, name, i, w, want[i])
+		}
+	}
+}
+
+func FuzzCOWSnapshots(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 5, 3, 0, 0, 5, 1, 5})                      // add, share, remove the shared bit
+	f.Add([]byte{0, 76, 3, 0, 4, 0, 1, 76, 2, 0})              // boundary bit, share, adopt, remove, clear
+	f.Add([]byte{0, 1, 128 + 0, 2, 5, 0, 128 + 3, 0, 6, 0})    // both sets, cross copy
+	f.Add([]byte{0, 10, 3, 0, 128 + 4, 0, 128 + 0, 11, 5, 10}) // share A, adopt into B, diverge
+	f.Add([]byte{7, 0, 3, 0, 6, 0, 0, 1, 128 + 6, 0})          // adopt-then-copy interleavings
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sets := [2]*Set{New(fuzzDomain, false), New(fuzzDomain, false)}
+		oracles := [2]oracle{make(oracle, fuzzDomain), make(oracle, fuzzDomain)}
+		var views []frozenView
+
+		for step := 0; step+1 < len(data); step += 2 {
+			op, arg := data[step], int(data[step+1])
+			si := 0
+			if op >= 128 {
+				si, op = 1, op-128
+			}
+			s, o := sets[si], oracles[si]
+			other, otherO := sets[1-si], oracles[1-si]
+			switch op % 8 {
+			case 0:
+				s.Add(arg % fuzzDomain)
+				o[arg%fuzzDomain] = true
+			case 1:
+				s.Remove(arg % fuzzDomain)
+				o[arg%fuzzDomain] = false
+			case 2:
+				s.Clear()
+				for i := range o {
+					o[i] = false
+				}
+			case 3:
+				// Publish a shared view and remember its frozen contents.
+				v := s.Shared()
+				views = append(views, frozenView{view: v, want: append([]uint64(nil), v...)})
+			case 4:
+				// Adopt the other set's shared view: both sets now reference
+				// the same words, COW-protected on both sides.
+				s.AdoptShared(other.Shared())
+				copy(o, otherO)
+			case 5:
+				// Adopt raw words with dirty padding bits: the masked-copy
+				// fallback path.
+				w := o.words()
+				if len(w) > 0 {
+					pad := uint(fuzzDomain % 64)
+					w[len(w)-1] |= ^uint64(0) << pad
+					w[0] |= uint64(arg)
+				}
+				s.AdoptShared(w)
+				for i := 0; i < 64 && i < fuzzDomain; i++ {
+					if uint64(arg)>>(i&63)&1 == 1 {
+						o[i] = true
+					}
+				}
+			case 6:
+				s.CopyFrom(other)
+				copy(o, otherO)
+			case 7:
+				// Adopt a short view (length mismatch): fallback copy, bits
+				// beyond the words cleared.
+				s.AdoptShared([]uint64{uint64(arg)})
+				for i := range o {
+					o[i] = i < 64 && uint64(arg)>>(i&63)&1 == 1
+				}
+			}
+			checkMatches(t, sets[0], oracles[0], step, "A")
+			checkMatches(t, sets[1], oracles[1], step, "B")
+			checkFrozen(t, views, step)
+		}
+	})
+}

@@ -1,25 +1,28 @@
-package core
+package core_test
 
 import (
 	"fmt"
 	"testing"
 
-	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/sim"
 )
 
-// Exhaustive single-crash sweeps: for a small instance, crash each process
-// at each of its first K actions — every combination of (victim, action
-// index, keep-work, delivery prefix) — and verify the completion guarantee
-// and the at-most-one-active invariant in every single execution. This
-// systematically covers crash positions that targeted tests can miss:
-// mid-broadcast cuts, crash-after-work-before-checkpoint, crash during
-// takeover chores, crash while preactive, crash while answering a poll.
+// Exhaustive crash-schedule sweeps, driven by the internal/explore
+// subsystem: each test describes its schedule space as an explore.Space and
+// certifies the completion guarantee and the at-most-one-active invariant
+// (plus any declared bounds) in every single execution. The spaces are
+// supersets of the hand-rolled sweeps this file used to run: every
+// (victim, action index, keep-work, delivery prefix) combination at bounded
+// depth, covering mid-broadcast cuts, crash-after-work-before-checkpoint,
+// crash during takeover chores, crash while preactive, and crash while
+// answering a poll.
 
 type protoCase struct {
 	name    string
 	n, t    int
-	actions int // actions per victim to sweep
+	actions int // action-index depth to sweep
 	scripts func() (func(int) sim.Script, error)
 }
 
@@ -28,214 +31,191 @@ func exhaustiveCases() []protoCase {
 		{
 			name: "A", n: 12, t: 4, actions: 10,
 			scripts: func() (func(int) sim.Script, error) {
-				return ProtocolAScripts(ABConfig{N: 12, T: 4})
+				return core.ProtocolAScripts(core.ABConfig{N: 12, T: 4})
 			},
 		},
 		{
 			name: "B", n: 12, t: 4, actions: 10,
 			scripts: func() (func(int) sim.Script, error) {
-				return ProtocolBScripts(ABConfig{N: 12, T: 4})
+				return core.ProtocolBScripts(core.ABConfig{N: 12, T: 4})
 			},
 		},
 		{
 			name: "C", n: 8, t: 4, actions: 8,
 			scripts: func() (func(int) sim.Script, error) {
-				return ProtocolCScripts(CConfig{N: 8, T: 4})
+				return core.ProtocolCScripts(core.CConfig{N: 8, T: 4})
 			},
 		},
 		{
 			name: "D", n: 12, t: 4, actions: 8,
 			scripts: func() (func(int) sim.Script, error) {
-				return ProtocolDScripts(DConfig{N: 12, T: 4})
+				return core.ProtocolDScripts(core.DConfig{N: 12, T: 4})
 			},
 		},
 		{
 			name: "single-checkpoint", n: 8, t: 4, actions: 8,
 			scripts: func() (func(int) sim.Script, error) {
-				return SingleCheckpointScripts(8, 4)
+				return core.SingleCheckpointScripts(8, 4)
 			},
 		},
 		{
 			name: "naive", n: 8, t: 4, actions: 8,
 			scripts: func() (func(int) sim.Script, error) {
-				return NaiveSpreadScripts(NaiveConfig{N: 8, T: 4})
+				return core.NaiveSpreadScripts(core.NaiveConfig{N: 8, T: 4})
 			},
 		},
 	}
 }
 
+// target adapts a case to an explore.Target certifying completion and (for
+// the single-active protocols) the engine's invariant check; bound checks
+// are off unless a test declares them.
+func (pc protoCase) target() explore.Target {
+	return explore.Target{
+		Protocol: pc.name, N: pc.n, T: pc.t,
+		MaxCrashes:   pc.t - 1,
+		SingleActive: pc.name != "D",
+		NewProcs: func() (core.Procs, error) {
+			scripts, err := pc.scripts()
+			return core.Procs{Scripts: scripts}, err
+		},
+	}
+}
+
+// enumerate walks the space and fails the test on any certification
+// violation, checking the walk covered the space exactly.
+func enumerate(t *testing.T, tg explore.Target, sp explore.Space) *explore.Report {
+	t.Helper()
+	rep, err := tg.Enumerate(sp, explore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sp.Count(); rep.Schedules != want {
+		t.Fatalf("certified %d of %d schedules", rep.Schedules, want)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("schedule %s: %s", v.Vector, v.Reason)
+	}
+	if rep.ViolationCount != 0 {
+		t.Fatalf("%d violations over %d schedules", rep.ViolationCount, rep.Schedules)
+	}
+	return rep
+}
+
+func intRange(lo, hi, step int) []int {
+	var out []int
+	for v := lo; v <= hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func roundRange(lo, hi int64) []int64 {
+	var out []int64
+	for r := lo; r <= hi; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestExhaustiveSingleCrashSweep crashes each process at each of its first
+// K actions — every (victim, action index, keep-work) combination with the
+// broadcast fully suppressed.
 func TestExhaustiveSingleCrashSweep(t *testing.T) {
 	for _, pc := range exhaustiveCases() {
 		pc := pc
 		t.Run(pc.name, func(t *testing.T) {
-			for victim := 0; victim < pc.t; victim++ {
-				for at := 1; at <= pc.actions; at++ {
-					for _, keep := range []bool{false, true} {
-						scripts, err := pc.scripts()
-						if err != nil {
-							t.Fatal(err)
-						}
-						adv := adversary.NewSchedule(adversary.Crash{
-							PID: victim, AtAction: at, KeepWork: keep,
-						})
-						opt := RunOptions{Adversary: adv}
-						if pc.name != "D" {
-							opt.MaxActive = 1
-						}
-						res, err := Run(pc.n, pc.t, scripts, opt)
-						if err != nil {
-							t.Fatalf("victim=%d at=%d keep=%v: %v", victim, at, keep, err)
-						}
-						if err := CheckCompletion(res); err != nil {
-							t.Fatalf("victim=%d at=%d keep=%v: %v", victim, at, keep, err)
-						}
-					}
-				}
-			}
+			enumerate(t, pc.target(), explore.Space{
+				Victims:    intRange(0, pc.t-1, 1),
+				MaxCrashes: 1,
+				Actions:    intRange(1, pc.actions, 1),
+				KeepWork:   []bool{false, true},
+				Prefixes:   []int{0},
+			})
 		})
 	}
 }
 
+// TestExhaustiveBroadcastCutSweep crashes process 0 at each of its first K
+// actions, delivering every possible prefix of the cut broadcast.
 func TestExhaustiveBroadcastCutSweep(t *testing.T) {
-	// Crash process 0 at each of its broadcasts, delivering every possible
-	// prefix of the cut broadcast.
 	for _, pc := range exhaustiveCases() {
 		pc := pc
 		t.Run(pc.name, func(t *testing.T) {
-			for at := 1; at <= pc.actions; at++ {
-				for prefix := 0; prefix <= pc.t-1; prefix++ {
-					scripts, err := pc.scripts()
-					if err != nil {
-						t.Fatal(err)
-					}
-					adv := adversary.NewSchedule(adversary.Crash{
-						PID: 0, AtAction: at, KeepWork: true,
-						Deliver: prefixMaskN(pc.t, prefix),
-					})
-					opt := RunOptions{Adversary: adv}
-					if pc.name != "D" {
-						opt.MaxActive = 1
-					}
-					res, err := Run(pc.n, pc.t, scripts, opt)
-					if err != nil {
-						t.Fatalf("at=%d prefix=%d: %v", at, prefix, err)
-					}
-					if err := CheckCompletion(res); err != nil {
-						t.Fatalf("at=%d prefix=%d: %v", at, prefix, err)
-					}
-				}
-			}
+			enumerate(t, pc.target(), explore.Space{
+				Victims:    []int{0},
+				MaxCrashes: 1,
+				Actions:    intRange(1, pc.actions, 1),
+				KeepWork:   []bool{true},
+				Prefixes:   intRange(0, pc.t-1, 1),
+			})
 		})
 	}
 }
 
-func prefixMaskN(n, k int) []bool {
-	m := make([]bool, n)
-	for i := 0; i < k && i < n; i++ {
-		m[i] = true
-	}
-	return m
-}
-
+// TestExhaustiveDoubleCrashSweep crosses crashes of processes 0 and 1 over
+// action indices — the takeover-during-takeover cases. The space is the
+// full keep-work cross where the old hand-rolled sweep fixed keep-work by
+// parity.
 func TestExhaustiveDoubleCrashSweep(t *testing.T) {
-	// Two crashes: process 0 at action i, process 1 at action j — the
-	// takeover-during-takeover cases.
 	if testing.Short() {
 		t.Skip("quadratic sweep")
 	}
 	for _, pc := range exhaustiveCases() {
 		pc := pc
 		t.Run(pc.name, func(t *testing.T) {
-			for i := 1; i <= pc.actions; i += 2 {
-				for j := 1; j <= pc.actions; j += 2 {
-					scripts, err := pc.scripts()
-					if err != nil {
-						t.Fatal(err)
-					}
-					adv := adversary.NewSchedule(
-						adversary.Crash{PID: 0, AtAction: i, KeepWork: i%2 == 0},
-						adversary.Crash{PID: 1, AtAction: j, KeepWork: j%2 == 1},
-					)
-					opt := RunOptions{Adversary: adv}
-					if pc.name != "D" {
-						opt.MaxActive = 1
-					}
-					res, err := Run(pc.n, pc.t, scripts, opt)
-					if err != nil {
-						t.Fatalf("i=%d j=%d: %v", i, j, err)
-					}
-					if err := CheckCompletion(res); err != nil {
-						t.Fatalf("i=%d j=%d: %v", i, j, err)
-					}
-				}
-			}
+			enumerate(t, pc.target(), explore.Space{
+				Victims:    []int{0, 1},
+				MaxCrashes: 2,
+				Actions:    intRange(1, pc.actions, 2),
+				KeepWork:   []bool{false, true},
+				Prefixes:   []int{0},
+			})
 		})
 	}
 }
 
+// TestExhaustiveScheduledRoundCrashes crashes processes 1 and 2 at every
+// pair of early rounds, covering simultaneous and staggered
+// sleeping-process crashes.
 func TestExhaustiveScheduledRoundCrashes(t *testing.T) {
-	// Crash pairs of processes at every pair of early rounds, covering
-	// simultaneous and staggered sleeping-process crashes.
 	for _, pc := range exhaustiveCases() {
 		pc := pc
 		if pc.name == "C" || pc.name == "naive" {
 			continue // exponential deadlines make round-indexed sweeps moot
 		}
 		t.Run(pc.name, func(t *testing.T) {
-			for r1 := int64(0); r1 < 6; r1 += 2 {
-				for r2 := r1; r2 < 8; r2 += 3 {
-					scripts, err := pc.scripts()
-					if err != nil {
-						t.Fatal(err)
-					}
-					adv := adversary.NewSchedule(
-						adversary.Crash{PID: 1, Round: r1},
-						adversary.Crash{PID: 2, Round: r2},
-					)
-					opt := RunOptions{Adversary: adv}
-					if pc.name != "D" {
-						opt.MaxActive = 1
-					}
-					res, err := Run(pc.n, pc.t, scripts, opt)
-					if err != nil {
-						t.Fatalf("r1=%d r2=%d: %v", r1, r2, err)
-					}
-					if err := CheckCompletion(res); err != nil {
-						t.Fatalf("r1=%d r2=%d: %v", r1, r2, err)
-					}
-				}
-			}
+			enumerate(t, pc.target(), explore.Space{
+				Victims:    []int{1, 2},
+				MaxCrashes: 2,
+				Rounds:     roundRange(0, 7),
+			})
 		})
 	}
 }
 
+// TestExhaustiveWorkConservationProperty declares the Theorem 2.8 work
+// bound on the single-crash space of Protocol B: work never exceeds 3n and
+// (via the completion guarantee) never misses a unit.
 func TestExhaustiveWorkConservationProperty(t *testing.T) {
-	// Across the single-crash sweep of Protocol B, work never exceeds the
-	// theorem bound and never misses a unit: a tighter joint property than
-	// the individual tests.
 	n, tt := 12, 4
-	for victim := 0; victim < tt; victim++ {
-		for at := 1; at <= 12; at++ {
-			scripts, err := ProtocolBScripts(ABConfig{N: n, T: tt})
-			if err != nil {
-				t.Fatal(err)
-			}
-			res, err := Run(n, tt, scripts, RunOptions{
-				Adversary: adversary.NewSchedule(adversary.Crash{
-					PID: victim, AtAction: at, KeepWork: true,
-				}),
-				MaxActive: 1,
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if res.WorkDistinct != n {
-				t.Fatalf("victim=%d at=%d: %d distinct", victim, at, res.WorkDistinct)
-			}
-			if res.WorkTotal > int64(3*n) {
-				t.Fatalf("victim=%d at=%d: work %d > 3n", victim, at, res.WorkTotal)
-			}
-		}
+	tg := explore.Target{
+		Protocol: "B", N: n, T: tt, MaxCrashes: tt - 1, SingleActive: true,
+		NewProcs: func() (core.Procs, error) {
+			scripts, err := core.ProtocolBScripts(core.ABConfig{N: n, T: tt})
+			return core.Procs{Scripts: scripts}, err
+		},
+		Bounds: explore.Bounds{Work: int64(3 * n)},
+	}
+	rep := enumerate(t, tg, explore.Space{
+		Victims:    intRange(0, tt-1, 1),
+		MaxCrashes: 1,
+		Actions:    intRange(1, 12, 1),
+		KeepWork:   []bool{true},
+		Prefixes:   []int{0},
+	})
+	if rep.WorstWork.Value > int64(3*n) {
+		t.Fatalf("worst work %d > 3n (schedule %s)", rep.WorstWork.Value, rep.WorstWork.Vector)
 	}
 }
 
@@ -243,35 +223,27 @@ func TestExhaustiveWorkConservationProperty(t *testing.T) {
 // active process at every round of a short run, one run per round.
 func TestCrashAtEveryRoundProtocolB(t *testing.T) {
 	n, tt := 8, 4
-	probe, err := ProtocolBScripts(ABConfig{N: n, T: tt})
-	if err != nil {
-		t.Fatal(err)
+	tg := explore.Target{
+		Protocol: "B", N: n, T: tt, MaxCrashes: 1, SingleActive: true,
+		NewProcs: func() (core.Procs, error) {
+			scripts, err := core.ProtocolBScripts(core.ABConfig{N: n, T: tt})
+			return core.Procs{Scripts: scripts}, err
+		},
 	}
-	base, err := Run(n, tt, probe, RunOptions{MaxActive: 1})
-	if err != nil {
-		t.Fatal(err)
+	base := tg.Certify(nil)
+	if len(base.Violations) != 0 {
+		t.Fatalf("failure-free run: %v", base.Violations)
 	}
-	for r := int64(0); r <= base.Rounds; r++ {
-		scripts, err := ProtocolBScripts(ABConfig{N: n, T: tt})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := Run(n, tt, scripts, RunOptions{
-			Adversary: adversary.NewSchedule(adversary.Crash{PID: 0, Round: r}),
-			MaxActive: 1,
-		})
-		if err != nil {
-			t.Fatalf("round %d: %v", r, err)
-		}
-		if err := CheckCompletion(res); err != nil {
-			t.Fatalf("round %d: %v", r, err)
-		}
-	}
+	enumerate(t, tg, explore.Space{
+		Victims:    []int{0},
+		MaxCrashes: 1,
+		Rounds:     roundRange(0, base.Result.Rounds),
+	})
 }
 
 func ExampleCheckCompletion() {
-	scripts, _ := ProtocolBScripts(ABConfig{N: 4, T: 2})
-	res, _ := Run(4, 2, scripts, RunOptions{})
-	fmt.Println(CheckCompletion(res) == nil, res.WorkDistinct)
+	scripts, _ := core.ProtocolBScripts(core.ABConfig{N: 4, T: 2})
+	res, _ := core.Run(4, 2, scripts, core.RunOptions{})
+	fmt.Println(core.CheckCompletion(res) == nil, res.WorkDistinct)
 	// Output: true 4
 }

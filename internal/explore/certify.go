@@ -1,0 +1,361 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/sim"
+)
+
+// Bounds are the per-run certification limits for a target; zero fields are
+// unchecked (baseline protocols certify completion and invariants only).
+// Effort is the paper's combined measure, work + messages.
+type Bounds struct {
+	Work     int64
+	Messages int64
+	Rounds   int64
+	Effort   int64
+}
+
+// Target is one (protocol, n, t, f) instance under certification. NewProcs
+// must build fresh process bodies per run (protocol state is single-use);
+// runs execute through internal/core's pooled engines.
+type Target struct {
+	Protocol     string
+	N, T         int
+	MaxCrashes   int
+	SingleActive bool
+	// MaxRound aborts runaway executions; an abort is reported as a
+	// violation. 0 means the engine default.
+	MaxRound int64
+	NewProcs func() (core.Procs, error)
+	Bounds   Bounds
+}
+
+// NewTarget builds a certification target for a named protocol (the
+// cmd/doall names: a, b, c, c-lowmsg, d, single-checkpoint, naive).
+// maxCrashes is the f the bounds assume; use t-1 or less to preserve the
+// one-survivor guarantee. Protocols A-D get the paper's bounds with this
+// reproduction's model-adjusted round constants; the baselines certify the
+// completion guarantee and the single-active invariant only.
+func NewTarget(protocol string, n, t, maxCrashes int) (Target, error) {
+	if t <= 0 || n < 0 {
+		return Target{}, fmt.Errorf("explore: bad instance n=%d t=%d", n, t)
+	}
+	if maxCrashes < 0 || maxCrashes >= t {
+		return Target{}, fmt.Errorf("explore: maxCrashes = %d, want 0..t-1", maxCrashes)
+	}
+	tg := Target{Protocol: protocol, N: n, T: t, MaxCrashes: maxCrashes, SingleActive: true}
+	nPrime := int64(max(n, t))
+	rootT := float64(t) * math.Sqrt(float64(t))
+	logT := max(group.CeilLog2(t), 1)
+	f := maxCrashes
+	switch protocol {
+	case "a":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolAProcs(core.ABConfig{N: n, T: t}) }
+		tg.Bounds = Bounds{
+			Work:     3 * nPrime,
+			Messages: int64(9 * rootT),
+			Rounds:   core.ProtocolARoundBound(n, t),
+		}
+	case "b":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolBProcs(core.ABConfig{N: n, T: t}) }
+		tg.Bounds = Bounds{
+			Work:     3 * nPrime,
+			Messages: int64(10 * rootT),
+			Rounds:   core.ProtocolBRoundBound(n, t),
+		}
+	case "c":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolCProcs(core.CConfig{N: n, T: t}) }
+		tg.Bounds = Bounds{
+			Work:     int64(n + 2*t),
+			Messages: int64(n + 8*t*logT),
+			Rounds:   core.ProtocolCRoundBound(n, t, 1),
+		}
+	case "c-lowmsg":
+		every := max((n+t-1)/t, 1)
+		tg.NewProcs = func() (core.Procs, error) {
+			return core.ProtocolCProcs(core.CConfig{N: n, T: t, ReportEvery: every})
+		}
+		tg.Bounds = Bounds{
+			Work:     int64(2 * (n + 2*t)),
+			Messages: int64(10 * t * logT),
+			Rounds:   core.ProtocolCRoundBound(n, t, every),
+		}
+	case "d":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolDProcs(core.DConfig{N: n, T: t}) }
+		tg.SingleActive = false
+		// Theorem 4.1(2): arbitrary schedules may force the revert to
+		// Protocol A, so certify against the reverted bounds.
+		tg.Bounds = Bounds{
+			Work:     int64(4 * max(n, t)),
+			Messages: int64((4*f+2)*t*t) + int64(9*rootT/(2*math.Sqrt2)),
+			Rounds:   core.ProtocolDRoundBound(n, t, f),
+		}
+	case "single-checkpoint":
+		tg.NewProcs = func() (core.Procs, error) {
+			scripts, err := core.SingleCheckpointScripts(n, t)
+			return core.Procs{Scripts: scripts}, err
+		}
+	case "naive":
+		tg.NewProcs = func() (core.Procs, error) {
+			scripts, err := core.NaiveSpreadScripts(core.NaiveConfig{N: n, T: t})
+			return core.Procs{Scripts: scripts}, err
+		}
+	default:
+		return Target{}, fmt.Errorf("explore: unknown protocol %q", protocol)
+	}
+	if b := tg.Bounds; b.Work > 0 {
+		tg.Bounds.Effort = satAdd(b.Work, b.Messages)
+		// A runaway execution must terminate the walk: abort well past the
+		// certified round bound and report the abort as a violation. A
+		// saturated round bound (Protocol C at larger n + t) keeps the
+		// engine default instead.
+		if b.Rounds < countSat/4 {
+			tg.MaxRound = 4 * b.Rounds
+		}
+	}
+	return tg, nil
+}
+
+// DefaultDepth probes the target failure-free and returns an action-depth
+// horizon covering every process's committed actions plus slack for the
+// extra takeover chores a crash schedule can induce.
+func (tg Target) DefaultDepth() (int, error) {
+	res, _, err := tg.runVector(nil)
+	if err != nil {
+		return 0, err
+	}
+	depth := int64(0)
+	for _, p := range res.PerProc {
+		if p.Actions > depth {
+			depth = p.Actions
+		}
+	}
+	return int(depth) + 2, nil
+}
+
+// runVector replays one decision vector on a pooled engine.
+func (tg Target) runVector(vec Vector) (sim.Result, *Adversary, error) {
+	procs, err := tg.NewProcs()
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	adv := vec.Adversary()
+	opt := core.RunOptions{Adversary: adv, MaxRound: tg.MaxRound}
+	if tg.SingleActive {
+		opt.MaxActive = 1
+	}
+	res, err := core.RunProcs(tg.N, tg.T, procs, opt)
+	return res, adv, err
+}
+
+// Violation is one certification failure, with the schedule that caused it
+// as a replayable vector.
+type Violation struct {
+	Vector string
+	Reason string
+}
+
+// Certification is the verdict on one replayed schedule.
+type Certification struct {
+	Vector     Vector
+	Result     sim.Result
+	Violations []Violation
+	// Collapsed reports that the execution coincides with a canonically
+	// smaller vector's: a planned crash never fired or a delivery choice
+	// extended past the crashed action's send list.
+	Collapsed bool
+}
+
+// Certify replays one schedule and checks the completion guarantee, the
+// invariants (via the engine) and the target's bounds.
+func (tg Target) Certify(vec Vector) Certification {
+	cert := Certification{Vector: vec}
+	res, adv, err := tg.runVector(vec)
+	cert.Result = res
+	fail := func(format string, args ...any) {
+		cert.Violations = append(cert.Violations, Violation{
+			Vector: vec.String(), Reason: fmt.Sprintf(format, args...),
+		})
+	}
+	if err != nil {
+		fail("run error: %v", err)
+		return cert
+	}
+	cert.Collapsed = res.Crashes < len(vec) || adv.OverDelivered()
+	if err := core.CheckCompletion(res); err != nil {
+		fail("%v", err)
+	}
+	check := func(name string, measured, bound int64) {
+		if bound > 0 && measured > bound {
+			fail("%s %d exceeds bound %d", name, measured, bound)
+		}
+	}
+	check("work", res.WorkTotal, tg.Bounds.Work)
+	check("messages", res.Messages, tg.Bounds.Messages)
+	check("rounds", res.Rounds, tg.Bounds.Rounds)
+	check("effort", res.Effort(), tg.Bounds.Effort)
+	return cert
+}
+
+// Extreme is the worst value of one metric over a walk, with the schedule
+// that realized it. Value is -1 until something is observed.
+type Extreme struct {
+	Value   int64
+	Vector  string
+	Crashes int
+}
+
+func (e *Extreme) observe(value int64, vec Vector, crashes int) {
+	// Strict improvement only: on ties the first vector in index order wins,
+	// which keeps reports independent of sharding.
+	if value > e.Value {
+		e.Value, e.Vector, e.Crashes = value, vec.String(), crashes
+	}
+}
+
+// maxViolations caps the violations retained verbatim in a report; the
+// count keeps the full total.
+const maxViolations = 16
+
+// Report aggregates a schedule-space walk.
+type Report struct {
+	Protocol   string
+	N, T       int
+	MaxCrashes int
+	Bounds     Bounds
+	// Schedules counts certified executions; Collapsed counts those
+	// coinciding with a canonically smaller vector's execution (still
+	// certified).
+	Schedules int64
+	Collapsed int64
+	// ByCrashes histograms executions by crashes actually fired.
+	ByCrashes []int64
+	// WorstX are the worst observed metrics with their replayable vectors.
+	WorstWork     Extreme
+	WorstMessages Extreme
+	WorstRounds   Extreme
+	WorstEffort   Extreme
+	// Violations retains the first maxViolations failures in index order;
+	// ViolationCount is the full total. A clean certification has 0.
+	Violations     []Violation
+	ViolationCount int64
+}
+
+func (r *Report) observe(cert Certification) {
+	r.Schedules++
+	if cert.Collapsed {
+		r.Collapsed++
+	}
+	crashes := cert.Result.Crashes
+	for len(r.ByCrashes) <= crashes {
+		r.ByCrashes = append(r.ByCrashes, 0)
+	}
+	r.ByCrashes[crashes]++
+	res := cert.Result
+	r.WorstWork.observe(res.WorkTotal, cert.Vector, crashes)
+	r.WorstMessages.observe(res.Messages, cert.Vector, crashes)
+	r.WorstRounds.observe(res.Rounds, cert.Vector, crashes)
+	r.WorstEffort.observe(res.Effort(), cert.Vector, crashes)
+	r.ViolationCount += int64(len(cert.Violations))
+	for _, v := range cert.Violations {
+		if len(r.Violations) < maxViolations {
+			r.Violations = append(r.Violations, v)
+		}
+	}
+}
+
+// merge folds b (a later shard) into r; shards are merged in index order so
+// the fold is deterministic for every worker count.
+func (r *Report) merge(b *Report) {
+	r.Schedules += b.Schedules
+	r.Collapsed += b.Collapsed
+	for len(r.ByCrashes) < len(b.ByCrashes) {
+		r.ByCrashes = append(r.ByCrashes, 0)
+	}
+	for i, c := range b.ByCrashes {
+		r.ByCrashes[i] += c
+	}
+	mergeExtreme := func(a *Extreme, b Extreme) {
+		if b.Value > a.Value { // ties keep the earlier shard's vector
+			*a = b
+		}
+	}
+	mergeExtreme(&r.WorstWork, b.WorstWork)
+	mergeExtreme(&r.WorstMessages, b.WorstMessages)
+	mergeExtreme(&r.WorstRounds, b.WorstRounds)
+	mergeExtreme(&r.WorstEffort, b.WorstEffort)
+	for _, v := range b.Violations {
+		if len(r.Violations) < maxViolations {
+			r.Violations = append(r.Violations, v)
+		}
+	}
+	r.ViolationCount += b.ViolationCount
+}
+
+// Options configures a schedule-space walk.
+type Options struct {
+	// Jobs caps the parallel shards (0 = GOMAXPROCS, 1 = sequential); the
+	// report is identical for every value.
+	Jobs int
+	// MaxSchedules refuses spaces larger than this (default 1<<22).
+	MaxSchedules int64
+}
+
+func (o Options) maxSchedules() int64 {
+	if o.MaxSchedules > 0 {
+		return o.MaxSchedules
+	}
+	return 1 << 22
+}
+
+// shardSize is the fixed per-shard schedule count. It must not depend on
+// the worker count: shard boundaries define which vector a tie-broken
+// extreme reports, and those are pinned byte-identical across -jobs.
+const shardSize = 1024
+
+// Enumerate exhaustively walks and certifies every schedule in the space,
+// fanning shards out via the deterministic batch runner over pooled
+// engines.
+func (tg Target) Enumerate(space Space, opt Options) (*Report, error) {
+	norm, err := space.normalize()
+	if err != nil {
+		return nil, err
+	}
+	count := norm.count()
+	if count > opt.maxSchedules() {
+		return nil, fmt.Errorf("explore: space has %d schedules, above the %d limit (shrink depth/crashes or raise MaxSchedules)",
+			count, opt.maxSchedules())
+	}
+	shards := int((count + shardSize - 1) / shardSize)
+	workers := opt.Jobs
+	parts := batch.Map(workers, shards, func(si int) *Report {
+		rep := tg.newReport()
+		lo := int64(si) * shardSize
+		hi := min(lo+shardSize, count)
+		for i := lo; i < hi; i++ {
+			rep.observe(tg.Certify(norm.vectorAt(i)))
+		}
+		return rep
+	})
+	out := tg.newReport()
+	for _, p := range parts {
+		out.merge(p)
+	}
+	return out, nil
+}
+
+func (tg Target) newReport() *Report {
+	return &Report{
+		Protocol: tg.Protocol, N: tg.N, T: tg.T,
+		MaxCrashes: tg.MaxCrashes, Bounds: tg.Bounds,
+		WorstWork:     Extreme{Value: -1},
+		WorstMessages: Extreme{Value: -1},
+		WorstRounds:   Extreme{Value: -1},
+		WorstEffort:   Extreme{Value: -1},
+	}
+}

@@ -1,0 +1,286 @@
+// Package explore is the schedule-space exploration subsystem: it treats a
+// crash schedule as an explicit, replayable value — a decision vector of
+// (victim, trigger, keep-work, delivery-mask) choices — and spends simulator
+// speed on walking the space of such vectors.
+//
+// Three entry points sit on the same universal adversary:
+//
+//   - Enumerate DFS-walks every schedule of a Space (up to f crashes, bounded
+//     action depth) for small (n, t), certifying the paper's effort bound,
+//     the completion guarantee and the at-most-one-active invariant in every
+//     single execution. Victim sets are enumerated as combinations (never
+//     permutations — the vector is unordered by construction) and delivery
+//     choices as prefixes of the crashed action's virtual send list, the two
+//     canonicalizations that keep the space polynomial; executions that
+//     coincide with a canonically smaller vector's (a planned crash that
+//     never fires, a prefix past the real send count) are counted as
+//     collapsed but still certified.
+//   - Search runs seeded random sampling plus greedy hill-climbing over
+//     decision vectors for instances too large to enumerate, maximizing
+//     effort, rounds, messages or work, and reports the worst schedule found
+//     as a replayable vector.
+//   - Certify replays one vector and checks it against the target's bounds.
+//
+// Shards and candidate batches fan out deterministically via batch.Map over
+// the pooled engines behind internal/core's run entry points, so reports are
+// byte-identical for every worker count.
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Choice is one planned crash in a decision vector. Exactly one trigger
+// applies: AtAction > 0 crashes the victim as it commits its AtAction-th
+// action; otherwise the victim crashes at the start of round Round (even
+// while asleep). For action crashes, KeepWork decides whether a work unit in
+// the crashed action survives, and the delivery choice selects which entries
+// of the action's virtual send list (sim.Action.SendAt order: explicit
+// sends, then the broadcast per recipient) are transmitted: the first Prefix
+// entries when Bits is false, the set bits of Mask when Bits is true.
+type Choice struct {
+	Victim   int
+	AtAction int
+	Round    int64
+	KeepWork bool
+	Prefix   int
+	Bits     bool
+	Mask     uint64
+}
+
+// String renders the choice in the grammar accepted by ParseChoice:
+// "1@r7" (round trigger), "2@a5:keep:p3" (action trigger, prefix delivery),
+// "2@a5:lose:mb" (action trigger, hex bitmask delivery).
+func (c Choice) String() string {
+	if c.AtAction <= 0 {
+		return fmt.Sprintf("%d@r%d", c.Victim, c.Round)
+	}
+	keep := "lose"
+	if c.KeepWork {
+		keep = "keep"
+	}
+	if c.Bits {
+		return fmt.Sprintf("%d@a%d:%s:m%x", c.Victim, c.AtAction, keep, c.Mask)
+	}
+	return fmt.Sprintf("%d@a%d:%s:p%d", c.Victim, c.AtAction, keep, c.Prefix)
+}
+
+// ParseChoice parses the String form.
+func ParseChoice(s string) (Choice, error) {
+	bad := func() (Choice, error) {
+		return Choice{}, fmt.Errorf("explore: bad choice %q: want V@rROUND or V@aN:keep|lose:pK|mHEX", s)
+	}
+	head, rest, ok := strings.Cut(s, "@")
+	if !ok || len(rest) < 2 {
+		return bad()
+	}
+	victim, err := strconv.Atoi(head)
+	if err != nil || victim < 0 {
+		return bad()
+	}
+	c := Choice{Victim: victim}
+	switch rest[0] {
+	case 'r':
+		round, err := strconv.ParseInt(rest[1:], 10, 64)
+		if err != nil || round < 0 {
+			return bad()
+		}
+		c.Round = round
+		return c, nil
+	case 'a':
+		parts := strings.Split(rest[1:], ":")
+		if len(parts) != 3 {
+			return bad()
+		}
+		at, err := strconv.Atoi(parts[0])
+		if err != nil || at <= 0 {
+			return bad()
+		}
+		c.AtAction = at
+		switch parts[1] {
+		case "keep":
+			c.KeepWork = true
+		case "lose":
+		default:
+			return bad()
+		}
+		if len(parts[2]) < 1 {
+			return bad()
+		}
+		switch parts[2][0] {
+		case 'p':
+			p, err := strconv.Atoi(parts[2][1:])
+			if err != nil || p < 0 {
+				return bad()
+			}
+			c.Prefix = p
+		case 'm':
+			m, err := strconv.ParseUint(parts[2][1:], 16, 64)
+			if err != nil {
+				return bad()
+			}
+			c.Bits, c.Mask = true, m
+		default:
+			return bad()
+		}
+		return c, nil
+	}
+	return bad()
+}
+
+// Vector is a decision vector: one complete, replayable crash schedule. A
+// victim appears at most once (a crash kills for good), so vectors are
+// unordered sets of choices; Validate and the enumerator keep them sorted by
+// victim, which is the canonical form.
+type Vector []Choice
+
+// String renders the vector as comma-joined choices; the empty vector is
+// "-" (the failure-free schedule).
+func (v Vector) String() string {
+	if len(v) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(v))
+	for i, c := range v {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseVector parses the String form ("-" or comma-joined choices).
+func ParseVector(s string) (Vector, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "-" {
+		return nil, nil
+	}
+	var v Vector
+	for _, part := range strings.Split(s, ",") {
+		c, err := ParseChoice(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		v = append(v, c)
+	}
+	return v, v.Validate()
+}
+
+// Validate checks the vector's well-formedness: non-negative fields and at
+// most one choice per victim.
+func (v Vector) Validate() error {
+	seen := make(map[int]bool, len(v))
+	for _, c := range v {
+		if c.Victim < 0 {
+			return fmt.Errorf("explore: negative victim %d", c.Victim)
+		}
+		if c.AtAction < 0 || (c.AtAction == 0 && c.Round < 0) || c.Prefix < 0 {
+			return fmt.Errorf("explore: malformed choice %v", c)
+		}
+		if seen[c.Victim] {
+			return fmt.Errorf("explore: victim %d crashed twice", c.Victim)
+		}
+		seen[c.Victim] = true
+	}
+	return nil
+}
+
+// Canonical returns the vector sorted by victim (choices are unordered, one
+// per victim, so this is the canonical representative).
+func (v Vector) Canonical() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	sort.Slice(out, func(i, j int) bool { return out[i].Victim < out[j].Victim })
+	return out
+}
+
+// Adversary is the universal choice-sequence adversary: a sim.Adversary
+// driven entirely by a decision vector, so that any crash schedule is a
+// replayable value. It is stateful and single-use — build a fresh one per
+// run.
+type Adversary struct {
+	choices []Choice
+	counts  map[int]int64 // committed actions observed per victim
+	// overDelivered records that some fired choice's delivery selection
+	// extended past the crashed action's real send list — the execution
+	// coincides with the canonically smaller choice truncated to the send
+	// count.
+	overDelivered bool
+}
+
+var _ sim.Adversary = (*Adversary)(nil)
+
+// Adversary builds a fresh universal adversary replaying the vector.
+func (v Vector) Adversary() *Adversary {
+	a := &Adversary{choices: v, counts: make(map[int]int64, len(v))}
+	return a
+}
+
+// OnAction implements sim.Adversary.
+func (a *Adversary) OnAction(_ int64, pid int, act sim.Action) sim.Verdict {
+	for _, c := range a.choices {
+		if c.Victim != pid || c.AtAction <= 0 {
+			continue
+		}
+		a.counts[pid]++
+		if a.counts[pid] != int64(c.AtAction) {
+			return sim.Survive()
+		}
+		v := sim.Verdict{Crash: true, KeepWork: c.KeepWork}
+		n := act.SendCount()
+		if c.Bits {
+			if c.Mask>>uint(min(n, 64)) != 0 {
+				a.overDelivered = true
+			}
+			if c.Mask != 0 {
+				v.Deliver = make([]bool, min(n, 64))
+				for i := range v.Deliver {
+					v.Deliver[i] = c.Mask>>uint(i)&1 == 1
+				}
+			}
+			return v
+		}
+		if c.Prefix > n {
+			a.overDelivered = true
+		}
+		if p := min(c.Prefix, n); p > 0 {
+			v.Deliver = make([]bool, p)
+			for i := range v.Deliver {
+				v.Deliver[i] = true
+			}
+		}
+		return v
+	}
+	return sim.Survive()
+}
+
+// ScheduledCrashes implements sim.Adversary.
+func (a *Adversary) ScheduledCrashes(r int64) []int {
+	var pids []int
+	for _, c := range a.choices {
+		if c.AtAction <= 0 && c.Round == r {
+			pids = append(pids, c.Victim)
+		}
+	}
+	sort.Ints(pids)
+	return pids
+}
+
+// NextScheduledCrash implements sim.Adversary.
+func (a *Adversary) NextScheduledCrash(after int64) int64 {
+	next := int64(-1)
+	for _, c := range a.choices {
+		if c.AtAction <= 0 && c.Round > after && (next < 0 || c.Round < next) {
+			next = c.Round
+		}
+	}
+	return next
+}
+
+// OverDelivered reports whether a fired choice selected delivery entries
+// past the crashed action's send list, i.e. the run coincides with a
+// canonically smaller delivery choice.
+func (a *Adversary) OverDelivered() bool { return a.overDelivered }

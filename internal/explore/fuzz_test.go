@@ -1,0 +1,143 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// vectorFromBytes decodes arbitrary bytes into a valid decision vector for
+// a t-process instance: 5-byte groups (victim, flags, trigger, d0, d1),
+// duplicate victims skipped, at most maxCrashes choices kept. Delivery
+// prefixes may deliberately exceed the send list and bitmasks may set high
+// bits: the over-delivery paths are part of the fuzzed surface.
+func vectorFromBytes(data []byte, t, maxCrashes int) Vector {
+	var vec Vector
+	seen := make(map[int]bool)
+	for i := 0; i+4 < len(data) && len(vec) < maxCrashes; i += 5 {
+		victim := int(data[i]) % t
+		if seen[victim] {
+			continue
+		}
+		seen[victim] = true
+		flags := data[i+1]
+		c := Choice{Victim: victim}
+		if flags&1 == 1 {
+			c.AtAction = 1 + int(data[i+2])%64
+			c.KeepWork = flags&2 != 0
+			if flags&4 != 0 {
+				c.Bits = true
+				c.Mask = uint64(data[i+3]) | uint64(data[i+4])<<8
+			} else {
+				c.Prefix = int(data[i+3]) % (t + 2)
+			}
+		} else {
+			c.Round = int64(data[i+2]) % 64
+		}
+		vec = append(vec, c)
+	}
+	return vec.Canonical()
+}
+
+// encodeVector is vectorFromBytes's inverse for in-range vectors, used to
+// seed the fuzz corpus with schedules the worst-case searcher found.
+// Triggers past the decodable range (AtAction > 64, Round > 63) are
+// clamped to its edge rather than wrapped, so an out-of-range worst
+// schedule seeds a near neighbor instead of silently becoming an
+// unrelated early crash.
+func encodeVector(vec Vector) []byte {
+	var out []byte
+	for _, c := range vec {
+		b := [5]byte{byte(c.Victim)}
+		if c.AtAction > 0 {
+			b[1] = 1
+			if c.KeepWork {
+				b[1] |= 2
+			}
+			if c.Bits {
+				b[1] |= 4
+				b[3] = byte(c.Mask)
+				b[4] = byte(c.Mask >> 8)
+			} else {
+				b[3] = byte(c.Prefix)
+			}
+			b[2] = byte(min(c.AtAction, 64) - 1)
+		} else {
+			b[2] = byte(min(c.Round, 63))
+		}
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// FuzzScheduleReplay drives arbitrary decision vectors through the
+// universal adversary and asserts that replaying the same vector yields
+// reflect.DeepEqual results — determinism under arbitrary schedules, on
+// fresh protocol state and pooled engines both times — and that every such
+// schedule certifies (completion guarantee, invariants, bounds).
+func FuzzScheduleReplay(f *testing.F) {
+	mkTargets := func() []Target {
+		b, err := NewTarget("b", 10, 4, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		d, err := NewTarget("d", 8, 4, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return []Target{b, d}
+	}
+	targets := mkTargets()
+
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0, 0})
+	f.Add([]byte{0, 3, 4, 1, 0, 1, 0, 5, 0, 0})
+	f.Add([]byte{2, 7, 9, 0xff, 0x3, 0, 1, 63, 9, 0, 1, 0, 0, 0, 0})
+	// Seed the corpus with the worst schedules the searcher finds: the
+	// highest-effort executions are where replay divergence would hide.
+	for _, tg := range targets {
+		sr, err := tg.Search(SearchOptions{Seed: 11, Budget: 300, MaxPrefix: -1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if len(sr.BestVector) > 0 {
+			f.Add(encodeVector(sr.BestVector))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, tg := range targets {
+			vec := vectorFromBytes(data, tg.T, tg.MaxCrashes)
+			first := tg.Certify(vec)
+			if len(first.Violations) != 0 {
+				t.Fatalf("%s schedule %s: %v", tg.Protocol, vec, first.Violations)
+			}
+			again := tg.Certify(vec)
+			if !reflect.DeepEqual(first.Result, again.Result) {
+				t.Fatalf("%s schedule %s: replay diverged:\n%+v\nvs\n%+v",
+					tg.Protocol, vec, first.Result, again.Result)
+			}
+		}
+	})
+}
+
+// TestEncodeVectorRoundTrip pins that searcher-found vectors survive the
+// corpus encoding (so the fuzz seeds actually replay them), and that
+// out-of-range triggers clamp to the decodable edge instead of wrapping
+// into unrelated schedules.
+func TestEncodeVectorRoundTrip(t *testing.T) {
+	vec := Vector{
+		{Victim: 1, AtAction: 7, KeepWork: true, Prefix: 2},
+		{Victim: 2, Round: 9},
+		{Victim: 3, AtAction: 3, Bits: true, Mask: 0x1ff},
+	}.Canonical()
+	got := vectorFromBytes(encodeVector(vec), 4, 3)
+	if !reflect.DeepEqual(got, vec) {
+		t.Fatalf("round trip:\n%v\nvs\n%v", got, vec)
+	}
+
+	wide := Vector{{Victim: 0, AtAction: 200, KeepWork: true}, {Victim: 1, Round: 99}}
+	want := Vector{{Victim: 0, AtAction: 64, KeepWork: true}, {Victim: 1, Round: 63}}
+	if got := vectorFromBytes(encodeVector(wide), 4, 3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("clamping:\n%v\nvs\n%v", got, want)
+	}
+}

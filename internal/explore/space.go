@@ -1,0 +1,255 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Space describes an enumerable schedule space: every decision vector with
+// up to MaxCrashes crashes, victims drawn from Victims, and per-crash
+// choices drawn from the cross product Actions × KeepWork × Prefixes plus
+// the round triggers in Rounds.
+//
+// The space is indexable: vectors are totally ordered and VectorAt unranks
+// any index in [0, Count()) without materializing the rest, which is what
+// lets Enumerate shard the walk deterministically. Two canonicalizations
+// keep the space free of duplicates by construction:
+//
+//   - victim sets are k-combinations of Victims in lexicographic order, not
+//     permutations — a vector is an unordered set of per-victim choices;
+//   - delivery choices are prefixes of the crashed action's virtual send
+//     list. An arbitrary-subset mask is available to the fuzzers (Bits), but
+//     enumerating all 2^fanout subsets is dominated for certification
+//     purposes by the prefix cuts plus the KeepWork split, which already
+//     realize every "checkpoint reached j of its recipients" knowledge
+//     state the DHW protocols can distinguish per group order.
+//
+// Choices that turn out unreachable at replay (a victim that retires before
+// its AtAction-th action, a prefix past the action's real send count)
+// produce executions identical to a canonically smaller vector's; Enumerate
+// counts them as collapsed rather than trying to predict reachability.
+type Space struct {
+	// Victims are the candidate crash victims (distinct; sorted by
+	// normalize).
+	Victims []int
+	// MaxCrashes caps the crashes per schedule (use t-1 to preserve the
+	// one-survivor guarantee).
+	MaxCrashes int
+	// Actions lists candidate per-victim action indices (1-based).
+	Actions []int
+	// KeepWork lists the keep-work choices for action crashes.
+	KeepWork []bool
+	// Prefixes lists candidate delivery-prefix lengths for action crashes.
+	Prefixes []int
+	// Rounds lists candidate round triggers (crash at round start).
+	Rounds []int64
+}
+
+// NewSpace is the standard action-indexed space for a t-process instance:
+// victims 0..t-1, up to maxCrashes crashes, action indices 1..depth, both
+// keep-work choices, delivery prefixes 0..maxPrefix.
+func NewSpace(t, maxCrashes, depth, maxPrefix int) Space {
+	s := Space{MaxCrashes: maxCrashes, KeepWork: []bool{false, true}}
+	for v := 0; v < t; v++ {
+		s.Victims = append(s.Victims, v)
+	}
+	for a := 1; a <= depth; a++ {
+		s.Actions = append(s.Actions, a)
+	}
+	for p := 0; p <= maxPrefix; p++ {
+		s.Prefixes = append(s.Prefixes, p)
+	}
+	return s
+}
+
+// normalize validates the space and returns a canonical copy (victims
+// sorted and deduplicated, defaults filled in).
+func (s Space) normalize() (Space, error) {
+	out := s
+	out.Victims = append([]int(nil), s.Victims...)
+	sort.Ints(out.Victims)
+	for i := 1; i < len(out.Victims); i++ {
+		if out.Victims[i] == out.Victims[i-1] {
+			return out, fmt.Errorf("explore: duplicate victim %d", out.Victims[i])
+		}
+	}
+	if len(out.Victims) > 0 && out.Victims[0] < 0 {
+		return out, fmt.Errorf("explore: negative victim %d", out.Victims[0])
+	}
+	if out.MaxCrashes < 0 {
+		return out, fmt.Errorf("explore: MaxCrashes = %d", out.MaxCrashes)
+	}
+	if out.MaxCrashes > len(out.Victims) {
+		out.MaxCrashes = len(out.Victims)
+	}
+	if len(out.Actions) > 0 {
+		if len(out.KeepWork) == 0 {
+			out.KeepWork = []bool{false, true}
+		}
+		if len(out.Prefixes) == 0 {
+			out.Prefixes = []int{0}
+		}
+	}
+	for _, a := range out.Actions {
+		if a <= 0 {
+			return out, fmt.Errorf("explore: action index %d, want > 0", a)
+		}
+	}
+	for _, p := range out.Prefixes {
+		if p < 0 {
+			return out, fmt.Errorf("explore: delivery prefix %d, want >= 0", p)
+		}
+	}
+	for _, r := range out.Rounds {
+		if r < 0 {
+			return out, fmt.Errorf("explore: round trigger %d, want >= 0", r)
+		}
+	}
+	if out.perCrash() == 0 && out.MaxCrashes > 0 {
+		return out, fmt.Errorf("explore: empty per-crash choice set (no Actions and no Rounds)")
+	}
+	return out, nil
+}
+
+// perCrash is the number of distinct choices for one crash: the action
+// cross product plus the round triggers.
+func (s Space) perCrash() int64 {
+	return int64(len(s.Actions))*int64(len(s.KeepWork))*int64(len(s.Prefixes)) +
+		int64(len(s.Rounds))
+}
+
+// countSat is the saturation value for Count: a space this large is not
+// enumerable anyway, and saturating keeps the arithmetic overflow-free.
+const countSat = math.MaxInt64 / 4
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > countSat/b {
+		return countSat
+	}
+	return a * b
+}
+
+func satAdd(a, b int64) int64 {
+	if a > countSat-b {
+		return countSat
+	}
+	return a + b
+}
+
+// binom returns C(n, k), saturating at countSat.
+func binom(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		r = satMul(r, int64(n-k+i))
+		if r >= countSat {
+			return countSat
+		}
+		r /= int64(i)
+	}
+	return r
+}
+
+// Count returns the number of schedules in the space (saturating; Enumerate
+// refuses saturated spaces).
+func (s Space) Count() int64 {
+	norm, err := s.normalize()
+	if err != nil {
+		return 0
+	}
+	return norm.count()
+}
+
+func (s Space) count() int64 {
+	m := s.perCrash()
+	total := int64(0)
+	for k := 0; k <= s.MaxCrashes; k++ {
+		block := binom(len(s.Victims), k)
+		for j := 0; j < k; j++ {
+			block = satMul(block, m)
+		}
+		total = satAdd(total, block)
+	}
+	return total
+}
+
+// combUnrank writes the rank-th k-combination of vals (lexicographic order)
+// into out.
+func combUnrank(vals []int, k int, rank int64, out []int) {
+	pos := 0
+	for j := 0; j < k; j++ {
+		for {
+			// Combinations starting with vals[pos] continue with a
+			// (k-j-1)-combination of the remaining values.
+			c := binom(len(vals)-pos-1, k-j-1)
+			if rank < c {
+				break
+			}
+			rank -= c
+			pos++
+		}
+		out[j] = vals[pos]
+		pos++
+	}
+}
+
+// vectorAt unranks index i (the space must be normalized and i < count()).
+func (s Space) vectorAt(i int64) Vector {
+	m := s.perCrash()
+	k := 0
+	for {
+		block := binom(len(s.Victims), k)
+		for j := 0; j < k; j++ {
+			block = satMul(block, m)
+		}
+		if i < block {
+			break
+		}
+		i -= block
+		k++
+	}
+	if k == 0 {
+		return nil
+	}
+	choiceSpace := int64(1)
+	for j := 0; j < k; j++ {
+		choiceSpace = satMul(choiceSpace, m)
+	}
+	victimRank, choiceRank := i/choiceSpace, i%choiceSpace
+	victims := make([]int, k)
+	combUnrank(s.Victims, k, victimRank, victims)
+	vec := make(Vector, k)
+	// Most-significant digit first: the first victim's choice varies
+	// slowest, so vectors sharing a prefix of choices are index-adjacent.
+	for j := k - 1; j >= 0; j-- {
+		vec[j] = s.decodeChoice(victims[j], int(choiceRank%m))
+		choiceRank /= m
+	}
+	return vec
+}
+
+// decodeChoice maps a digit in [0, perCrash()) to the victim's choice: the
+// action cross product first (action index outermost, then keep-work, then
+// prefix), round triggers after.
+func (s Space) decodeChoice(victim, digit int) Choice {
+	actionPart := len(s.Actions) * len(s.KeepWork) * len(s.Prefixes)
+	if digit < actionPart {
+		perAction := len(s.KeepWork) * len(s.Prefixes)
+		return Choice{
+			Victim:   victim,
+			AtAction: s.Actions[digit/perAction],
+			KeepWork: s.KeepWork[digit/len(s.Prefixes)%len(s.KeepWork)],
+			Prefix:   s.Prefixes[digit%len(s.Prefixes)],
+		}
+	}
+	return Choice{Victim: victim, Round: s.Rounds[digit-actionPart]}
+}

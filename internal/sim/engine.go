@@ -83,6 +83,11 @@ type ProcStats struct {
 	Work        int64
 	Sent        int64
 	RetireRound int64
+	// Actions counts the actions this process committed — the adversary's
+	// decision points: OnAction is consulted exactly once per committed
+	// action. Schedule-space exploration (internal/explore) uses the
+	// failure-free Actions horizon to bound its action-indexed crash choices.
+	Actions int64
 }
 
 // Engine coordinates the lock-step execution of all process scripts.
@@ -406,6 +411,7 @@ func stepProc(p *Proc) (y Yield, pv any, panicked bool) {
 
 // commit applies an action, consulting the adversary for crash verdicts.
 func (e *Engine) commit(p *Proc, a Action) {
+	p.actions++
 	verdict := e.cfg.Adversary.OnAction(e.now, p.id, a)
 	keepWork := true
 	sends := a.Sends
@@ -585,7 +591,8 @@ func (e *Engine) finalize() {
 	last := int64(0)
 	for i, p := range e.procs {
 		e.metrics.PerProc[i] = ProcStats{
-			Status: p.status, Work: p.workDone, Sent: p.msgsSent, RetireRound: p.retireRound,
+			Status: p.status, Work: p.workDone, Sent: p.msgsSent,
+			RetireRound: p.retireRound, Actions: p.actions,
 		}
 		if p.status != StatusRunning {
 			if p.retireRound > last {
@@ -629,12 +636,19 @@ func scrubSlice[T any](s []T) []T {
 // the run parked in the engine's recycled buffers (next-round messages and
 // records, inboxes, send scratch), so an idle engine sitting in a pool does
 // not keep the previous run's data alive.
+//
+// Only the current run's procs need scrubbing: allProcs beyond
+// cfg.NumProcs were scrubbed at the end of the last run that used them and
+// have not been rearmed since (Reset touches procs[:NumProcs] only), so a
+// small run on a pooled engine with a large-shape history stays O(t), not
+// O(max t ever seen) — schedule-space walks recycle one engine across
+// thousands of tiny runs and would otherwise pay the large shape each time.
 func (e *Engine) scrub() {
 	e.pendingNext = scrubSlice(e.pendingNext)
 	e.spare = scrubSlice(e.spare)
 	e.pendingBcast = scrubSlice(e.pendingBcast)
 	e.spareBcast = scrubSlice(e.spareBcast)
-	for _, p := range e.allProcs {
+	for _, p := range e.procs {
 		p.inbox = scrubSlice(p.inbox)
 		p.inboxSpare = scrubSlice(p.inboxSpare)
 		p.sendScratch = scrubSlice(p.sendScratch)

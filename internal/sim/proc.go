@@ -62,6 +62,7 @@ type Proc struct {
 	retireRound int64
 	workDone    int64
 	msgsSent    int64
+	actions     int64
 }
 
 // reset rearms a (possibly recycled) Proc for a new run, keeping the inbox
@@ -85,6 +86,7 @@ func (p *Proc) reset(e *Engine, id int, st Stepper) {
 	p.retireRound = 0
 	p.workDone = 0
 	p.msgsSent = 0
+	p.actions = 0
 }
 
 // ID returns the process identifier (0-based).
