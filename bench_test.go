@@ -172,6 +172,19 @@ func BenchmarkExploreSmall(b *testing.B) {
 	b.Fatal("unknown explore case")
 }
 
+// BenchmarkLiveProtocolB measures the live concurrent execution plane on
+// the EngineProtocolB workload: the delta against that case is the round
+// barrier's cost per run. Shared with cmd/bench via internal/benchmarks.
+func BenchmarkLiveProtocolB(b *testing.B) {
+	for _, c := range benchmarks.LiveCases() {
+		if c.Name == "LiveProtocolB" {
+			benchmarks.RunLive(b, c)
+			return
+		}
+	}
+	b.Fatal("unknown live case")
+}
+
 func BenchmarkAgreementViaB(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -1,16 +1,20 @@
-// Command bench measures the Engine* and Sweep* simulator benchmarks and
-// records the perf trajectory in a JSON baseline (BENCH_engine.json):
-// ns/op, allocs/op, bytes/op and events/run per benchmark.
+// Command bench measures the Engine*, Sweep*, Explore* and Live* simulator
+// benchmarks and records the perf trajectory in a JSON baseline
+// (BENCH_engine.json): ns/op, allocs/op, bytes/op and events/run per
+// benchmark.
 //
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_engine.json             # (re)write baseline
 //	go run ./cmd/bench -diff BENCH_engine.json            # measure + compare
+//	go run ./cmd/bench -diff BENCH_engine.json -strict    # exit 1 on regression
 //
 // With -diff, regressions beyond -threshold (default 1.25 = +25%) on any of
 // ns/op, allocs/op and bytes/op are printed as warnings (GitHub annotation
-// format under CI) but never change the exit status: micro-benchmark noise
-// across machines should not break builds, only leave a trail.
+// format under CI) without changing the exit status: micro-benchmark noise
+// across machines should not break builds, only leave a trail. With
+// -strict, regressions are printed as errors and the command exits 1 — CI
+// flips this per branch, warning on pull requests and failing on main.
 package main
 
 import (
@@ -25,6 +29,7 @@ func main() {
 	out := flag.String("out", "", "write measured records to this JSON file")
 	diff := flag.String("diff", "", "compare measurements against this baseline JSON")
 	threshold := flag.Float64("threshold", 1.25, "warn when ns/op exceeds baseline×threshold")
+	strict := flag.Bool("strict", false, "exit 1 when -diff finds regressions (CI uses this on main)")
 	flag.Parse()
 	if *out == "" && *diff == "" {
 		fmt.Fprintln(os.Stderr, "bench: need -out and/or -diff")
@@ -60,11 +65,18 @@ func main() {
 			fmt.Printf("no ns/allocs/bytes regressions beyond %.0f%% vs %s\n", (*threshold-1)*100, *diff)
 			return
 		}
+		// ::warning:: / ::error:: render as annotations in GitHub Actions and
+		// as plain lines everywhere else.
+		level := "warning"
+		if *strict {
+			level = "error"
+		}
 		for _, reg := range regs {
-			// ::warning:: renders as an annotation in GitHub Actions and as a
-			// plain line everywhere else; regressions warn, they do not fail.
-			fmt.Printf("::warning title=bench regression::%s is %.2fx baseline %s (%.0f -> %.0f)\n",
-				reg.Name, reg.Ratio, reg.Metric, reg.Base, reg.Current)
+			fmt.Printf("::%s title=bench regression::%s is %.2fx baseline %s (%.0f -> %.0f)\n",
+				level, reg.Name, reg.Ratio, reg.Metric, reg.Base, reg.Current)
+		}
+		if *strict {
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/live"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runLive executes one protocol on the live concurrent execution plane:
+// one goroutine per process over a channel transport with a configurable
+// latency model, crash schedules replayed from the explore grammar. With
+// -compare the same configuration also runs on the single-threaded sim
+// engine and the two planes' Results and traces must be identical —
+// the command fails loudly if concurrency leaked into the outcome.
+func runLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ExitOnError)
+	var (
+		protoName = fs.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|single-checkpoint|naive")
+		units     = fs.Int("units", 64, "number of work units (n)")
+		workers   = fs.Int("workers", 16, "number of processes (t), one goroutine each")
+		schedule  = fs.String("schedule", "", "crash schedule in the explore grammar, e.g. 0@a7:keep:p0,1@r4")
+		seed      = fs.Int64("seed", 1, "transport latency seed (deterministic -seed mode)")
+		latency   = fs.Duration("latency", 0, "fixed per-yield transport delay")
+		jitter    = fs.Duration("jitter", 0, "max random extra transport delay")
+		compare   = fs.Bool("compare", false, "also run the sim plane and require identical Result and trace")
+		verbose   = fs.Bool("v", false, "print per-worker stats")
+		showTrace = fs.Bool("trace", false, "print an ASCII execution timeline")
+		crashes   crashFlags
+	)
+	fs.Var(&crashes, "crash", "scheduled crash PID@ROUND (repeatable, merged into the schedule)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	vec, err := explore.ParseVector(*schedule)
+	if err != nil {
+		return err
+	}
+	for _, c := range crashes {
+		vec = append(vec, explore.Choice{Victim: c.Process, Round: c.Round})
+	}
+	if err := vec.Validate(); err != nil {
+		return err
+	}
+
+	// explore.NewTarget is the canonical protocol-name resolver; the bounds
+	// it computes are not enforced here, only the process builders and the
+	// single-active flag are used.
+	tg, err := explore.NewTarget(strings.ToLower(*protoName), *units, *workers, max(*workers-1, 0))
+	if err != nil {
+		return err
+	}
+	opt := planeOptions{
+		n: *units, t: *workers,
+		maxActive: 0,
+		newSteppers: func() (func(int) sim.Stepper, error) {
+			return core.SteppersFor(tg.NewProcs())
+		},
+	}
+	if tg.SingleActive {
+		opt.maxActive = 1
+	}
+
+	rec := trace.NewRecorder(0)
+	liveRes, err := runLivePlane(opt, vec, live.NewChanTransport(live.Latency{
+		Base: *latency, Jitter: *jitter, Seed: *seed,
+	}), rec.Hook())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("plane:     live (%d goroutines, latency=%v jitter=%v seed=%d)\n",
+		*workers, *latency, *jitter, *seed)
+	fmt.Printf("protocol:  %s (n=%d, t=%d, schedule=%s)\n", strings.ToUpper(*protoName), *units, *workers, vec)
+	fmt.Printf("work:      %d performed (%d distinct of %d)\n", liveRes.WorkTotal, liveRes.WorkDistinct, *units)
+	fmt.Printf("messages:  %s\n", formatMessages(liveRes.Messages, liveRes.MessagesByKind))
+	fmt.Printf("effort:    %d\n", liveRes.Effort())
+	fmt.Printf("rounds:    %d (simulated %d events)\n", liveRes.Rounds, liveRes.Events)
+	fmt.Printf("processes: %d survived, %d crashed\n", liveRes.Survivors, liveRes.Crashes)
+	fmt.Printf("complete:  %v\n", liveRes.Complete())
+
+	if *compare {
+		simRec := trace.NewRecorder(0)
+		simRes, err := runSimPlane(opt, vec, simRec.Hook())
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(simRes, liveRes) {
+			return fmt.Errorf("PLANES DIVERGE:\nsim:  %+v\nlive: %+v", simRes, liveRes)
+		}
+		if d := trace.Diff(rec.Events(), simRec.Events()); d != "" {
+			return fmt.Errorf("PLANE TRACES DIVERGE: %s", d)
+		}
+		fmt.Printf("compare:   sim plane identical (%d events, traces equal)\n", simRes.Events)
+	}
+
+	if *verbose {
+		fmt.Println("\nworker  status      work  sent  retired@")
+		for i, w := range liveRes.PerProc {
+			fmt.Printf("%6d  %-10s  %4d  %4d  %d\n", i, w.Status, w.Work, w.Sent, w.RetireRound)
+		}
+	}
+	if *showTrace {
+		fmt.Println()
+		fmt.Print(rec.Timeline(160))
+	}
+	if liveRes.Survivors > 0 && !liveRes.Complete() {
+		return fmt.Errorf("GUARANTEE VIOLATED: survivors exist but work incomplete")
+	}
+	return nil
+}
+
+// planeOptions is one configuration runnable on either plane.
+type planeOptions struct {
+	n, t        int
+	maxActive   int
+	newSteppers func() (func(int) sim.Stepper, error)
+}
+
+func runLivePlane(opt planeOptions, vec explore.Vector, tr live.Transport, hook func(sim.Event)) (sim.Result, error) {
+	steppers, err := opt.newSteppers()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return live.Run(live.Config{
+		NumProcs: opt.t, NumUnits: opt.n,
+		Adversary: vec.Adversary(), MaxActive: opt.maxActive,
+		DetailedMetrics: true, Tracer: hook, Transport: tr,
+	}, steppers)
+}
+
+func runSimPlane(opt planeOptions, vec explore.Vector, hook func(sim.Event)) (sim.Result, error) {
+	steppers, err := opt.newSteppers()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return core.RunSteppers(opt.n, opt.t, steppers, core.RunOptions{
+		Adversary: vec.Adversary(), MaxActive: opt.maxActive,
+		DetailedMetrics: true, Tracer: hook,
+	})
+}
+
+// formatMessages renders a message total with its per-kind breakdown; the
+// run and live subcommands share it so their output cannot drift apart.
+func formatMessages(total int64, byKind map[string]int64) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatInt(total, 10))
+	if len(byKind) > 0 {
+		kinds := make([]string, 0, len(byKind))
+		for kind := range byKind {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, kind := range kinds {
+			parts[i] = fmt.Sprintf("%s=%d", kind, byKind[kind])
+		}
+		fmt.Fprintf(&b, "  (%s)", strings.Join(parts, " "))
+	}
+	return b.String()
+}

@@ -4,6 +4,9 @@
 // seeds and runs the whole set in parallel via internal/batch. The explore
 // subcommand walks the instance's crash-schedule space (exhaustively, or by
 // worst-case search) and certifies the paper's bounds on every execution.
+// The live subcommand runs a protocol on the concurrent execution plane —
+// one goroutine per process over a latency-modelled transport — optionally
+// replaying a crash schedule and comparing against the sim plane.
 //
 // Usage:
 //
@@ -13,13 +16,14 @@
 //	doall sweep -protocols a,b,d -failures none,cascade,random -units 64,256 -workers 8,16 -seeds 1,2
 //	doall explore -protocol A -n 8 -t 3 -crashes 2
 //	doall explore -protocol B -n 64 -t 8 -crashes 7 -mode search -budget 5000
+//	doall live -protocol B -units 256 -workers 16 -schedule 0@a7:keep:p0,1@r4 -jitter 100us -compare
+//	doall live -protocol D -units 512 -workers 64 -seed 7 -compare
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -69,6 +73,8 @@ func main() {
 		err = runSweep(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "explore":
 		err = runExplore(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "live":
+		err = runLive(os.Args[2:])
 	default:
 		err = run()
 	}
@@ -144,20 +150,7 @@ func run() error {
 
 	fmt.Printf("protocol:  %v (n=%d, t=%d, failures=%s)\n", proto, *units, *workers, *failures)
 	fmt.Printf("work:      %d performed (%d distinct of %d)\n", res.Work, res.WorkDistinct, *units)
-	fmt.Printf("messages:  %d", res.Messages)
-	if len(res.MessagesByKind) > 0 {
-		kinds := make([]string, 0, len(res.MessagesByKind))
-		for kind := range res.MessagesByKind {
-			kinds = append(kinds, kind)
-		}
-		sort.Strings(kinds)
-		parts := make([]string, len(kinds))
-		for i, kind := range kinds {
-			parts[i] = fmt.Sprintf("%s=%d", kind, res.MessagesByKind[kind])
-		}
-		fmt.Printf("  (%s)", strings.Join(parts, " "))
-	}
-	fmt.Println()
+	fmt.Printf("messages:  %s\n", formatMessages(res.Messages, res.MessagesByKind))
 	fmt.Printf("effort:    %d\n", res.Effort())
 	fmt.Printf("rounds:    %d (simulated %d events)\n", res.Rounds, res.Events)
 	fmt.Printf("processes: %d survived, %d crashed\n", res.Survivors, res.Crashes)

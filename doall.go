@@ -22,7 +22,7 @@
 // SingleCheckpoint, UniformCheckpoint, NaiveSpread) are included for
 // comparison, as is the §5 Byzantine agreement application (RunAgreement)
 // and an asynchronous Protocol A over real goroutines with a failure
-// detector (see internal/asyncnet and the examples).
+// detector (see internal/live and the examples).
 package doall
 
 import (

@@ -11,7 +11,7 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/asyncnet"
+	"repro/internal/live"
 )
 
 func main() {
@@ -31,9 +31,9 @@ func run() error {
 	)
 	flag.Parse()
 
-	net := asyncnet.NewNetwork(*workers, *maxDelay, *seed)
+	net := live.NewNetwork(*workers, *maxDelay, *seed)
 	executed := make(chan [2]int, 8**jobs)
-	cluster := asyncnet.NewCluster(asyncnet.Config{
+	cluster := live.NewCluster(live.ClusterConfig{
 		N: *jobs, T: *workers,
 		Perform: func(w, u int) {
 			time.Sleep(50 * time.Microsecond) // the actual job

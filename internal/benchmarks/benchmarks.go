@@ -12,8 +12,12 @@ import (
 	"testing"
 
 	doall "repro"
+	"repro/internal/adversary"
 	"repro/internal/batch"
+	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/live"
+	"repro/internal/sim"
 )
 
 // EngineCase is one simulator micro-benchmark: the cost of one protocol run.
@@ -180,6 +184,62 @@ func RunExplore(b *testing.B, c ExploreCase) {
 	b.ReportMetric(float64(schedules)/b.Elapsed().Seconds(), "schedules/sec")
 }
 
+// LiveCase measures the live concurrent execution plane: the same protocol
+// run as the Engine* cases, but over real goroutines and the channel
+// transport. ns/op against the matching Engine* case is the barrier
+// overhead — the price of true concurrency per run.
+type LiveCase struct {
+	Name        string
+	N, T        int
+	MaxActive   int
+	NewSteppers func() (func(int) sim.Stepper, error)
+	Adversary   func() sim.Adversary // fresh per run (adversaries are stateful)
+}
+
+// LiveCases returns the Live* benchmark definitions.
+func LiveCases() []LiveCase {
+	return []LiveCase{
+		{
+			// The live twin of EngineProtocolB: 16 goroutines through a full
+			// crash cascade.
+			Name: "LiveProtocolB", N: 256, T: 16, MaxActive: 1,
+			NewSteppers: func() (func(int) sim.Stepper, error) {
+				return core.SteppersFor(core.ProtocolBProcs(core.ABConfig{N: 256, T: 16}))
+			},
+			Adversary: func() sim.Adversary { return adversary.NewCascade(16, 15) },
+		},
+	}
+}
+
+// RunLive executes one live case b.N times, reporting allocations and
+// events/run like the Engine* cases.
+func RunLive(b *testing.B, c LiveCase) {
+	b.Helper()
+	b.ReportAllocs()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		steppers, err := c.NewSteppers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var adv sim.Adversary
+		if c.Adversary != nil {
+			adv = c.Adversary()
+		}
+		res, err := live.Run(live.Config{
+			NumProcs: c.T, NumUnits: c.N, Adversary: adv, MaxActive: c.MaxActive,
+		}, steppers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Survivors > 0 && !res.Complete() {
+			b.Fatal("incomplete")
+		}
+		events = res.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
 // Record is one benchmark measurement as persisted in BENCH_engine.json.
 type Record struct {
 	Name         string  `json:"name"`
@@ -193,13 +253,14 @@ type Record struct {
 	SchedulesPerSec float64 `json:"schedules_per_sec,omitempty"`
 }
 
-// Measure runs every engine, sweep and explore case through
+// Measure runs every engine, sweep, explore and live case through
 // testing.Benchmark and returns the records sorted by name.
 func Measure() []Record {
 	engines := EngineCases()
 	sweeps := SweepCases()
 	explores := ExploreCases()
-	out := make([]Record, 0, len(engines)+len(sweeps)+len(explores))
+	lives := LiveCases()
+	out := make([]Record, 0, len(engines)+len(sweeps)+len(explores)+len(lives))
 	toRecord := func(name string, r testing.BenchmarkResult) Record {
 		return Record{
 			Name:            name,
@@ -221,6 +282,10 @@ func Measure() []Record {
 	for _, c := range explores {
 		c := c
 		out = append(out, toRecord(c.Name, testing.Benchmark(func(b *testing.B) { RunExplore(b, c) })))
+	}
+	for _, c := range lives {
+		c := c
+		out = append(out, toRecord(c.Name, testing.Benchmark(func(b *testing.B) { RunLive(b, c) })))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -71,6 +71,20 @@ func RunProcs(n, t int, pr Procs, opt RunOptions) (sim.Result, error) {
 	return Run(n, t, pr.Scripts, opt)
 }
 
+// SteppersFor adapts a Procs builder to the stepper substrate, shimming
+// script-only configurations behind sim.ScriptStepper. External execution
+// planes (internal/live) drive steppers exclusively; this is their bridge
+// to every protocol builder in this package.
+func SteppersFor(pr Procs, err error) (func(id int) sim.Stepper, error) {
+	if err != nil {
+		return nil, err
+	}
+	if pr.Steppers != nil {
+		return pr.Steppers, nil
+	}
+	return func(id int) sim.Stepper { return sim.ScriptStepper(pr.Scripts(id)) }, nil
+}
+
 func engineConfig(n, t int, opt RunOptions) sim.Config {
 	return sim.Config{
 		NumProcs:        t,

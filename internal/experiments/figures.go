@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"repro/internal/adversary"
-	"repro/internal/asyncnet"
 	"repro/internal/core"
+	"repro/internal/live"
 	"repro/internal/sharedmem"
 	"repro/internal/sim"
 )
@@ -264,9 +264,9 @@ func F6AsyncProtocolA() Table {
 		Columns: []string{"n", "t", "killed", "work ≤ 3n", "messages ≤ 9t√t", "complete"},
 	}
 	for _, c := range []struct{ n, t, kills int }{{64, 16, 0}, {64, 16, 8}, {64, 16, 15}, {128, 16, 10}} {
-		net := asyncnet.NewNetwork(c.t, 100*time.Microsecond, int64(c.n+c.kills))
+		net := live.NewNetwork(c.t, 100*time.Microsecond, int64(c.n+c.kills))
 		perf := make(chan int, 8*c.n)
-		cl := asyncnet.NewCluster(asyncnet.Config{
+		cl := live.NewCluster(live.ClusterConfig{
 			N: c.n, T: c.t,
 			Perform: func(w, _ int) { perf <- w },
 		}, net)
@@ -296,6 +296,6 @@ func F6AsyncProtocolA() Table {
 	t.Notes = append(t.Notes,
 		"asynchronous runs are schedule-dependent; bounds hold for every schedule, exact values vary",
 		"the detector reports a retirement only after the retiree's messages have flushed; "+
-			"without that ordering (paper's literal FD spec) work degrades to Θ(n√t) — see DESIGN.md §6.6")
+			"without that ordering (paper's literal FD spec) work degrades to Θ(n√t) — see DESIGN.md §7.6")
 	return t
 }

@@ -1,12 +1,16 @@
-// Package asyncnet implements the paper's §2.1 remark: Protocol A "can be
-// easily modified to run in a completely asynchronous system equipped with a
-// failure detection mechanism". Processes are real goroutines exchanging
-// messages over channels with arbitrary (seeded-random) delays; a sound
-// failure detector — it never reports a live process as retired, and
-// eventually reports every retired one — replaces the synchronous deadlines:
-// process j becomes active once the detector has reported processes 0..j−1
-// retired, instead of waiting until round DD(j).
-package asyncnet
+// This file (with asynccluster.go, formerly package asyncnet) is the fully
+// asynchronous end of the live plane: the paper's §2.1 remark that Protocol
+// A "can be easily modified to run in a completely asynchronous system
+// equipped with a failure detection mechanism". Where the barrier plane
+// keeps the synchronous round structure and makes concurrency invisible in
+// the Result, here there are no rounds at all: processes are free-running
+// goroutines exchanging messages over channels with arbitrary
+// (seeded-random) delays, and a sound failure detector — it never reports a
+// live process as retired, and eventually reports every retired one —
+// replaces the synchronous deadlines: process j becomes active once the
+// detector has reported processes 0..j−1 retired, instead of waiting until
+// round DD(j).
+package live
 
 import (
 	"math/rand"
@@ -14,8 +18,8 @@ import (
 	"time"
 )
 
-// Message is a routed protocol message.
-type Message struct {
+// NetMessage is a routed protocol message.
+type NetMessage struct {
 	From    int
 	To      int
 	Payload any
@@ -26,7 +30,7 @@ type Message struct {
 type Network struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
-	inboxes  []chan Message
+	inboxes  []chan NetMessage
 	maxDelay time.Duration
 	sent     int64
 	wg       sync.WaitGroup
@@ -39,14 +43,14 @@ type Network struct {
 func NewNetwork(t int, maxDelay time.Duration, seed int64) *Network {
 	n := &Network{
 		rng:      rand.New(rand.NewSource(seed)),
-		inboxes:  make([]chan Message, t),
+		inboxes:  make([]chan NetMessage, t),
 		maxDelay: maxDelay,
 		inflight: make([]sync.WaitGroup, t),
 	}
 	for i := range n.inboxes {
 		// Generous buffering: a checkpoint burst is at most t messages and
 		// senders must never block on a crashed recipient's inbox.
-		n.inboxes[i] = make(chan Message, 4*t+16)
+		n.inboxes[i] = make(chan NetMessage, 4*t+16)
 	}
 	return n
 }
@@ -79,7 +83,7 @@ func (n *Network) Send(from, to int, payload any) {
 			defer n.inflight[from].Done()
 		}
 		select {
-		case n.inboxes[to] <- Message{From: from, To: to, Payload: payload}:
+		case n.inboxes[to] <- NetMessage{From: from, To: to, Payload: payload}:
 		default:
 			// Inbox full: the recipient stopped draining (retired); drop.
 		}
@@ -97,7 +101,7 @@ func (n *Network) Send(from, to int, payload any) {
 // messages — the asynchronous analogue of the synchronous model's guarantee
 // that a round's messages land before the next round's deadlines. Without
 // this ordering, a successor can take over knowing nothing and the 3n work
-// bound of Theorem 2.3 degenerates to O(nt) (see DESIGN.md §6).
+// bound of Theorem 2.3 degenerates to O(nt) (see DESIGN.md §7.6).
 func (n *Network) FlushFrom(from int) {
 	if from < 0 || from >= len(n.inflight) {
 		return
@@ -107,7 +111,7 @@ func (n *Network) FlushFrom(from int) {
 }
 
 // Inbox returns the receive channel of process id.
-func (n *Network) Inbox(id int) <-chan Message { return n.inboxes[id] }
+func (n *Network) Inbox(id int) <-chan NetMessage { return n.inboxes[id] }
 
 // Sent returns the number of messages handed to the network so far.
 func (n *Network) Sent() int64 {

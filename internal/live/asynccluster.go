@@ -1,4 +1,4 @@
-package asyncnet
+package live
 
 import (
 	"sync"
@@ -15,8 +15,8 @@ type PartialCP struct{ C int }
 // FullCP is "(c, g)": group g informed that subchunk c is complete.
 type FullCP struct{ C, G int }
 
-// Config parameterises an asynchronous Protocol A cluster.
-type Config struct {
+// ClusterConfig parameterises an asynchronous Protocol A cluster.
+type ClusterConfig struct {
 	// N is the number of work units, T the number of worker goroutines.
 	N, T int
 	// Perform executes a unit of work; nil just records it in the log.
@@ -26,7 +26,7 @@ type Config struct {
 // Cluster runs Protocol A over real goroutines. Create with NewCluster,
 // start with Start, optionally Crash workers, then Wait.
 type Cluster struct {
-	cfg Config
+	cfg ClusterConfig
 	net *Network
 	fd  *Detector
 	log *WorkLog
@@ -39,7 +39,7 @@ type Cluster struct {
 }
 
 // NewCluster builds a cluster with the given message-delay bound and seed.
-func NewCluster(cfg Config, net *Network) *Cluster {
+func NewCluster(cfg ClusterConfig, net *Network) *Cluster {
 	c := &Cluster{
 		cfg:     cfg,
 		net:     net,
@@ -105,7 +105,7 @@ func (c *Cluster) worker(j int) {
 	var lastC int
 	var lastFull *FullCP
 	var lastFrom int
-	handle := func(m Message) bool {
+	handle := func(m NetMessage) bool {
 		switch pl := m.Payload.(type) {
 		case PartialCP:
 			if c.isTermination(j, pl.C, 0, false) {

@@ -1,4 +1,4 @@
-package asyncnet
+package live
 
 import (
 	"testing"
@@ -10,7 +10,7 @@ func TestAsyncFailureFree(t *testing.T) {
 	// always land before the failure detector's report: exactly n units.
 	n, tt := 64, 16
 	net := NewNetwork(tt, 0, 1)
-	c := NewCluster(Config{N: n, T: tt}, net)
+	c := NewCluster(ClusterConfig{N: n, T: tt}, net)
 	c.Start()
 	if !c.Wait() {
 		t.Fatal("work incomplete")
@@ -30,7 +30,7 @@ func TestAsyncFailureFreeDelayed(t *testing.T) {
 	// bound 3n still holds.
 	n, tt := 64, 16
 	net := NewNetwork(tt, 200*time.Microsecond, 1)
-	c := NewCluster(Config{N: n, T: tt}, net)
+	c := NewCluster(ClusterConfig{N: n, T: tt}, net)
 	c.Start()
 	if !c.Wait() {
 		t.Fatal("work incomplete")
@@ -48,7 +48,7 @@ func TestAsyncCrashCascade(t *testing.T) {
 	n, tt := 64, 16
 	net := NewNetwork(tt, 100*time.Microsecond, 2)
 	perf := make(chan int, 4*n)
-	cfg := Config{N: n, T: tt, Perform: func(w, u int) { perf <- w }}
+	cfg := ClusterConfig{N: n, T: tt, Perform: func(w, u int) { perf <- w }}
 	c := NewCluster(cfg, net)
 	c.Start()
 	// Crash each active worker shortly after it begins working, up to t-1
@@ -89,7 +89,7 @@ injection:
 func TestAsyncAllButOneCrashBeforeStart(t *testing.T) {
 	n, tt := 32, 8
 	net := NewNetwork(tt, 50*time.Microsecond, 3)
-	c := NewCluster(Config{N: n, T: tt}, net)
+	c := NewCluster(ClusterConfig{N: n, T: tt}, net)
 	for j := 0; j < tt-1; j++ {
 		c.Crash(j)
 	}
@@ -162,7 +162,7 @@ func TestAsyncMessageBound(t *testing.T) {
 	// sent over the network, only checkpoints).
 	n, tt := 64, 16
 	net := NewNetwork(tt, 0, 5)
-	c := NewCluster(Config{N: n, T: tt}, net)
+	c := NewCluster(ClusterConfig{N: n, T: tt}, net)
 	c.Start()
 	c.Wait()
 	if net.Sent() > int64(9*tt*4) { // 9·t·√t with √16 = 4
@@ -175,7 +175,7 @@ func TestAsyncRepeatedRuns(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		n, tt := 16, 4
 		net := NewNetwork(tt, 30*time.Microsecond, seed)
-		c := NewCluster(Config{N: n, T: tt}, net)
+		c := NewCluster(ClusterConfig{N: n, T: tt}, net)
 		c.Start()
 		if seed%2 == 0 {
 			c.Crash(0)

@@ -1,0 +1,225 @@
+package live_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/live"
+	"repro/internal/sim"
+)
+
+// The live plane must be indistinguishable from the single-threaded sim
+// engine in everything but execution mechanics: same Result — work,
+// messages (by kind), rounds, events, per-process stats — and same error,
+// for every protocol, instance size and adversary, including replayed
+// explore.Vector crash schedules with mid-broadcast delivery masks.
+
+type planeCase struct {
+	name      string
+	steppers  func() (func(int) sim.Stepper, error)
+	maxActive int
+}
+
+func planeCases(n, t int) []planeCase {
+	fromProcs := func(pr core.Procs, err error) (func(int) sim.Stepper, error) {
+		if err != nil {
+			return nil, err
+		}
+		if pr.Steppers == nil {
+			return nil, fmt.Errorf("default config should build steppers")
+		}
+		return pr.Steppers, nil
+	}
+	return []planeCase{
+		{
+			name: "A",
+			steppers: func() (func(int) sim.Stepper, error) {
+				return fromProcs(core.ProtocolAProcs(core.ABConfig{N: n, T: t}))
+			},
+			maxActive: 1,
+		},
+		{
+			name: "B",
+			steppers: func() (func(int) sim.Stepper, error) {
+				return fromProcs(core.ProtocolBProcs(core.ABConfig{N: n, T: t}))
+			},
+			maxActive: 1,
+		},
+		{
+			name:      "C",
+			steppers:  func() (func(int) sim.Stepper, error) { return fromProcs(core.ProtocolCProcs(core.CConfig{N: n, T: t})) },
+			maxActive: 1,
+		},
+		{
+			name: "C-lowmsg",
+			steppers: func() (func(int) sim.Stepper, error) {
+				return fromProcs(core.ProtocolCProcs(core.CConfig{N: n, T: t, ReportEvery: max(1, n/t)}))
+			},
+			maxActive: 1,
+		},
+		{
+			name:     "D",
+			steppers: func() (func(int) sim.Stepper, error) { return fromProcs(core.ProtocolDProcs(core.DConfig{N: n, T: t})) },
+		},
+	}
+}
+
+// planeAdversaries builds fresh (stateful) adversaries per run.
+func planeAdversaries(n, t int) map[string]func() sim.Adversary {
+	advs := map[string]func() sim.Adversary{
+		"none":    func() sim.Adversary { return nil },
+		"cascade": func() sim.Adversary { return adversary.NewCascade(max(1, n/t), t-1) },
+	}
+	for _, seed := range []int64{1, 42} {
+		advs[fmt.Sprintf("random-%d", seed)] = func() sim.Adversary {
+			return adversary.NewRandom(0.05, t-1, seed)
+		}
+	}
+	if t > 1 {
+		advs["sleep-crash"] = func() sim.Adversary {
+			return adversary.NewSchedule(adversary.Crash{PID: t - 1, Round: 2})
+		}
+	}
+	// Replayed explore.Vector schedules: action-triggered crashes with
+	// keep-work and delivery masks (mid-broadcast crashes) plus a round
+	// trigger, the exact decision grammar the exploration subsystem walks.
+	vectors := []string{
+		"0@a3:keep:p1",
+		"0@a2:lose:m5,1@a4:keep:p2",
+		fmt.Sprintf("1@a1:lose:p0,%d@r4", t-1),
+	}
+	for _, s := range vectors {
+		vec, err := explore.ParseVector(s)
+		if err != nil {
+			panic(err)
+		}
+		advs["vector-"+s] = func() sim.Adversary { return vec.Adversary() }
+	}
+	return advs
+}
+
+// runBoth executes the same configuration on the sim engine and on the live
+// plane and requires identical outcomes. The transport argument lets cases
+// inject latency/jitter; nil means the default immediate channel transport.
+func runBoth(t *testing.T, n, tt int, c planeCase, mkAdv func() sim.Adversary, tr live.Transport) (sim.Result, error) {
+	t.Helper()
+	steppers, err := c.steppers()
+	if err != nil {
+		t.Fatalf("steppers: %v", err)
+	}
+	simRes, simErr := core.RunSteppers(n, tt, steppers, core.RunOptions{
+		Adversary:       mkAdv(),
+		MaxActive:       c.maxActive,
+		DetailedMetrics: true,
+	})
+	steppers, err = c.steppers() // protocol state is single-use; rebuild
+	if err != nil {
+		t.Fatalf("steppers: %v", err)
+	}
+	liveRes, liveErr := live.Run(live.Config{
+		NumProcs:        tt,
+		NumUnits:        n,
+		Adversary:       mkAdv(),
+		MaxActive:       c.maxActive,
+		DetailedMetrics: true,
+		Transport:       tr,
+	}, steppers)
+	if fmt.Sprint(simErr) != fmt.Sprint(liveErr) {
+		t.Fatalf("plane errors diverge:\nsim:  %v\nlive: %v", simErr, liveErr)
+	}
+	if !reflect.DeepEqual(simRes, liveRes) {
+		t.Fatalf("planes diverge:\nsim:  %+v\nlive: %+v", simRes, liveRes)
+	}
+	return liveRes, liveErr
+}
+
+func TestLivePlaneEquivalence(t *testing.T) {
+	grids := []struct{ n, t int }{{16, 4}, {24, 8}, {30, 7}, {144, 12}}
+	for _, g := range grids {
+		for _, c := range planeCases(g.n, g.t) {
+			for advName, mkAdv := range planeAdversaries(g.n, g.t) {
+				name := fmt.Sprintf("%s/n=%d,t=%d/%s", c.name, g.n, g.t, advName)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					res, err := runBoth(t, g.n, g.t, c, mkAdv, nil)
+					if err == nil {
+						if err := core.CheckCompletion(res); err != nil {
+							t.Fatalf("completion: %v", err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLivePlaneEquivalenceUnderJitter re-runs a slice of the grid over a
+// transport that delays every yield by a random 0–200µs: arrival order at
+// the coordinator is scrambled for real, the Result must not move.
+func TestLivePlaneEquivalenceUnderJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock jitter sleeps")
+	}
+	g := struct{ n, t int }{24, 8}
+	for _, c := range planeCases(g.n, g.t) {
+		for advName, mkAdv := range planeAdversaries(g.n, g.t) {
+			name := fmt.Sprintf("%s/%s", c.name, advName)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				tr := live.NewChanTransport(live.Latency{Jitter: 200 * time.Microsecond, Seed: 7})
+				runBoth(t, g.n, g.t, c, mkAdv, tr)
+			})
+		}
+	}
+}
+
+// TestLivePlaneScriptSubstrate runs goroutine-shimmed Scripts (the legacy
+// substrate) on the live plane: three layers of goroutines deep, same
+// Result.
+func TestLivePlaneScriptSubstrate(t *testing.T) {
+	n, tt := 24, 6
+	scripts, err := core.ProtocolBScripts(core.ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkAdv := func() sim.Adversary { return adversary.NewCascade(2, tt-1) }
+	simRes, err := core.Run(n, tt, scripts, core.RunOptions{
+		Adversary: mkAdv(), MaxActive: 1, DetailedMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts, err = core.ProtocolBScripts(core.ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := live.Run(live.Config{
+		NumProcs: tt, NumUnits: n, Adversary: mkAdv(), MaxActive: 1, DetailedMetrics: true,
+	}, func(id int) sim.Stepper { return sim.ScriptStepper(scripts(id)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(simRes, liveRes) {
+		t.Fatalf("planes diverge:\nsim:  %+v\nlive: %+v", simRes, liveRes)
+	}
+}
+
+// TestLivePlaneSingleUse pins the single-use contract.
+func TestLivePlaneSingleUse(t *testing.T) {
+	pr, err := core.ProtocolAProcs(core.ABConfig{N: 4, T: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := live.New(live.Config{NumProcs: 2, NumUnits: 4}, pr.Steppers)
+	if _, err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(); err == nil {
+		t.Fatal("second Run should refuse")
+	}
+}

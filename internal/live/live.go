@@ -1,0 +1,634 @@
+// Package live is the concurrent execution plane: it runs the simulator's
+// protocol state machines (sim.Stepper implementations, including
+// goroutine-shimmed Scripts) unchanged over real goroutines — one per
+// process — exchanging frames through a pluggable Transport (in-process
+// channels today, sockets-shaped tomorrow).
+//
+// The plane is a BSP-style round barrier. Each round the coordinator
+// delivers last round's messages, grants every runnable process one step,
+// and the processes step concurrently — genuinely in parallel, with the
+// transport free to delay and reorder their yields. The coordinator then
+// commits the collected yields in ascending PID order, replicating the sim
+// engine's scheduling, adversary consultation, message accounting and
+// fast-forward semantics decision for decision. That makes the plane's
+// Result (and error) reflect.DeepEqual the single-threaded engine's for the
+// same configuration — the property TestLivePlaneEquivalence pins for every
+// protocol × adversary × grid — while the execution underneath is true
+// multi-goroutine concurrency, verified race-clean under `go test -race`.
+//
+// Fault injection rides the same sim.Adversary interface as the engine:
+// replaying an explore.Vector schedule against the live plane is
+// Config{Adversary: vec.Adversary()}, nothing more. Round-triggered choices
+// crash parked workers between rounds; action-triggered choices crash a
+// process as its step commits, with the verdict's Deliver mask selecting
+// which entries of the action's virtual send list survive — crashing a real
+// goroutine mid-broadcast.
+//
+// The package also hosts the fully asynchronous Protocol A port (Cluster,
+// Network, Detector, WorkLog — formerly package asyncnet): no rounds, no
+// barrier, arbitrary message delays, a failure detector instead of
+// deadlines. The barrier plane and the async cluster are the two ends of
+// the liveness spectrum; DESIGN.md §6 maps the territory.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Config parameterises a live run. The fields mirror sim.Config: a config
+// run on either plane must mean the same thing.
+type Config struct {
+	// NumProcs is the number of processes t (one goroutine each).
+	NumProcs int
+	// NumUnits is the number of work units n.
+	NumUnits int
+	// Adversary is the fault injector (nil: failure-free). Any sim.Adversary
+	// works — explore.Vector replay included.
+	Adversary sim.Adversary
+	// MaxRound aborts runs that exceed this round (0 = a large default).
+	MaxRound int64
+	// MaxActive, when > 0, verifies the at-most-MaxActive invariant after
+	// every round.
+	MaxActive int
+	// DetailedMetrics enables per-kind message counting.
+	DetailedMetrics bool
+	// Tracer, when non-nil, receives one event per committed action, in the
+	// exact order the sim engine would emit them.
+	Tracer func(sim.Event)
+	// Transport carries the barrier traffic; nil means an in-process
+	// channel transport with zero latency.
+	Transport Transport
+}
+
+// procState is the coordinator's book on one process. The *sim.Proc inside
+// is worker-owned while a step is in flight; the coordinator touches it only
+// between the process's steps (grant/yield frames establish the
+// happens-before edges).
+type procState struct {
+	p        *sim.Proc
+	status   sim.Status
+	sleeping bool
+	wakeAt   int64
+	runnable bool
+	granted  bool // granted a step this round, yield pending or collected
+	killed   bool // worker torn down (crash, halt or shutdown)
+
+	retireRound int64
+	workDone    int64
+	msgsSent    int64
+	actions     int64
+
+	mail []sim.Message // this round's deliveries, recycled per round
+}
+
+// bcastRec is one committed broadcast awaiting delivery, exactly as the sim
+// engine stores it: a single shared record regardless of fanout.
+type bcastRec struct {
+	from    int
+	sentAt  int64
+	payload any
+	to      []int
+}
+
+// yieldSlot holds one collected yield until the PID-ordered commit.
+type yieldSlot struct {
+	present  bool
+	yield    sim.Yield
+	panicVal any
+	panicked bool
+}
+
+// Plane coordinates one live run. It implements sim.Host for its processes.
+// A Plane is single-use: build with New, execute with Run.
+type Plane struct {
+	cfg Config
+	tr  Transport
+
+	procs []*procState
+	now   int64
+	live  int
+	// active is the SetActive count; workers update it concurrently from
+	// inside their steps, hence the atomic (the engine's plain field relies
+	// on strict alternation the plane deliberately gives up).
+	active atomic.Int64
+
+	pendingNext     []sim.Message
+	spare           []sim.Message
+	pendingBcast    []bcastRec
+	spareBcast      []bcastRec
+	pendingUnsorted bool
+
+	slots []yieldSlot
+
+	unitsDone    []bool
+	distinctDone int
+	metrics      sim.Result
+	err          error
+
+	wg      sync.WaitGroup
+	started bool
+}
+
+var _ sim.Host = (*Plane)(nil)
+
+// NumProcs implements sim.Host.
+func (pl *Plane) NumProcs() int { return pl.cfg.NumProcs }
+
+// NumUnits implements sim.Host.
+func (pl *Plane) NumUnits() int { return pl.cfg.NumUnits }
+
+// Round implements sim.Host. Workers read it only inside a step; the
+// coordinator writes it only between rounds, and every grant frame carries a
+// happens-before edge, so the plain field is race-free.
+func (pl *Plane) Round() int64 { return pl.now }
+
+// AddActive implements sim.Host.
+func (pl *Plane) AddActive(delta int) { pl.active.Add(int64(delta)) }
+
+// New builds a plane; steppers(id) supplies each process's body (use
+// sim.ScriptStepper to run blocking Scripts).
+func New(cfg Config, steppers func(id int) sim.Stepper) *Plane {
+	if cfg.Adversary == nil {
+		cfg.Adversary = sim.NopAdversary{}
+	}
+	if cfg.MaxRound == 0 {
+		cfg.MaxRound = sim.Forever
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewChanTransport(Latency{})
+	}
+	pl := &Plane{
+		cfg:       cfg,
+		tr:        cfg.Transport,
+		live:      cfg.NumProcs,
+		slots:     make([]yieldSlot, cfg.NumProcs),
+		unitsDone: make([]bool, cfg.NumUnits+1),
+		metrics:   sim.Result{CompletedRound: -1},
+	}
+	if cfg.NumUnits == 0 {
+		pl.metrics.CompletedRound = 0
+	}
+	if cfg.DetailedMetrics {
+		pl.metrics.MessagesByKind = make(map[string]int64)
+	}
+	pl.procs = make([]*procState, cfg.NumProcs)
+	for id := range pl.procs {
+		pl.procs[id] = &procState{
+			p:        sim.NewHostedProc(pl, id, steppers(id)),
+			status:   sim.StatusRunning,
+			runnable: true, // round 0: everyone steps, as in the engine
+		}
+	}
+	return pl
+}
+
+// Run executes a complete run for convenience: New(cfg, steppers).Run().
+func Run(cfg Config, steppers func(id int) sim.Stepper) (sim.Result, error) {
+	return New(cfg, steppers).Run()
+}
+
+// worker is the per-process goroutine: receive a grant, deliver its
+// messages into the local inbox, take one step, send the yield back. It
+// owns the *sim.Proc for the duration of the step; panics in the process
+// body are converted to frames by TryStep so the coordinator can fail the
+// run deterministically.
+func (pl *Plane) worker(pid int) {
+	defer pl.wg.Done()
+	ps := pl.procs[pid]
+	for {
+		g, ok := pl.tr.RecvGrant(pid)
+		if !ok || g.Kill {
+			ps.p.Release() // free the script shim goroutine, if any
+			return
+		}
+		if g.Round != ps.p.Now() {
+			// The transport delivered a stale or reordered grant; surface it
+			// through the deterministic failure path instead of stepping the
+			// process in the wrong round.
+			pl.tr.SendYield(YieldFrame{PID: pid, Panicked: true, PanicVal: fmt.Sprintf(
+				"live: transport granted round %d to proc %d at round %d", g.Round, pid, ps.p.Now())})
+			continue
+		}
+		for _, m := range g.Msgs {
+			ps.p.Deliver(m)
+		}
+		y, pv, panicked := ps.p.TryStep()
+		pl.tr.SendYield(YieldFrame{PID: pid, Yield: y, PanicVal: pv, Panicked: panicked})
+	}
+}
+
+// Run executes the run to completion and returns the aggregated metrics.
+// The round loop is the engine's, phase for phase; only the stepping in the
+// middle is concurrent.
+func (pl *Plane) Run() (sim.Result, error) {
+	if pl.started {
+		return sim.Result{}, fmt.Errorf("live: Plane is single-use; build a new one per run")
+	}
+	pl.started = true
+	pl.tr.Open(pl.cfg.NumProcs)
+	pl.wg.Add(pl.cfg.NumProcs)
+	for id := range pl.procs {
+		go pl.worker(id)
+	}
+	defer func() {
+		pl.shutdown()
+	}()
+	for pl.live > 0 {
+		if pl.now > pl.cfg.MaxRound {
+			pl.fail(fmt.Errorf("%w: round %d > %d", sim.ErrRoundLimit, pl.now, pl.cfg.MaxRound))
+			break
+		}
+		pl.crashScheduled()
+		pl.deliver()
+		pl.wakeSleepers()
+		granted := pl.grantRunnable()
+		pl.collect(granted)
+		pl.commit()
+		if pl.err != nil {
+			break
+		}
+		if err := pl.checkInvariants(); err != nil {
+			pl.fail(err)
+			break
+		}
+		next := pl.nextRound()
+		if next == sim.Forever {
+			if pl.live > 0 {
+				pl.fail(sim.ErrDeadlock)
+			}
+			break
+		}
+		pl.now = next
+	}
+	pl.finalize()
+	return pl.metrics, pl.err
+}
+
+func (pl *Plane) fail(err error) {
+	if pl.err == nil {
+		pl.err = err
+	}
+}
+
+// killWorker tears down one process's goroutine, exactly once.
+func (pl *Plane) killWorker(ps *procState, pid int) {
+	if ps.killed {
+		return
+	}
+	ps.killed = true
+	pl.tr.SendGrant(pid, Grant{Kill: true})
+}
+
+// shutdown releases every remaining worker and closes the transport. All
+// workers are parked between steps whenever the coordinator runs, so the
+// kill grants land without blocking.
+func (pl *Plane) shutdown() {
+	for pid, ps := range pl.procs {
+		pl.killWorker(ps, pid)
+	}
+	pl.wg.Wait()
+	pl.tr.Close()
+}
+
+// crashScheduled applies round-triggered crashes at the start of a round:
+// the victims' workers are parked (possibly mid-sleep), so the crash is a
+// state flip plus a kill grant.
+func (pl *Plane) crashScheduled() {
+	for _, pid := range pl.cfg.Adversary.ScheduledCrashes(pl.now) {
+		if pid < 0 || pid >= len(pl.procs) {
+			continue
+		}
+		ps := pl.procs[pid]
+		if ps.status != sim.StatusRunning {
+			continue
+		}
+		pl.crash(ps, pid)
+	}
+}
+
+// crash retires one process as crashed; the counters and flags mirror the
+// engine's crash() so Results agree field for field.
+func (pl *Plane) crash(ps *procState, pid int) {
+	ps.status = sim.StatusCrashed
+	ps.p.SetActive(false)
+	ps.retireRound = pl.now
+	ps.runnable = false
+	ps.sleeping = false
+	pl.live--
+	pl.metrics.Crashes++
+	pl.killWorker(ps, pid)
+}
+
+// deliver stages the messages committed last round into per-process mail
+// batches, merging broadcast records with point-to-point sends by sender
+// PID exactly as the engine's deliver does, so inboxes observe the same
+// (delivery round, sender) order on both planes. Recipients gaining mail
+// become runnable.
+func (pl *Plane) deliver() {
+	msgs, recs := pl.pendingNext, pl.pendingBcast
+	if len(msgs) == 0 && len(recs) == 0 {
+		return
+	}
+	if pl.pendingUnsorted {
+		sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].From < msgs[j].From })
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].from < recs[j].from })
+		pl.pendingUnsorted = false
+	}
+	mi, ri := 0, 0
+	for mi < len(msgs) || ri < len(recs) {
+		if mi < len(msgs) && (ri >= len(recs) || msgs[mi].From <= recs[ri].from) {
+			m := msgs[mi]
+			mi++
+			pl.stage(m)
+			continue
+		}
+		r := recs[ri]
+		ri++
+		for _, to := range r.to {
+			pl.stage(sim.Message{From: r.from, To: to, SentAt: r.sentAt, Payload: r.payload})
+		}
+	}
+	pl.pendingNext = pl.spare[:0]
+	pl.spare = msgs[:0]
+	for i := range recs {
+		recs[i] = bcastRec{}
+	}
+	pl.pendingBcast = pl.spareBcast[:0]
+	pl.spareBcast = recs[:0]
+}
+
+// stage queues one message for delivery with this round's grant.
+func (pl *Plane) stage(m sim.Message) {
+	ps := pl.procs[m.To]
+	if ps.status != sim.StatusRunning {
+		return
+	}
+	ps.mail = append(ps.mail, m)
+	ps.runnable = true
+}
+
+// wakeSleepers makes every sleeping process whose wake time has arrived
+// runnable.
+func (pl *Plane) wakeSleepers() {
+	for _, ps := range pl.procs {
+		if ps.status == sim.StatusRunning && ps.sleeping && ps.wakeAt <= pl.now {
+			ps.runnable = true
+		}
+	}
+}
+
+// grantRunnable grants one step to every runnable process and returns how
+// many grants went out. The workers now step concurrently; the transport
+// delivers their yields in whatever order its latency model produces.
+func (pl *Plane) grantRunnable() int {
+	granted := 0
+	for pid, ps := range pl.procs {
+		if ps.status != sim.StatusRunning || !ps.runnable {
+			continue
+		}
+		ps.sleeping = false
+		ps.granted = true
+		granted++
+		pl.tr.SendGrant(pid, Grant{Round: pl.now, Msgs: ps.mail})
+	}
+	return granted
+}
+
+// collect gathers exactly the granted yields into PID-indexed slots. This
+// is the barrier: arrival order is arbitrary, commit order is not.
+func (pl *Plane) collect(granted int) {
+	for i := 0; i < granted; i++ {
+		f := pl.tr.RecvYield()
+		pl.slots[f.PID] = yieldSlot{
+			present: true, yield: f.Yield, panicVal: f.PanicVal, panicked: f.Panicked,
+		}
+	}
+}
+
+// commit applies the collected yields in ascending PID order — the engine's
+// stepRunnable order — so stateful adversaries, metrics and message buffers
+// observe the identical sequence. On a fatal error the remaining yields are
+// discarded uncounted, matching the engine, whose later processes never
+// step at all.
+func (pl *Plane) commit() {
+	for pid, ps := range pl.procs {
+		slot := &pl.slots[pid]
+		if !slot.present {
+			continue
+		}
+		slot.present = false
+		if !ps.granted {
+			continue // stale frame from a transport violating its contract
+		}
+		ps.granted = false
+		ps.mail = ps.mail[:0]
+		if pl.err != nil {
+			continue // run already failed: drop, uncounted
+		}
+		pl.metrics.Events++
+		if slot.panicked {
+			ps.status = sim.StatusCrashed
+			ps.p.SetActive(false)
+			ps.retireRound = pl.now
+			ps.runnable = false
+			pl.live--
+			pl.killWorker(ps, pid)
+			// Error text matches the sim engine verbatim so cross-plane
+			// comparisons can require errors to be identical.
+			pl.fail(fmt.Errorf("sim: proc %d panicked: %v", pid, slot.panicVal))
+			continue
+		}
+		switch y := slot.yield; y.Kind {
+		case sim.YieldAction:
+			pl.commitAction(ps, pid, y.Action)
+		case sim.YieldSleep:
+			ps.sleeping = true
+			ps.wakeAt = y.Until
+			ps.runnable = false
+		case sim.YieldHalt:
+			ps.status = sim.StatusTerminated
+			ps.p.SetActive(false)
+			ps.retireRound = pl.now
+			ps.runnable = false
+			pl.live--
+			pl.trace(ps, pid, sim.Action{}, false, true)
+			pl.killWorker(ps, pid)
+		}
+	}
+}
+
+// commitAction applies one action: adversary verdict, work and message
+// accounting, next-round buffering. It is the engine's commit transliterated
+// onto the plane's state.
+func (pl *Plane) commitAction(ps *procState, pid int, a sim.Action) {
+	ps.actions++
+	verdict := pl.cfg.Adversary.OnAction(pl.now, pid, a)
+	keepWork := true
+	sends := a.Sends
+	bcast := a.Broadcast
+	if verdict.Crash {
+		keepWork = verdict.KeepWork
+		// Crash mid-broadcast: the Deliver mask indexes the action's virtual
+		// send list (explicit sends, then the broadcast per recipient); the
+		// surviving subset is materialized as plain messages.
+		sends, bcast = nil, sim.Broadcast{}
+		for i, n := 0, a.SendCount(); i < n && i < len(verdict.Deliver); i++ {
+			if verdict.Deliver[i] {
+				sends = append(sends, a.SendAt(i))
+			}
+		}
+	}
+	if a.WorkUnit > 0 && keepWork {
+		pl.metrics.WorkTotal++
+		ps.workDone++
+		if a.WorkUnit < len(pl.unitsDone) && !pl.unitsDone[a.WorkUnit] {
+			pl.unitsDone[a.WorkUnit] = true
+			pl.distinctDone++
+			if pl.distinctDone == pl.cfg.NumUnits && pl.metrics.CompletedRound < 0 {
+				pl.metrics.CompletedRound = pl.now
+			}
+		}
+	}
+	if len(sends) > 0 || len(bcast.To) > 0 {
+		if n := len(pl.pendingNext); n > 0 && pl.pendingNext[n-1].From > pid {
+			pl.pendingUnsorted = true
+		}
+		if n := len(pl.pendingBcast); n > 0 && pl.pendingBcast[n-1].from > pid {
+			pl.pendingUnsorted = true
+		}
+	}
+	var runKind string
+	var runCount int64
+	for _, s := range sends {
+		if s.To < 0 || s.To >= len(pl.procs) {
+			if runCount > 0 {
+				pl.metrics.MessagesByKind[runKind] += runCount
+			}
+			pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, s.To))
+			return
+		}
+		pl.metrics.Messages++
+		ps.msgsSent++
+		if pl.metrics.MessagesByKind != nil {
+			if k := sim.PayloadKind(s.Payload); k == runKind {
+				runCount++
+			} else {
+				if runCount > 0 {
+					pl.metrics.MessagesByKind[runKind] += runCount
+				}
+				runKind, runCount = k, 1
+			}
+		}
+		pl.pendingNext = append(pl.pendingNext, sim.Message{
+			From: pid, To: s.To, SentAt: pl.now, Payload: s.Payload,
+		})
+	}
+	if runCount > 0 {
+		pl.metrics.MessagesByKind[runKind] += runCount
+	}
+	if len(bcast.To) > 0 {
+		var counted int64
+		for _, to := range bcast.To {
+			if to < 0 || to >= len(pl.procs) {
+				if counted > 0 && pl.metrics.MessagesByKind != nil {
+					pl.metrics.MessagesByKind[sim.PayloadKind(bcast.Payload)] += counted
+				}
+				pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, to))
+				return
+			}
+			counted++
+			pl.metrics.Messages++
+			ps.msgsSent++
+		}
+		if pl.metrics.MessagesByKind != nil {
+			pl.metrics.MessagesByKind[sim.PayloadKind(bcast.Payload)] += counted
+		}
+		pl.pendingBcast = append(pl.pendingBcast, bcastRec{
+			from: pid, sentAt: pl.now, payload: bcast.Payload, to: bcast.To,
+		})
+	}
+	pl.trace(ps, pid, a, verdict.Crash, false)
+	if verdict.Crash {
+		pl.crash(ps, pid)
+	}
+}
+
+func (pl *Plane) trace(ps *procState, pid int, a sim.Action, crashed, halted bool) {
+	if pl.cfg.Tracer == nil {
+		return
+	}
+	pl.cfg.Tracer(sim.Event{
+		Round: pl.now, PID: pid, Label: ps.p.Label(),
+		Work: a.WorkUnit, Sent: a.SendCount(),
+		Crashed: crashed, Halted: halted,
+	})
+}
+
+func (pl *Plane) checkInvariants() error {
+	if pl.cfg.MaxActive <= 0 {
+		return nil
+	}
+	if n := int(pl.active.Load()); n > pl.cfg.MaxActive {
+		return fmt.Errorf("sim: invariant violated at round %d: %d active processes (max %d)",
+			pl.now, n, pl.cfg.MaxActive)
+	}
+	return nil
+}
+
+// nextRound fast-forwards over quiet stretches exactly as the engine does:
+// someone runnable or mail in flight means the next round, otherwise the
+// earliest wake time or scheduled crash.
+func (pl *Plane) nextRound() int64 {
+	for _, ps := range pl.procs {
+		if ps.status == sim.StatusRunning && ps.runnable {
+			return pl.now + 1
+		}
+	}
+	if len(pl.pendingNext) > 0 || len(pl.pendingBcast) > 0 {
+		return pl.now + 1
+	}
+	next := sim.Forever
+	for _, ps := range pl.procs {
+		if ps.status == sim.StatusRunning && ps.sleeping && ps.wakeAt < next {
+			next = ps.wakeAt
+		}
+	}
+	if c := pl.cfg.Adversary.NextScheduledCrash(pl.now); c >= 0 && c < next {
+		next = c
+	}
+	if next <= pl.now {
+		next = pl.now + 1
+	}
+	return next
+}
+
+// finalize mirrors the engine's finalize so the Result agrees field for
+// field, PerProc included.
+func (pl *Plane) finalize() {
+	pl.metrics.Rounds = pl.now
+	pl.metrics.WorkDistinct = pl.distinctDone
+	pl.metrics.PerProc = make([]sim.ProcStats, len(pl.procs))
+	last := int64(0)
+	for i, ps := range pl.procs {
+		pl.metrics.PerProc[i] = sim.ProcStats{
+			Status: ps.status, Work: ps.workDone, Sent: ps.msgsSent,
+			RetireRound: ps.retireRound, Actions: ps.actions,
+		}
+		if ps.status != sim.StatusRunning {
+			if ps.retireRound > last {
+				last = ps.retireRound
+			}
+			if ps.status == sim.StatusTerminated {
+				pl.metrics.Survivors++
+			}
+		}
+	}
+	if pl.err == nil {
+		pl.metrics.Rounds = last
+	}
+}

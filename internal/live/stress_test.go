@@ -1,0 +1,182 @@
+package live_test
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/sim"
+)
+
+// Stress coverage for the live plane: hundreds of real goroutines, crash
+// storms, concurrent planes. These run in the ordinary suite and are the
+// payload of CI's `go test -race ./internal/live` job — the scheduling
+// pressure of -race plus jitter is what shakes out ordering bugs the
+// deterministic barrier must absorb.
+
+// TestLiveStressLargeT runs Protocol B with 256 processes through a full
+// crash cascade (255 failures) and requires bit-identical Results across
+// planes.
+func TestLiveStressLargeT(t *testing.T) {
+	n, tt := 1024, 256
+	pr, err := core.ProtocolBProcs(core.ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := core.RunSteppers(n, tt, pr.Steppers, core.RunOptions{
+		Adversary: adversary.NewCascade(4, tt-1), MaxActive: 1, DetailedMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err = core.ProtocolBProcs(core.ABConfig{N: n, T: tt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveRes, err := live.Run(live.Config{
+		NumProcs: tt, NumUnits: n,
+		Adversary: adversary.NewCascade(4, tt-1), MaxActive: 1, DetailedMetrics: true,
+	}, pr.Steppers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(simRes, liveRes) {
+		t.Fatalf("planes diverge at t=%d:\nsim:  %+v\nlive: %+v", tt, simRes, liveRes)
+	}
+	if liveRes.Crashes != tt-1 {
+		t.Fatalf("cascade crashed %d of %d", liveRes.Crashes, tt-1)
+	}
+	if err := core.CheckCompletion(liveRes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveStressCrashStorm drives Protocol D with 128 processes through
+// aggressive random crash storms across several seeds, jittered transport
+// included, and checks plane equivalence plus the completion guarantee on
+// every run.
+func TestLiveStressCrashStorm(t *testing.T) {
+	n, tt := 512, 128
+	for _, seed := range []int64{1, 2, 3, 4} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			mkAdv := func() sim.Adversary { return adversary.NewRandom(0.10, tt-1, seed) }
+			pr, err := core.ProtocolDProcs(core.DConfig{N: n, T: tt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			simRes, simErr := core.RunSteppers(n, tt, pr.Steppers, core.RunOptions{
+				Adversary: mkAdv(), DetailedMetrics: true,
+			})
+			pr, err = core.ProtocolDProcs(core.DConfig{N: n, T: tt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tr live.Transport
+			if !testing.Short() {
+				tr = live.NewChanTransport(live.Latency{Jitter: 20 * time.Microsecond, Seed: seed})
+			}
+			liveRes, liveErr := live.Run(live.Config{
+				NumProcs: tt, NumUnits: n,
+				Adversary: mkAdv(), DetailedMetrics: true, Transport: tr,
+			}, pr.Steppers)
+			if fmt.Sprint(simErr) != fmt.Sprint(liveErr) {
+				t.Fatalf("plane errors diverge:\nsim:  %v\nlive: %v", simErr, liveErr)
+			}
+			if !reflect.DeepEqual(simRes, liveRes) {
+				t.Fatalf("planes diverge:\nsim:  %+v\nlive: %+v", simRes, liveRes)
+			}
+			if liveErr == nil {
+				if err := core.CheckCompletion(liveRes); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveStressConcurrentPlanes runs many planes at once — the fan-out a
+// test-plane harness or a parallel sweep would produce — to cross-stress
+// the per-plane state under the race detector.
+func TestLiveStressConcurrentPlanes(t *testing.T) {
+	n, tt := 64, 16
+	const planes = 8
+	var wg sync.WaitGroup
+	results := make([]sim.Result, planes)
+	errs := make([]error, planes)
+	for i := 0; i < planes; i++ {
+		pr, err := core.ProtocolBProcs(core.ABConfig{N: n, T: tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, steppers func(int) sim.Stepper) {
+			defer wg.Done()
+			results[i], errs[i] = live.Run(live.Config{
+				NumProcs: tt, NumUnits: n,
+				Adversary: adversary.NewCascade(2, tt-1), MaxActive: 1, DetailedMetrics: true,
+			}, steppers)
+		}(i, pr.Steppers)
+	}
+	wg.Wait()
+	for i := 1; i < planes; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Fatalf("concurrent plane %d diverged:\nfirst: %+v\nthis:  %+v", i, results[0], results[i])
+		}
+	}
+}
+
+// TestLiveStressPanicProc pins the failure path: a process body that panics
+// mid-run must fail the plane with the engine's error and Result.
+func TestLiveStressPanicProc(t *testing.T) {
+	n, tt := 16, 4
+	// Build one coherent protocol instance per plane, wrapping process 2.
+	wrapped := func() func(int) sim.Stepper {
+		pr, err := core.ProtocolBProcs(core.ABConfig{N: n, T: tt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(id int) sim.Stepper {
+			st := pr.Steppers(id)
+			if id == 2 {
+				return panicAfter{inner: st, id: id}
+			}
+			return st
+		}
+	}
+	simRes, simErr := core.RunSteppers(n, tt, wrapped(), core.RunOptions{DetailedMetrics: true})
+	liveRes, liveErr := live.Run(live.Config{
+		NumProcs: tt, NumUnits: n, DetailedMetrics: true,
+	}, wrapped())
+	if simErr == nil || liveErr == nil {
+		t.Fatalf("want both planes to fail: sim=%v live=%v", simErr, liveErr)
+	}
+	if fmt.Sprint(simErr) != fmt.Sprint(liveErr) {
+		t.Fatalf("plane errors diverge:\nsim:  %v\nlive: %v", simErr, liveErr)
+	}
+	if !reflect.DeepEqual(simRes, liveRes) {
+		t.Fatalf("planes diverge:\nsim:  %+v\nlive: %+v", simRes, liveRes)
+	}
+}
+
+// panicAfter panics on the wrapped process's third step.
+type panicAfter struct {
+	inner sim.Stepper
+	id    int
+}
+
+func (pa panicAfter) Step(p *sim.Proc) sim.Yield {
+	if p.Now() >= 3 {
+		panic(fmt.Sprintf("injected fault in proc %d", pa.id))
+	}
+	return pa.inner.Step(p)
+}

@@ -1,0 +1,147 @@
+package live
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Grant is one coordinator→process frame: the messages delivered to the
+// process this round plus permission to take one step. Round is the round
+// being granted — the worker refuses a grant whose round disagrees with its
+// process's clock, so a transport that reorders or replays frames is caught
+// deterministically. Kill tears the process worker down instead (crash,
+// halt or plane shutdown).
+type Grant struct {
+	Round int64
+	Msgs  []sim.Message
+	Kill  bool
+}
+
+// YieldFrame is one process→coordinator frame: the yield the process body
+// returned for the granted round, or the panic it raised.
+type YieldFrame struct {
+	PID      int
+	Yield    sim.Yield
+	PanicVal any
+	Panicked bool
+}
+
+// Transport carries the barrier traffic of a live plane: grants outbound to
+// the process workers, yields inbound to the coordinator. The contract every
+// implementation must provide:
+//
+//   - per-process FIFO order on grants, and a happens-before edge on every
+//     transferred frame (the in-process implementation gets both from
+//     channels; a socket implementation gets them from the connection);
+//   - SendGrant never blocks on a worker that is parked between steps, and
+//     SendYield never blocks the worker longer than the transport's own
+//     delivery delay (the coordinator grants at most one step per process
+//     per round, so capacity one per process suffices);
+//   - Recv* block until a frame (or Close) arrives.
+//
+// Delivery TIMING is entirely the transport's: frames may take arbitrarily
+// long and arrive in any cross-process order. The coordinator's barrier
+// makes the run's Result independent of it, which is what a future socket
+// transport needs: serialize Grant/YieldFrame and give the remote end a
+// thin sim.Host view (the static run shape plus the round each grant
+// carries) — nothing about the coordinator changes.
+type Transport interface {
+	// Open sizes the transport for n processes; called once by Plane.Run
+	// before any frame flows.
+	Open(n int)
+	// SendGrant hands one grant to process pid (coordinator side).
+	SendGrant(pid int, g Grant)
+	// RecvGrant blocks for the next grant addressed to pid (worker side);
+	// ok=false means the transport closed underneath the worker.
+	RecvGrant(pid int) (g Grant, ok bool)
+	// SendYield hands one yield frame to the coordinator (worker side).
+	SendYield(f YieldFrame)
+	// RecvYield blocks for the next yield frame to arrive, in whatever
+	// order the wire produces (coordinator side).
+	RecvYield() YieldFrame
+	// Close tears the transport down after every worker has exited.
+	Close()
+}
+
+// Latency models per-frame delivery delay on the yield path: Base plus a
+// uniformly random extra in [0, Jitter), drawn from a per-process generator
+// seeded Seed+pid — reproducible wall-clock timing without any cross-worker
+// lock. Delays perturb real arrival order at the coordinator (that is their
+// point: they exercise the barrier) but never the Result.
+type Latency struct {
+	Base   time.Duration
+	Jitter time.Duration
+	Seed   int64
+}
+
+func (l Latency) delay(rng *rand.Rand) time.Duration {
+	d := l.Base
+	if l.Jitter > 0 {
+		d += time.Duration(rng.Int63n(int64(l.Jitter)))
+	}
+	return d
+}
+
+// ChanTransport is the in-process Transport: one capacity-1 grant channel
+// per process and a shared yield channel wide enough that no worker ever
+// blocks sending. It is the default transport of a Plane.
+type ChanTransport struct {
+	lat    Latency
+	grants []chan Grant
+	yields chan YieldFrame
+	rngs   []*rand.Rand
+}
+
+// NewChanTransport builds an in-process transport with the given latency
+// model (zero Latency means immediate delivery).
+func NewChanTransport(lat Latency) *ChanTransport {
+	return &ChanTransport{lat: lat}
+}
+
+// Open implements Transport.
+func (ct *ChanTransport) Open(n int) {
+	ct.grants = make([]chan Grant, n)
+	for i := range ct.grants {
+		ct.grants[i] = make(chan Grant, 1)
+	}
+	ct.yields = make(chan YieldFrame, n)
+	if ct.lat.Base > 0 || ct.lat.Jitter > 0 {
+		ct.rngs = make([]*rand.Rand, n)
+		for i := range ct.rngs {
+			ct.rngs[i] = rand.New(rand.NewSource(ct.lat.Seed + int64(i)))
+		}
+	}
+}
+
+// SendGrant implements Transport.
+func (ct *ChanTransport) SendGrant(pid int, g Grant) { ct.grants[pid] <- g }
+
+// RecvGrant implements Transport.
+func (ct *ChanTransport) RecvGrant(pid int) (Grant, bool) {
+	g, ok := <-ct.grants[pid]
+	return g, ok
+}
+
+// SendYield implements Transport. The latency model runs here, on the
+// worker's own goroutine, so delays overlap across processes like real
+// network transit instead of serializing at the coordinator.
+func (ct *ChanTransport) SendYield(f YieldFrame) {
+	if ct.rngs != nil {
+		if d := ct.lat.delay(ct.rngs[f.PID]); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	ct.yields <- f
+}
+
+// RecvYield implements Transport.
+func (ct *ChanTransport) RecvYield() YieldFrame { return <-ct.yields }
+
+// Close implements Transport.
+func (ct *ChanTransport) Close() {
+	for _, ch := range ct.grants {
+		close(ch)
+	}
+}

@@ -209,7 +209,7 @@ func (e *Engine) Reset(cfg Config, steppers func(id int) Stepper) {
 	}
 	e.procs = e.allProcs[:cfg.NumProcs]
 	for id, p := range e.procs {
-		p.reset(e, id, steppers(id))
+		p.rearm(e, id, steppers(id))
 		e.runq.add(id)
 	}
 }

@@ -1,0 +1,80 @@
+package sim
+
+// This file is the substrate boundary between a process and whatever runs
+// it. A Proc historically belonged to the Engine; the Host interface
+// abstracts the four things a process body actually needs from its runtime —
+// the shape of the run, the current round, and active-flag bookkeeping — so
+// that other execution planes (internal/live's goroutine-per-process plane)
+// can drive the very same Stepper state machines through the very same Proc
+// handle. The Engine is one Host; a live coordinator is another.
+
+// Host is the execution plane a Proc belongs to. Engine implements it for
+// the synchronous single-threaded simulator; internal/live implements it for
+// the concurrent plane. AddActive must be safe for however the host
+// schedules its processes (the Engine alternates strictly, so a plain field
+// suffices there; a concurrent host needs an atomic).
+type Host interface {
+	// NumProcs returns t, the number of processes in the run.
+	NumProcs() int
+	// NumUnits returns n, the number of work units.
+	NumUnits() int
+	// Round returns the current round number.
+	Round() int64
+	// AddActive adjusts the count of processes flagged active by SetActive;
+	// the host checks it against the at-most-MaxActive invariant.
+	AddActive(delta int)
+}
+
+// NumProcs implements Host.
+func (e *Engine) NumProcs() int { return e.cfg.NumProcs }
+
+// NumUnits implements Host.
+func (e *Engine) NumUnits() int { return e.cfg.NumUnits }
+
+// Round implements Host.
+func (e *Engine) Round() int64 { return e.now }
+
+// AddActive implements Host. Strict alternation (scripts block the engine,
+// steppers run on its stack) makes the unsynchronised count race-free.
+func (e *Engine) AddActive(delta int) { e.activeCount += delta }
+
+// NewHostedProc builds a Proc owned by an external Host rather than by an
+// Engine: the handle that lets another execution plane run a Stepper (or a
+// ScriptStepper-wrapped Script) unchanged. The plane owns scheduling,
+// delivery and metrics itself; the Proc carries only the process-local state
+// (inbox, scratch buffers, active flag, label). Between TryStep calls the
+// plane may Deliver messages and read Label; everything else on the Proc
+// belongs to the process body.
+func NewHostedProc(h Host, id int, st Stepper) *Proc {
+	p := &Proc{}
+	p.rearm(h, id, st)
+	return p
+}
+
+// TryStep runs one Step of the process body on the caller's stack (resuming
+// the script goroutine for shim-backed procs), converting a panic in the
+// body into a returned value exactly as the Engine does, so external hosts
+// share the simulator's failure path.
+func (p *Proc) TryStep() (y Yield, panicVal any, panicked bool) {
+	return stepProc(p)
+}
+
+// Deliver appends one message to the process's inbox. External hosts call it
+// between steps — never while the process body runs — mirroring the
+// engine's start-of-round delivery; the next Drain returns delivered
+// messages in append order.
+func (p *Proc) Deliver(m Message) { p.inbox = append(p.inbox, m) }
+
+// Label returns the process's current state label (see SetLabel). External
+// hosts read it between steps when building trace events.
+func (p *Proc) Label() string { return p.label }
+
+// Release frees the script goroutine behind a shim-backed Proc; it is a
+// no-op for native steppers. External hosts must call it when retiring a
+// process (crash, halt or plane shutdown), as the Engine's crash/killAll
+// paths do internally.
+func (p *Proc) Release() {
+	if p.shim != nil {
+		p.shim.kill()
+	}
+}

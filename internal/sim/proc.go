@@ -35,7 +35,7 @@ type resumeMsg struct {
 // from the process's own script goroutine or Step method.
 type Proc struct {
 	id      int
-	engine  *Engine
+	host    Host // the execution plane that owns this process (see host.go)
 	stepper Stepper
 	shim    *goShim // non-nil iff stepper is the goroutine-backed Script shim
 
@@ -65,11 +65,11 @@ type Proc struct {
 	actions     int64
 }
 
-// reset rearms a (possibly recycled) Proc for a new run, keeping the inbox
-// and scratch buffer capacities it accumulated.
-func (p *Proc) reset(e *Engine, id int, st Stepper) {
+// rearm readies a (possibly recycled) Proc for a new run under the given
+// host, keeping the inbox and scratch buffer capacities it accumulated.
+func (p *Proc) rearm(h Host, id int, st Stepper) {
 	p.id = id
-	p.engine = e
+	p.host = h
 	p.stepper = st
 	p.shim = nil
 	if sp, ok := st.(shimHolder); ok {
@@ -93,13 +93,13 @@ func (p *Proc) reset(e *Engine, id int, st Stepper) {
 func (p *Proc) ID() int { return p.id }
 
 // N returns the total number of processes in the system.
-func (p *Proc) N() int { return p.engine.cfg.NumProcs }
+func (p *Proc) N() int { return p.host.NumProcs() }
 
 // Units returns the total number of work units.
-func (p *Proc) Units() int { return p.engine.cfg.NumUnits }
+func (p *Proc) Units() int { return p.host.NumUnits() }
 
 // Now returns the current round number.
-func (p *Proc) Now() int64 { return p.engine.now }
+func (p *Proc) Now() int64 { return p.host.Round() }
 
 // SetActive flags this process as "the active process" for the at-most-one-
 // active invariant check. Protocols in which a single process works at a time
@@ -113,9 +113,9 @@ func (p *Proc) SetActive(v bool) {
 	}
 	p.active = v
 	if v {
-		p.engine.activeCount++
+		p.host.AddActive(1)
 	} else {
-		p.engine.activeCount--
+		p.host.AddActive(-1)
 	}
 }
 
@@ -212,7 +212,7 @@ func (p *Proc) StepBroadcast(to []int, payload any) {
 // (delivery round, sender) order. Script-side only; steppers return a
 // YieldSleep and call Drain on their next Step instead.
 func (p *Proc) WaitUntil(deadline int64) []Message {
-	if len(p.inbox) > 0 || p.engine.now >= deadline {
+	if len(p.inbox) > 0 || p.host.Round() >= deadline {
 		return p.drain()
 	}
 	p.yield(yieldMsg{kind: yieldSleep, until: deadline})

@@ -159,9 +159,11 @@ func (sh *goShim) run(p *Proc) {
 	sh.toEngine <- yieldMsg{kind: yieldHalt}
 }
 
-// kill releases the script goroutine on crash or engine shutdown. Safe to
-// call whether the goroutine is blocked awaiting resumption, mid-yield, or
-// never started.
+// kill releases the script goroutine on crash or host shutdown. Safe to
+// call whether the goroutine is blocked awaiting resumption, mid-yield,
+// never started, or already exited (a returned/halted/panicked script; the
+// engine never kills those, but an external host's Release tears every
+// process down the same way).
 func (sh *goShim) kill() {
 	if !sh.started {
 		return
@@ -175,5 +177,7 @@ func (sh *goShim) kill() {
 			sh.resume <- resumeMsg{kill: true}
 		}
 		<-sh.done
+	case <-sh.done:
+		// The goroutine already unwound on its own.
 	}
 }

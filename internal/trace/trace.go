@@ -160,6 +160,24 @@ func axis(rounds []int64) string {
 	return "rounds: " + strings.Join(spans, ", ") + "\n"
 }
 
+// Diff compares two event streams and returns the empty string when they
+// are identical, or a description of the first divergence. The live-plane
+// round-trip tests and `doall live -compare` use it to pin that a run
+// recorded on one execution plane replays to the identical trace on the
+// other.
+func Diff(a, b []sim.Event) string {
+	n := min(len(a), len(b))
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("event %d diverges: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("event counts diverge: %d vs %d (first %d equal)", len(a), len(b), n)
+	}
+	return ""
+}
+
 // Summary aggregates per-process event counts.
 func (r *Recorder) Summary() string {
 	type agg struct{ work, sent, acts int }
