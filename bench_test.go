@@ -145,6 +145,8 @@ func BenchmarkEngineLargeT(b *testing.B) { benchEngineCase(b, "EngineLargeT") }
 
 func BenchmarkEngineBroadcastFanout(b *testing.B) { benchEngineCase(b, "EngineBroadcastFanout") }
 
+func BenchmarkEngineFaultStorm(b *testing.B) { benchEngineCase(b, "EngineFaultStorm") }
+
 // BenchmarkSweepReuse measures pooled engine reuse across a whole job sweep
 // on one worker (allocs/op ≈ total per-run setup cost); shared with
 // cmd/bench via internal/benchmarks like the Engine* cases.

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -31,6 +32,14 @@ func runExplore(args []string) error {
 		jobs      = fs.Int("jobs", 0, "parallel shards (0 = GOMAXPROCS, 1 = sequential)")
 		maxSched  = fs.Int64("max-schedules", 0, "refuse spaces larger than this (0 = 4194304)")
 		replay    = fs.String("replay", "", "replay one decision vector (e.g. '0@a7:keep:p0,1@a3:keep:p0') and exit")
+
+		// Extended fault alphabet (exhaustive mode): each flag adds a block
+		// of per-victim choices to the enumerated space.
+		omissions = fs.Bool("omissions", false, "also enumerate send-omission choices per action × prefix")
+		rounds    = fs.Int("rounds", -1, "also enumerate round crashes at rounds 0..N (-1 = none; required by -restart-delays/-slow-factors)")
+		delays    = fs.String("restart-delays", "", "comma-separated restart delays d: each round crash also revived at crash+d")
+		slows     = fs.String("slow-factors", "", "comma-separated slowdown factors (>= 2) per round trigger")
+		drops     = fs.String("drops", "", "comma-separated delivery indices: drop the k-th message bound for the victim")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "Usage: doall explore [flags]")
@@ -86,6 +95,19 @@ func runExplore(args []string) error {
 			horizon = probed
 		}
 		space := explore.NewSpace(*t, *crashes, horizon, prefix)
+		space.Omissions = *omissions
+		for r := int64(0); r <= int64(*rounds); r++ {
+			space.Rounds = append(space.Rounds, r)
+		}
+		if space.RestartDelays, err = parseCSVInt64(*delays); err != nil {
+			return fmt.Errorf("-restart-delays: %w", err)
+		}
+		if space.SlowFactors, err = parseCSVInt(*slows); err != nil {
+			return fmt.Errorf("-slow-factors: %w", err)
+		}
+		if space.Drops, err = parseCSVInt(*drops); err != nil {
+			return fmt.Errorf("-drops: %w", err)
+		}
 		rep, err := target.Enumerate(space, explore.Options{Jobs: *jobs, MaxSchedules: *maxSched})
 		if err != nil {
 			return err
@@ -122,4 +144,33 @@ func runExplore(args []string) error {
 		return fmt.Errorf("unknown mode %q (want exhaustive|search)", *mode)
 	}
 	return nil
+}
+
+// parseCSVInt parses a comma-separated integer list; empty means nil.
+func parseCSVInt(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseCSVInt64 is parseCSVInt for int64 lists.
+func parseCSVInt64(s string) ([]int64, error) {
+	ints, err := parseCSVInt(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []int64
+	for _, v := range ints {
+		out = append(out, int64(v))
+	}
+	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/adversary"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/live"
@@ -34,6 +35,9 @@ func runLive(args []string) error {
 		compare   = fs.Bool("compare", false, "also run the sim plane and require identical Result and trace")
 		verbose   = fs.Bool("v", false, "print per-worker stats")
 		showTrace = fs.Bool("trace", false, "print an ASCII execution timeline")
+		loss      = fs.Float64("loss", 0, "drop each delivered message with this probability (seeded, replayable)")
+		lossSeed  = fs.Int64("loss-seed", 1, "rng seed for -loss")
+		maxDrops  = fs.Int("max-drops", 8, "at most this many messages lost to -loss")
 		crashes   crashFlags
 	)
 	fs.Var(&crashes, "crash", "scheduled crash PID@ROUND (repeatable, merged into the schedule)")
@@ -65,13 +69,22 @@ func runLive(args []string) error {
 		newSteppers: func() (func(int) sim.Stepper, error) {
 			return core.SteppersFor(tg.NewProcs())
 		},
+		// Fresh adversary per plane: the schedule adversary and the seeded
+		// loss stream are stateful and single-use, and the same seed must
+		// lose the same messages on both planes for -compare to hold.
+		newAdversary: func() sim.Adversary {
+			if *loss <= 0 {
+				return vec.Adversary()
+			}
+			return adversary.NewChain(vec.Adversary(), adversary.NewLoss(*loss, *maxDrops, *lossSeed))
+		},
 	}
 	if tg.SingleActive {
 		opt.maxActive = 1
 	}
 
 	rec := trace.NewRecorder(0)
-	liveRes, err := runLivePlane(opt, vec, live.NewChanTransport(live.Latency{
+	liveRes, err := runLivePlane(opt, live.NewChanTransport(live.Latency{
 		Base: *latency, Jitter: *jitter, Seed: *seed,
 	}), rec.Hook())
 	if err != nil {
@@ -86,11 +99,15 @@ func runLive(args []string) error {
 	fmt.Printf("effort:    %d\n", liveRes.Effort())
 	fmt.Printf("rounds:    %d (simulated %d events)\n", liveRes.Rounds, liveRes.Events)
 	fmt.Printf("processes: %d survived, %d crashed\n", liveRes.Survivors, liveRes.Crashes)
+	if liveRes.Restarts > 0 || liveRes.Dropped > 0 || liveRes.Omitted > 0 {
+		fmt.Printf("faults:    %d restarts, %d dropped in transit, %d sends omitted\n",
+			liveRes.Restarts, liveRes.Dropped, liveRes.Omitted)
+	}
 	fmt.Printf("complete:  %v\n", liveRes.Complete())
 
 	if *compare {
 		simRec := trace.NewRecorder(0)
-		simRes, err := runSimPlane(opt, vec, simRec.Hook())
+		simRes, err := runSimPlane(opt, simRec.Hook())
 		if err != nil {
 			return err
 		}
@@ -121,30 +138,31 @@ func runLive(args []string) error {
 
 // planeOptions is one configuration runnable on either plane.
 type planeOptions struct {
-	n, t        int
-	maxActive   int
-	newSteppers func() (func(int) sim.Stepper, error)
+	n, t         int
+	maxActive    int
+	newSteppers  func() (func(int) sim.Stepper, error)
+	newAdversary func() sim.Adversary
 }
 
-func runLivePlane(opt planeOptions, vec explore.Vector, tr live.Transport, hook func(sim.Event)) (sim.Result, error) {
+func runLivePlane(opt planeOptions, tr live.Transport, hook func(sim.Event)) (sim.Result, error) {
 	steppers, err := opt.newSteppers()
 	if err != nil {
 		return sim.Result{}, err
 	}
 	return live.Run(live.Config{
 		NumProcs: opt.t, NumUnits: opt.n,
-		Adversary: vec.Adversary(), MaxActive: opt.maxActive,
+		Adversary: opt.newAdversary(), MaxActive: opt.maxActive,
 		DetailedMetrics: true, Tracer: hook, Transport: tr,
 	}, steppers)
 }
 
-func runSimPlane(opt planeOptions, vec explore.Vector, hook func(sim.Event)) (sim.Result, error) {
+func runSimPlane(opt planeOptions, hook func(sim.Event)) (sim.Result, error) {
 	steppers, err := opt.newSteppers()
 	if err != nil {
 		return sim.Result{}, err
 	}
 	return core.RunSteppers(opt.n, opt.t, steppers, core.RunOptions{
-		Adversary: vec.Adversary(), MaxActive: opt.maxActive,
+		Adversary: opt.newAdversary(), MaxActive: opt.maxActive,
 		DetailedMetrics: true, Tracer: hook,
 	})
 }

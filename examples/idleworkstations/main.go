@@ -16,18 +16,21 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("idleworkstations", flag.ContinueOnError)
 	var (
-		stations  = flag.Int("stations", 8, "idle workstations in the pool")
-		reclaimed = flag.Int("reclaimed", 5, "stations reclaimed by their users mid-batch")
+		stations  = fs.Int("stations", 8, "idle workstations in the pool")
+		reclaimed = fs.Int("reclaimed", 5, "stations reclaimed by their users mid-batch")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// (x1 ∨ ¬x3 ∨ x5) ∧ (¬x1 ∨ x2 ∨ ¬x6) ∧ (x3 ∨ x4 ∨ x6) ∧ (¬x2 ∨ ¬x4 ∨ ¬x5)
 	formula, err := workload.NewFormula(6, [][3]int{

@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestRunSmoke executes the example end to end, defaults and a custom
+// instance both: the SAT batch must complete despite reclaimed stations.
+func TestRunSmoke(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stations", "4", "-reclaimed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-stations", "many"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

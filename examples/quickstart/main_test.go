@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRunSmoke executes the example end to end: the cascade-adversary
+// comparison must finish every protocol without error.
+func TestRunSmoke(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,20 +15,23 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string) error {
+	fs := flag.NewFlagSet("valvecheck", flag.ContinueOnError)
 	var (
-		valves      = flag.Int("valves", 96, "number of valves to verify")
-		controllers = flag.Int("controllers", 16, "number of crash-prone controllers")
-		crashP      = flag.Float64("crash-p", 0.02, "per-action crash probability")
-		seed        = flag.Int64("seed", 1, "failure seed")
+		valves      = fs.Int("valves", 96, "number of valves to verify")
+		controllers = fs.Int("controllers", 16, "number of crash-prone controllers")
+		crashP      = fs.Float64("crash-p", 0.02, "per-action crash probability")
+		seed        = fs.Int64("seed", 1, "failure seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	bank := workload.NewValves(*valves)
 	res, err := doall.Run(doall.Config{

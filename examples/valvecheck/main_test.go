@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+// TestRunSmoke executes the example end to end, defaults and a custom
+// instance both: every valve must verify despite the random crashes.
+func TestRunSmoke(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-valves", "24", "-controllers", "6", "-crash-p", "0.05", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-valves", "nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -5,8 +5,9 @@ import (
 	"repro/internal/sim"
 )
 
-// Failures describes a crash-failure pattern for a run. Implementations are
-// single-use: build a fresh value per Run call.
+// Failures describes a fault pattern for a run — crashes, crash-recovery
+// restarts, message loss and rate slowdowns. Implementations are single-use:
+// build a fresh value per Run call.
 type Failures interface {
 	adversary() sim.Adversary
 }
@@ -40,13 +41,17 @@ func CascadeFailures(unitsBetween, maxCrashes int) Failures {
 // AtAction triggers it: Round ≥ 0 crashes the process at the start of that
 // round, AtAction > 0 crashes it while committing its AtAction-th action,
 // with KeepWork controlling whether a work unit in that action survives and
-// Deliver selecting which messages of the broadcast escape.
+// Deliver selecting which messages of the broadcast escape. RestartAt > 0
+// additionally schedules a crash-recovery restart at that (strictly later)
+// round; only the stepper-substrate protocol bodies support recovery, and a
+// non-recoverable process simply stays crashed.
 type Crash struct {
-	Process  int
-	Round    int64
-	AtAction int
-	KeepWork bool
-	Deliver  []bool
+	Process   int
+	Round     int64
+	AtAction  int
+	KeepWork  bool
+	Deliver   []bool
+	RestartAt int64
 }
 
 // ScheduledFailures executes a fixed crash plan.
@@ -55,14 +60,30 @@ func ScheduledFailures(crashes ...Crash) Failures {
 	for i, c := range crashes {
 		converted[i] = adversary.Crash{
 			PID: c.Process, Round: c.Round, AtAction: c.AtAction,
-			KeepWork: c.KeepWork, Deliver: c.Deliver,
+			KeepWork: c.KeepWork, Deliver: c.Deliver, RestartAt: c.RestartAt,
 		}
 	}
 	return failureSpec{adv: adversary.NewSchedule(converted...)}
 }
 
-// CombinedFailures chains several failure patterns; the first crash verdict
-// wins and scheduled crashes are unioned.
+// LossyFailures drops each transmitted message at delivery time with
+// probability p, at most maxDrops times. The sender still pays for a lost
+// message (it counts in Result.Messages); the recipient never sees it. Runs
+// are reproducible for a fixed seed.
+func LossyFailures(p float64, maxDrops int, seed int64) Failures {
+	return failureSpec{adv: adversary.NewLoss(p, maxDrops, seed)}
+}
+
+// SlowdownFailures degrades one worker to rate 1/factor from its first
+// committed action at or after the given round: each action is followed by
+// factor-1 idle rounds, the paper's slow-workstation regime.
+func SlowdownFailures(process int, round int64, factor int) Failures {
+	return failureSpec{adv: &adversary.Slowdown{PID: process, Round: round, Factor: factor}}
+}
+
+// CombinedFailures chains several failure patterns; the first non-surviving
+// verdict wins, scheduled crashes and restarts are unioned, and a message is
+// delivered only if every member lets it through.
 func CombinedFailures(specs ...Failures) Failures {
 	advs := make([]sim.Adversary, len(specs))
 	for i, s := range specs {

@@ -1,7 +1,8 @@
-// Package adversary provides crash-failure strategies for the synchronous
-// simulator: explicit schedules, seeded random crashes, and the structured
-// worst cases used in the paper's analyses (crash-after-work cascades and
-// checkpoint suppression).
+// Package adversary provides fault strategies for the synchronous simulator:
+// explicit schedules (crashes, with or without recovery), seeded random
+// crashes and message loss, rate slowdowns, and the structured worst cases
+// used in the paper's analyses (crash-after-work cascades and checkpoint
+// suppression).
 package adversary
 
 import (
@@ -26,36 +27,52 @@ type Crash struct {
 	AtAction int
 	KeepWork bool
 	Deliver  []bool
+	// RestartAt > 0 schedules a crash-recovery restart at that round. The
+	// process must be sim.Recoverable and the restart round must come after
+	// the crash, or the request is ignored and the process stays down.
+	RestartAt int64
 }
 
-// Schedule executes a fixed list of planned crashes.
+// Schedule executes a fixed list of planned crashes and their restarts.
 type Schedule struct {
-	byRound  map[int64][]int
-	byAction map[int]*actionCrash
-	counts   map[int]int
+	byRound   map[int64][]int
+	byAction  map[int]*actionCrash
+	byRestart map[int64][]int // restart round -> round-crash victims
+	counts    map[int]int
 }
 
 type actionCrash struct {
-	at       int
-	keepWork bool
-	deliver  []bool
+	at        int
+	keepWork  bool
+	deliver   []bool
+	restartAt int64
 }
 
-var _ sim.Adversary = (*Schedule)(nil)
+var (
+	_ sim.Adversary = (*Schedule)(nil)
+	_ sim.Restarter = (*Schedule)(nil)
+)
 
 // NewSchedule builds a Schedule from planned crashes. At most one
-// action-triggered crash per PID is supported (one crash kills for good).
+// action-triggered crash per PID is supported (a recovered process may crash
+// again, but only through a round trigger).
 func NewSchedule(crashes ...Crash) *Schedule {
 	s := &Schedule{
-		byRound:  make(map[int64][]int),
-		byAction: make(map[int]*actionCrash),
-		counts:   make(map[int]int),
+		byRound:   make(map[int64][]int),
+		byAction:  make(map[int]*actionCrash),
+		byRestart: make(map[int64][]int),
+		counts:    make(map[int]int),
 	}
 	for _, c := range crashes {
 		if c.AtAction > 0 {
-			s.byAction[c.PID] = &actionCrash{at: c.AtAction, keepWork: c.KeepWork, deliver: c.Deliver}
-		} else {
-			s.byRound[c.Round] = append(s.byRound[c.Round], c.PID)
+			s.byAction[c.PID] = &actionCrash{
+				at: c.AtAction, keepWork: c.KeepWork, deliver: c.Deliver, restartAt: c.RestartAt,
+			}
+			continue
+		}
+		s.byRound[c.Round] = append(s.byRound[c.Round], c.PID)
+		if c.RestartAt > c.Round {
+			s.byRestart[c.RestartAt] = append(s.byRestart[c.RestartAt], c.PID)
 		}
 	}
 	return s
@@ -69,7 +86,7 @@ func (s *Schedule) OnAction(_ int64, pid int, _ sim.Action) sim.Verdict {
 	}
 	s.counts[pid]++
 	if s.counts[pid] == ac.at {
-		return sim.Verdict{Crash: true, KeepWork: ac.keepWork, Deliver: ac.deliver}
+		return sim.Verdict{Crash: true, KeepWork: ac.keepWork, Deliver: ac.deliver, RestartAt: ac.restartAt}
 	}
 	return sim.Survive()
 }
@@ -85,6 +102,25 @@ func (s *Schedule) ScheduledCrashes(r int64) []int {
 func (s *Schedule) NextScheduledCrash(after int64) int64 {
 	next := int64(-1)
 	for r := range s.byRound {
+		if r > after && (next < 0 || r < next) {
+			next = r
+		}
+	}
+	return next
+}
+
+// ScheduledRestarts implements sim.Restarter for round-triggered crashes;
+// action-triggered restarts travel in the crash verdict itself.
+func (s *Schedule) ScheduledRestarts(r int64) []int {
+	pids := s.byRestart[r]
+	sort.Ints(pids)
+	return pids
+}
+
+// NextScheduledRestart implements sim.Restarter.
+func (s *Schedule) NextScheduledRestart(after int64) int64 {
+	next := int64(-1)
+	for r := range s.byRestart {
 		if r > after && (next < 0 || r < next) {
 			next = r
 		}
@@ -133,6 +169,64 @@ func (r *Random) OnAction(_ int64, _ int, a sim.Action) sim.Verdict {
 
 // Crashes reports how many failures have been injected so far.
 func (r *Random) Crashes() int { return r.crashed }
+
+// Loss drops each transmitted message at delivery time with probability P,
+// up to MaxDrops losses, modelling transient link faults: the sender paid
+// for the message (it counts in Result.Messages) but the recipient never
+// sees it. Runs are reproducible for a fixed seed; the rng stream is
+// consumed one draw per delivery in delivery order, so the same seed yields
+// the same lost set on every conforming execution plane.
+type Loss struct {
+	sim.NopAdversary
+	rng      *rand.Rand
+	p        float64
+	maxDrops int
+	dropped  int
+}
+
+var _ sim.DeliveryAdversary = (*Loss)(nil)
+
+// NewLoss builds a Loss adversary dropping with probability p, at most
+// maxDrops times.
+func NewLoss(p float64, maxDrops int, seed int64) *Loss {
+	return &Loss{rng: rand.New(rand.NewSource(seed)), p: p, maxDrops: maxDrops}
+}
+
+// OnDeliver implements sim.DeliveryAdversary.
+func (l *Loss) OnDeliver(_ int64, _ sim.Message) bool {
+	if l.dropped >= l.maxDrops || l.rng.Float64() >= l.p {
+		return true
+	}
+	l.dropped++
+	return false
+}
+
+// Dropped reports how many messages have been lost so far.
+func (l *Loss) Dropped() int { return l.dropped }
+
+// Slowdown degrades one process to rate 1/Factor from its first committed
+// action at or after round Round: each later action is followed by Factor-1
+// stalled rounds (the quarter-speed workstation of the model's rate
+// discussion, for Factor 4). The verdict fires once; the engine keeps the
+// factor until another verdict changes it.
+type Slowdown struct {
+	sim.NopAdversary
+	PID    int
+	Round  int64
+	Factor int
+	fired  bool
+}
+
+var _ sim.Adversary = (*Slowdown)(nil)
+
+// OnAction implements sim.Adversary.
+func (s *Slowdown) OnAction(r int64, pid int, _ sim.Action) sim.Verdict {
+	if s.fired || pid != s.PID || r < s.Round {
+		return sim.Survive()
+	}
+	s.fired = true
+	return sim.Verdict{Slow: s.Factor}
+}
 
 // Cascade is the work-wasting adversary behind the worst cases of §2: it
 // lets each process perform Units units of work and then crashes it at its
@@ -225,13 +319,18 @@ func kindOf(p any) string {
 	return ""
 }
 
-// Chain composes several adversaries; the first non-surviving verdict wins,
-// and scheduled crashes are unioned.
+// Chain composes several adversaries; the first non-surviving verdict
+// (crash, omission or slowdown) wins, scheduled crashes and restarts are
+// unioned, and a delivery goes through only if every member lets it.
 type Chain struct {
 	Advs []sim.Adversary
 }
 
-var _ sim.Adversary = (*Chain)(nil)
+var (
+	_ sim.Adversary         = (*Chain)(nil)
+	_ sim.DeliveryAdversary = (*Chain)(nil)
+	_ sim.Restarter         = (*Chain)(nil)
+)
 
 // NewChain composes adversaries.
 func NewChain(advs ...sim.Adversary) *Chain { return &Chain{Advs: advs} }
@@ -239,11 +338,52 @@ func NewChain(advs ...sim.Adversary) *Chain { return &Chain{Advs: advs} }
 // OnAction implements sim.Adversary.
 func (c *Chain) OnAction(r int64, pid int, a sim.Action) sim.Verdict {
 	for _, adv := range c.Advs {
-		if v := adv.OnAction(r, pid, a); v.Crash {
+		if v := adv.OnAction(r, pid, a); v.Crash || v.Omit || v.Slow > 0 {
 			return v
 		}
 	}
 	return sim.Survive()
+}
+
+// OnDeliver implements sim.DeliveryAdversary. Every delivery-aware member is
+// consulted on every delivery — no short-circuit — so each member's rng
+// stream advances identically whatever the others decide, keeping composed
+// seeded adversaries replayable.
+func (c *Chain) OnDeliver(r int64, m sim.Message) bool {
+	ok := true
+	for _, adv := range c.Advs {
+		if d, isD := adv.(sim.DeliveryAdversary); isD && !d.OnDeliver(r, m) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// ScheduledRestarts implements sim.Restarter.
+func (c *Chain) ScheduledRestarts(r int64) []int {
+	var pids []int
+	for _, adv := range c.Advs {
+		if rs, isR := adv.(sim.Restarter); isR {
+			pids = append(pids, rs.ScheduledRestarts(r)...)
+		}
+	}
+	sort.Ints(pids)
+	return pids
+}
+
+// NextScheduledRestart implements sim.Restarter.
+func (c *Chain) NextScheduledRestart(after int64) int64 {
+	next := int64(-1)
+	for _, adv := range c.Advs {
+		rs, isR := adv.(sim.Restarter)
+		if !isR {
+			continue
+		}
+		if n := rs.NextScheduledRestart(after); n >= 0 && (next < 0 || n < next) {
+			next = n
+		}
+	}
+	return next
 }
 
 // ScheduledCrashes implements sim.Adversary.

@@ -64,6 +64,25 @@ func EngineCases() []EngineCase {
 			Name: "EngineBroadcastFanout",
 			Cfg:  doall.Config{Units: 512, Workers: 64, Protocol: doall.ProtocolD},
 		},
+		{
+			// The full extended fault alphabet at once: a kept-work action
+			// crash, a round crash that later restarts (stepper-substrate
+			// recovery), seeded message loss and a slow worker — the cost of
+			// every fault-injection hook firing in a single Protocol B run.
+			Name: "EngineFaultStorm",
+			Cfg:  doall.Config{Units: 256, Workers: 16, Protocol: doall.ProtocolB},
+			Failures: func() doall.Failures {
+				return doall.CombinedFailures(
+					doall.ScheduledFailures(
+						doall.Crash{Process: 3, AtAction: 9, KeepWork: true},
+						doall.Crash{Process: 0, Round: 40, RestartAt: 80},
+						doall.Crash{Process: 5, Round: 120},
+					),
+					doall.LossyFailures(0.05, 16, 11),
+					doall.SlowdownFailures(1, 30, 3),
+				)
+			},
+		},
 	}
 }
 

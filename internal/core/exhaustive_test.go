@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -239,6 +240,172 @@ func TestCrashAtEveryRoundProtocolB(t *testing.T) {
 		MaxCrashes: 1,
 		Rounds:     roundRange(0, base.Result.Rounds),
 	})
+}
+
+// --- Crash-recovery property tests ---
+//
+// The scripts substrate cannot restart (a blocked goroutine's stack is not a
+// checkpoint), so the recovery sweeps below build stepper-substrate targets
+// via the Protocol*Procs constructors: those bodies are Recoverable and a
+// crash with RestartAt revives them from the engine's checkpoint.
+
+// recoveryTarget is a stepper-substrate certification target. MaxRound caps
+// runaway executions so a sweep that loses its round bound fails loudly
+// instead of spinning.
+func recoveryTarget(name string, n, t int, maxRound int64) explore.Target {
+	tg := explore.Target{
+		Protocol: name, N: n, T: t,
+		MaxCrashes:   t - 1,
+		SingleActive: name != "D",
+		MaxRound:     maxRound,
+	}
+	switch name {
+	case "A":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolAProcs(core.ABConfig{N: n, T: t}) }
+	case "B":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolBProcs(core.ABConfig{N: n, T: t}) }
+	case "C":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolCProcs(core.CConfig{N: n, T: t}) }
+	case "D":
+		tg.NewProcs = func() (core.Procs, error) { return core.ProtocolDProcs(core.DConfig{N: n, T: t}) }
+	}
+	return tg
+}
+
+// restartSweepSpace crosses round crashes of processes 1 and 2 over early
+// rounds, each either permanent or revived after a delay of 1 or 3 rounds —
+// simultaneous, staggered, and crash-after-revival interleavings included.
+func restartSweepSpace() explore.Space {
+	return explore.Space{
+		Victims:       []int{1, 2},
+		MaxCrashes:    2,
+		Rounds:        roundRange(0, 5),
+		RestartDelays: []int64{1, 3},
+	}
+}
+
+// TestExhaustiveRestartSweep certifies protocols A and D over the full
+// crash+restart sweep: completion, the single-active invariant (A), and the
+// engine round cap all survive crash recovery. B and C are deliberately
+// absent — recovery breaks an invariant of each, and the two tests that
+// follow pin exactly how.
+func TestExhaustiveRestartSweep(t *testing.T) {
+	for _, name := range []string{"A", "D"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rep := enumerate(t, recoveryTarget(name, 12, 4, 4000), restartSweepSpace())
+			if want := int64(3 * 12); name == "A" && rep.WorstWork.Value > want {
+				t.Fatalf("worst work %d > 3n under recovery (schedule %s)",
+					rep.WorstWork.Value, rep.WorstWork.Vector)
+			}
+		})
+	}
+}
+
+// TestRestartBreaksSingleActiveProtocolB pins a genuine model finding:
+// Protocol B's at-most-one-active guarantee assumes crashed processes stay
+// crashed. A revived checkpoint re-enters the takeover ladder, decides its
+// predecessors are dead, and goes active next to the living worker. The
+// violation is the experiment — and completion still holds once the
+// invariant check is lifted, so recovery breaks exclusivity, not progress.
+func TestRestartBreaksSingleActiveProtocolB(t *testing.T) {
+	vec, err := explore.ParseVector("1@r2:restart@r5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := recoveryTarget("B", 12, 4, 4000)
+	cert := tg.Certify(vec)
+	if len(cert.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly the single-active breach", cert.Violations)
+	}
+	if want := "2 active processes"; !strings.Contains(cert.Violations[0].Reason, want) {
+		t.Fatalf("violation %q, want %q", cert.Violations[0].Reason, want)
+	}
+	tg.SingleActive = false
+	cert = tg.Certify(vec)
+	if len(cert.Violations) != 0 {
+		t.Fatalf("with invariant lifted: %v", cert.Violations)
+	}
+	if !cert.Result.Complete() {
+		t.Fatal("completion lost under recovery")
+	}
+}
+
+// TestRestartDegradesRoundsProtocolC pins the other failure mode: Protocol
+// C's exponential deadlines mean a process revived with a stale epoch
+// re-synchronises only after its doubled deadline fires — the run still
+// completes with bounded work, but the round count explodes by orders of
+// magnitude. Recovery costs C its time bound, not its work bound.
+func TestRestartDegradesRoundsProtocolC(t *testing.T) {
+	vec, err := explore.ParseVector("1@r0:restart@r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 8
+	cert := recoveryTarget("C", n, 4, 0).Certify(vec)
+	if len(cert.Violations) != 0 {
+		t.Fatalf("violations: %v", cert.Violations)
+	}
+	if !cert.Result.Complete() {
+		t.Fatal("completion lost under recovery")
+	}
+	if cert.Result.WorkTotal > int64(3*n) {
+		t.Fatalf("work %d > 3n: recovery should not cost C its work bound", cert.Result.WorkTotal)
+	}
+	if cert.Result.Rounds < 1_000_000 {
+		t.Fatalf("rounds = %d; expected the deadline blow-up past 10^6 — if this "+
+			"dropped, C's recovery behaviour changed and EXPERIMENTS.md X5 is stale",
+			cert.Result.Rounds)
+	}
+}
+
+// TestRestartKeepWorkNeverDoubleCounts is the restart analogue of work
+// conservation: a lone Protocol B worker crashed mid-commit with its work
+// kept and later revived must finish all n units with work exactly n — the
+// checkpoint remembers completed units, so nothing is redone, and the crash
+// losing the in-flight broadcast loses no work either.
+func TestRestartKeepWorkNeverDoubleCounts(t *testing.T) {
+	n := 8
+	for at := 1; at <= n; at++ {
+		vec := explore.Vector{{Victim: 0, AtAction: at, KeepWork: true, RestartAt: 40}}
+		tg := recoveryTarget("B", n, 1, 4000)
+		tg.MaxCrashes = 1
+		tg.Bounds = explore.Bounds{Work: int64(n)}
+		cert := tg.Certify(vec)
+		if len(cert.Violations) != 0 {
+			t.Fatalf("at=%d: %v", at, cert.Violations)
+		}
+		if cert.Collapsed {
+			t.Fatalf("at=%d: crash never fired", at)
+		}
+		if got := cert.Result.WorkTotal; got != int64(n) {
+			t.Fatalf("at=%d: work = %d, want exactly %d", at, got, n)
+		}
+		if got := cert.Result.WorkDistinct; got != n {
+			t.Fatalf("at=%d: distinct = %d, want %d", at, got, n)
+		}
+		if !cert.Result.Complete() {
+			t.Fatalf("at=%d: incomplete", at)
+		}
+	}
+}
+
+// TestRestartLostWorkStaysLost documents the deliberate checkpoint
+// semantics: the checkpoint is taken at the crash believing the interrupted
+// action committed, so a KeepWork=false crash plus restart permanently
+// loses that unit — the revived lone worker cannot know to redo it.
+func TestRestartLostWorkStaysLost(t *testing.T) {
+	n := 8
+	vec := explore.Vector{{Victim: 0, AtAction: 2, RestartAt: 40}}
+	tg := recoveryTarget("B", n, 1, 4000)
+	tg.MaxCrashes = 1
+	cert := tg.Certify(vec)
+	if cert.Result.Complete() {
+		t.Fatal("lost-work restart completed; checkpoint semantics changed")
+	}
+	if got := cert.Result.WorkDistinct; got != n-1 {
+		t.Fatalf("distinct = %d, want %d (exactly the crashed unit missing)", got, n-1)
+	}
 }
 
 func ExampleCheckCompletion() {

@@ -1,0 +1,91 @@
+package core
+
+// Crash-recovery checkpoints (sim.Recoverable) for the protocol state
+// machines. A checkpoint is taken at crash time — after the crashing action
+// committed, so the machine state already believes that action happened —
+// and restored when the scheduled restart round arrives. The granularity of
+// a machine's sharing determines the copy depth:
+//
+//   - aMachine and bMachine (dwMachine included) keep every mutable field
+//     value-typed; abState and the precomputed PID lists are immutable after
+//     construction, so a shallow struct copy is a complete checkpoint.
+//   - cMachine owns a mutable *view.View and a pollers scratch slice; both
+//     are deep-copied (the view's Index stays shared).
+//   - dMachine owns six mutable bitsets, a future-phase view buffer and an
+//     optional embedded revert aMachine; clone copies them all. The DView
+//     payloads inside buffered taggedViews carry copy-on-write frozen word
+//     slices and stay shared.
+//
+// Scripts are never Recoverable (a goroutine stack cannot be checkpointed),
+// so script-substrate runs ignore restart schedules and stay crashed —
+// exactly the behaviour the pre-recovery engine had for every process.
+
+import "repro/internal/sim"
+
+// Static guarantees that every protocol machine supports crash recovery.
+var (
+	_ sim.Recoverable = (*aMachine)(nil)
+	_ sim.Recoverable = (*bMachine)(nil)
+	_ sim.Recoverable = (*cMachine)(nil)
+	_ sim.Recoverable = (*dMachine)(nil)
+)
+
+// Snapshot implements sim.Recoverable.
+func (m *aMachine) Snapshot() any { cp := *m; return &cp }
+
+// Restore implements sim.Recoverable.
+func (m *aMachine) Restore(snap any) { *m = *snap.(*aMachine) }
+
+// Snapshot implements sim.Recoverable.
+func (m *bMachine) Snapshot() any { cp := *m; return &cp }
+
+// Restore implements sim.Recoverable.
+func (m *bMachine) Restore(snap any) { *m = *snap.(*bMachine) }
+
+// cloneC deep-copies the mutable parts of a cMachine. Both Snapshot and
+// Restore clone, so the held checkpoint is insulated from the machine in
+// both directions.
+func (m *cMachine) cloneC() *cMachine {
+	cp := *m
+	cp.v = m.v.Clone()
+	cp.pollers = append([]int(nil), m.pollers...)
+	return &cp
+}
+
+// Snapshot implements sim.Recoverable.
+func (m *cMachine) Snapshot() any { return m.cloneC() }
+
+// Restore implements sim.Recoverable.
+func (m *cMachine) Restore(snap any) { *m = *snap.(*cMachine).cloneC() }
+
+// cloneD deep-copies the mutable parts of a dMachine. The per-round scratch
+// buffers (views, rcpts) are dead between steps and reset to nil; the
+// embedded revert aMachine, if any, is value-copied like a standalone one.
+func (m *dMachine) cloneD() *dMachine {
+	cp := *m
+	cp.s = m.s.Clone()
+	cp.t = m.t.Clone()
+	cp.u = m.u.Clone()
+	cp.uPrev = m.uPrev.Clone()
+	cp.tNew = m.tNew.Clone()
+	cp.sCur = m.sCur.Clone()
+	cp.units = append([]int(nil), m.units...)
+	cp.heard = append([]bool(nil), m.heard...)
+	cp.buf = make(map[int][]taggedView, len(m.buf))
+	for phase, vs := range m.buf {
+		cp.buf[phase] = append([]taggedView(nil), vs...)
+	}
+	cp.views = nil
+	cp.rcpts = nil
+	if m.rev != nil {
+		rev := *m.rev
+		cp.rev = &rev
+	}
+	return &cp
+}
+
+// Snapshot implements sim.Recoverable.
+func (m *dMachine) Snapshot() any { return m.cloneD() }
+
+// Restore implements sim.Recoverable.
+func (m *dMachine) Restore(snap any) { *m = *snap.(*dMachine).cloneD() }

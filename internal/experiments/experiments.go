@@ -127,6 +127,7 @@ func All() []Experiment {
 		{ID: "X2", Run: X2PartialCheckpointAblation},
 		{ID: "X3", Run: X3RevertThreshold},
 		{ID: "X4", Run: X4ScheduleSpace},
+		{ID: "X5", Run: X5FaultSurvival},
 	}
 }
 

@@ -166,8 +166,8 @@ type Certification struct {
 	Result     sim.Result
 	Violations []Violation
 	// Collapsed reports that the execution coincides with a canonically
-	// smaller vector's: a planned crash never fired or a delivery choice
-	// extended past the crashed action's send list.
+	// smaller vector's: a planned fault never fired or a delivery choice
+	// extended past the action's send list.
 	Collapsed bool
 }
 
@@ -186,7 +186,7 @@ func (tg Target) Certify(vec Vector) Certification {
 		fail("run error: %v", err)
 		return cert
 	}
-	cert.Collapsed = res.Crashes < len(vec) || adv.OverDelivered()
+	cert.Collapsed = res.Crashes < vec.Crashes() || adv.OverDelivered() || adv.UnfiredFaults()
 	if err := core.CheckCompletion(res); err != nil {
 		fail("%v", err)
 	}

@@ -54,6 +54,79 @@ func TestVectorStringRoundTrip(t *testing.T) {
 	}
 }
 
+// TestExtendedChoiceStringRoundTrip covers the fault-alphabet extensions of
+// the grammar: omission, restart suffixes, slowdowns and drops.
+func TestExtendedChoiceStringRoundTrip(t *testing.T) {
+	cases := []struct {
+		c Choice
+		s string
+	}{
+		{Choice{Victim: 0, AtAction: 7, Omit: true, Prefix: 1}, "0@a7:omit:p1"},
+		{Choice{Victim: 1, AtAction: 2, Omit: true, Bits: true, Mask: 0x5}, "1@a2:omit:m5"},
+		{Choice{Victim: 0, Round: 3, RestartAt: 6}, "0@r3:restart@r6"},
+		{Choice{Victim: 2, AtAction: 4, KeepWork: true, RestartAt: 9}, "2@a4:keep:p0:restart@r9"},
+		{Choice{Victim: 2, AtAction: 4, Bits: true, Mask: 0xb, RestartAt: 9}, "2@a4:lose:mb:restart@r9"},
+		{Choice{Victim: 0, Round: 0, Slow: 4}, "0@r0:slow:4"},
+		{Choice{Victim: 1, Round: 5, Slow: 1}, "1@r5:slow:1"},
+		{Choice{Victim: 3, DropNth: 2}, "3@d2"},
+	}
+	for _, tc := range cases {
+		if got := tc.c.String(); got != tc.s {
+			t.Fatalf("String(%+v) = %q, want %q", tc.c, got, tc.s)
+		}
+		got, err := ParseChoice(tc.s)
+		if err != nil {
+			t.Fatalf("ParseChoice(%q): %v", tc.s, err)
+		}
+		if got != tc.c {
+			t.Fatalf("round trip %q: got %+v, want %+v", tc.s, got, tc.c)
+		}
+	}
+	bad := []string{
+		"1@d0", "1@d-2", "1@dx",
+		"1@r3:restart@r3", "1@r3:restart@r2", "1@r3:restart@x", "1@r3:restart@r-4",
+		"1@r3:slow:0", "1@r3:slow:x", "1@r3:fast:2", "1@r1:slow:2:more",
+		"1@a2:omit:p1:restart@r5", // omission never crashes, nothing to restart
+		"1@a2:keep:p1:restart@r0", "1@a2:keep:p1:restart@5", "1@a0:omit:p1",
+	}
+	for _, s := range bad {
+		if c, err := ParseChoice(s); err == nil {
+			t.Fatalf("ParseChoice(%q) accepted as %+v", s, c)
+		}
+	}
+}
+
+// TestExtendedVectorValidate pins the kind-coherence rules: a choice must
+// carry exactly the fields of one fault kind.
+func TestExtendedVectorValidate(t *testing.T) {
+	bad := []Vector{
+		{{Victim: 0, DropNth: 1, Slow: 2}},
+		{{Victim: 0, DropNth: 1, AtAction: 3}},
+		{{Victim: 0, DropNth: 1, KeepWork: true}},
+		{{Victim: 0, Slow: 2, RestartAt: 5}},
+		{{Victim: 0, Slow: 2, Prefix: 1}},
+		{{Victim: 0, Omit: true}}, // omission without action trigger
+		{{Victim: 0, AtAction: 2, Omit: true, KeepWork: true}},
+		{{Victim: 0, AtAction: 2, Omit: true, RestartAt: 5}},
+		{{Victim: 0, Round: 4, RestartAt: 4}},
+		{{Victim: 0, DropNth: -1}},
+	}
+	for _, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", v)
+		}
+	}
+	good := []Vector{
+		{{Victim: 0, AtAction: 2, Omit: true, Prefix: 1}, {Victim: 1, DropNth: 3}},
+		{{Victim: 0, Round: 2, RestartAt: 5}, {Victim: 1, Round: 0, Slow: 3}},
+	}
+	for _, v := range good {
+		if err := v.Validate(); err != nil {
+			t.Fatalf("Validate(%v): %v", v, err)
+		}
+	}
+}
+
 func TestVectorValidate(t *testing.T) {
 	if err := (Vector{{Victim: 0, AtAction: 1}, {Victim: 0, Round: 3}}).Validate(); err == nil {
 		t.Fatal("duplicate victim accepted")
@@ -177,6 +250,139 @@ func TestSpaceUnrankBijection(t *testing.T) {
 	}
 }
 
+// TestExtendedSpaceUnrankBijection extends the bijection check to the full
+// fault alphabet: every block of the per-victim digit — action crash,
+// omission, round crash, crash+restart, slowdown, drop — decodes to a valid
+// canonical vector, all distinct, with every kind represented the expected
+// number of times.
+func TestExtendedSpaceUnrankBijection(t *testing.T) {
+	sp := Space{
+		Victims:       []int{0, 1},
+		MaxCrashes:    2,
+		Actions:       []int{1, 2},
+		KeepWork:      []bool{false, true},
+		Prefixes:      []int{0, 1},
+		Omissions:     true,
+		Rounds:        []int64{0, 3},
+		RestartDelays: []int64{2},
+		SlowFactors:   []int{2, 4},
+		Drops:         []int{1, 3},
+	}
+	norm, err := sp.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perCrash = 2*2*2 + 2*2 + 2 + 2*1 + 2*2 + 2 = 22;
+	// count = 1 + C(2,1)*22 + C(2,2)*22² = 529.
+	if got := norm.count(); got != 529 {
+		t.Fatalf("count = %d, want 529", got)
+	}
+	seen := make(map[string]bool)
+	kinds := make(map[string]int)
+	for i := int64(0); i < norm.count(); i++ {
+		vec := norm.vectorAt(i)
+		if err := vec.Validate(); err != nil {
+			t.Fatalf("index %d: %v", i, err)
+		}
+		for j := 1; j < len(vec); j++ {
+			if vec[j].Victim <= vec[j-1].Victim {
+				t.Fatalf("index %d: victims not increasing: %s", i, vec)
+			}
+		}
+		key := vec.String()
+		if seen[key] {
+			t.Fatalf("index %d: duplicate vector %s", i, key)
+		}
+		seen[key] = true
+		for _, c := range vec {
+			switch {
+			case c.DropNth > 0:
+				kinds["drop"]++
+			case c.Slow > 0:
+				kinds["slow"]++
+			case c.Omit:
+				kinds["omit"]++
+			case c.RestartAt > 0:
+				kinds["restart"]++
+			case c.AtAction > 0:
+				kinds["action-crash"]++
+			default:
+				kinds["round-crash"]++
+			}
+		}
+	}
+	// Per-victim, each kind block appears once alone and 22 times crossed
+	// with the other victim's 22 choices: weight = 1 + 22 = 23 per entry.
+	want := map[string]int{
+		"action-crash": 2 * 8 * 23,
+		"omit":         2 * 4 * 23,
+		"round-crash":  2 * 2 * 23,
+		"restart":      2 * 2 * 23,
+		"slow":         2 * 4 * 23,
+		"drop":         2 * 2 * 23,
+	}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("kind histogram %v, want %v", kinds, want)
+	}
+}
+
+// TestAdversaryExtendedFaults pins the universal adversary's non-crash
+// verdicts: omission (suppress sends, live on), slowdown (fire-once Slow
+// verdict from the trigger round), drop (Nth delivery to the victim) and the
+// restart schedule announced to the engine.
+func TestAdversaryExtendedFaults(t *testing.T) {
+	act := sim.Action{Sends: []sim.Send{{To: 1}, {To: 2}}}
+
+	omit := Vector{{Victim: 0, AtAction: 1, Omit: true, Prefix: 1}}.Adversary()
+	v := omit.OnAction(0, 0, act)
+	if v.Crash || !v.Omit || len(v.Deliver) != 1 || !v.Deliver[0] {
+		t.Fatalf("omit verdict %+v", v)
+	}
+
+	slow := Vector{{Victim: 1, Round: 3, Slow: 4}}.Adversary()
+	if v := slow.OnAction(2, 1, act); v.Slow != 0 {
+		t.Fatalf("slowdown fired before its round: %+v", v)
+	}
+	if v := slow.OnAction(3, 1, act); v.Slow != 4 {
+		t.Fatalf("slowdown verdict %+v, want Slow=4", v)
+	}
+	if v := slow.OnAction(9, 1, act); v.Slow != 0 {
+		t.Fatalf("slowdown fired twice: %+v", v)
+	}
+
+	drop := Vector{{Victim: 2, DropNth: 2}}.Adversary()
+	m := sim.Message{To: 2}
+	if !drop.OnDeliver(0, m) {
+		t.Fatal("first delivery dropped, want second")
+	}
+	if drop.OnDeliver(0, m) {
+		t.Fatal("second delivery to victim not dropped")
+	}
+	if !drop.OnDeliver(0, m) {
+		t.Fatal("third delivery dropped")
+	}
+	if drop.UnfiredFaults() {
+		t.Fatal("fired drop flagged as unfired")
+	}
+
+	unfired := Vector{{Victim: 2, DropNth: 9}}.Adversary()
+	unfired.OnDeliver(0, m)
+	if !unfired.UnfiredFaults() {
+		t.Fatal("planned drop never fired, not flagged")
+	}
+
+	rs := Vector{{Victim: 0, Round: 2, RestartAt: 6}, {Victim: 1, Round: 3, RestartAt: 6}}.Adversary()
+	if got := rs.ScheduledRestarts(6); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("ScheduledRestarts(6) = %v", got)
+	}
+	if n := rs.NextScheduledRestart(-1); n != 6 {
+		t.Fatalf("NextScheduledRestart(-1) = %d", n)
+	}
+	if n := rs.NextScheduledRestart(6); n != -1 {
+		t.Fatalf("NextScheduledRestart(6) = %d", n)
+	}
+}
+
 func TestSpaceNormalizeErrors(t *testing.T) {
 	if _, err := (Space{Victims: []int{1, 1}, MaxCrashes: 1, Actions: []int{1}}).normalize(); err == nil {
 		t.Fatal("duplicate victims accepted")
@@ -186,6 +392,21 @@ func TestSpaceNormalizeErrors(t *testing.T) {
 	}
 	if _, err := (Space{Victims: []int{0}, MaxCrashes: 1, Actions: []int{0}}).normalize(); err == nil {
 		t.Fatal("zero action index accepted")
+	}
+	if _, err := (Space{Victims: []int{0}, MaxCrashes: 1, Omissions: true}).normalize(); err == nil {
+		t.Fatal("omissions without actions accepted")
+	}
+	if _, err := (Space{Victims: []int{0}, MaxCrashes: 1, RestartDelays: []int64{1}, Drops: []int{1}}).normalize(); err == nil {
+		t.Fatal("restart delays without rounds accepted")
+	}
+	if _, err := (Space{Victims: []int{0}, MaxCrashes: 1, Rounds: []int64{0}, RestartDelays: []int64{0}}).normalize(); err == nil {
+		t.Fatal("zero restart delay accepted")
+	}
+	if _, err := (Space{Victims: []int{0}, MaxCrashes: 1, Rounds: []int64{0}, SlowFactors: []int{1}}).normalize(); err == nil {
+		t.Fatal("slow factor 1 accepted (identity slowdown)")
+	}
+	if _, err := (Space{Victims: []int{0}, MaxCrashes: 1, Drops: []int{0}}).normalize(); err == nil {
+		t.Fatal("zero drop index accepted")
 	}
 }
 

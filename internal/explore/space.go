@@ -7,9 +7,12 @@ import (
 )
 
 // Space describes an enumerable schedule space: every decision vector with
-// up to MaxCrashes crashes, victims drawn from Victims, and per-crash
-// choices drawn from the cross product Actions × KeepWork × Prefixes plus
-// the round triggers in Rounds.
+// up to MaxCrashes faults, victims drawn from Victims, and per-victim
+// choices drawn from the cross product Actions × KeepWork × Prefixes (action
+// crashes), the omission product Actions × Prefixes (when Omissions is set),
+// the round triggers in Rounds (round crashes, plus one crash-with-restart
+// per Rounds × RestartDelays pair and one slowdown per Rounds × SlowFactors
+// pair) and one message drop per entry of Drops.
 //
 // The space is indexable: vectors are totally ordered and VectorAt unranks
 // any index in [0, Count()) without materializing the rest, which is what
@@ -33,17 +36,30 @@ type Space struct {
 	// Victims are the candidate crash victims (distinct; sorted by
 	// normalize).
 	Victims []int
-	// MaxCrashes caps the crashes per schedule (use t-1 to preserve the
-	// one-survivor guarantee).
+	// MaxCrashes caps the faults per schedule (use t-1 to preserve the
+	// one-survivor guarantee; historically named for the crash-only space).
 	MaxCrashes int
 	// Actions lists candidate per-victim action indices (1-based).
 	Actions []int
 	// KeepWork lists the keep-work choices for action crashes.
 	KeepWork []bool
-	// Prefixes lists candidate delivery-prefix lengths for action crashes.
+	// Prefixes lists candidate delivery-prefix lengths for action crashes
+	// and omissions.
 	Prefixes []int
-	// Rounds lists candidate round triggers (crash at round start).
+	// Rounds lists candidate round triggers (crash or slowdown at round
+	// start).
 	Rounds []int64
+	// Omissions adds a send-omission choice per Actions × Prefixes pair.
+	Omissions bool
+	// RestartDelays adds, per round trigger r and delay d, a crash at r with
+	// a restart scheduled at r+d (entries must be > 0).
+	RestartDelays []int64
+	// SlowFactors adds, per round trigger and factor, a rate slowdown
+	// (entries must be >= 2).
+	SlowFactors []int
+	// Drops adds one lost-delivery choice per entry: the entry-th message
+	// bound for the victim is dropped (entries must be > 0).
+	Drops []int
 }
 
 // NewSpace is the standard action-indexed space for a t-process instance:
@@ -106,17 +122,50 @@ func (s Space) normalize() (Space, error) {
 			return out, fmt.Errorf("explore: round trigger %d, want >= 0", r)
 		}
 	}
+	if out.Omissions && len(out.Actions) == 0 {
+		return out, fmt.Errorf("explore: Omissions set without Actions")
+	}
+	for _, d := range out.RestartDelays {
+		if d <= 0 {
+			return out, fmt.Errorf("explore: restart delay %d, want > 0", d)
+		}
+	}
+	if len(out.RestartDelays) > 0 && len(out.Rounds) == 0 {
+		return out, fmt.Errorf("explore: RestartDelays set without Rounds")
+	}
+	for _, k := range out.SlowFactors {
+		if k < 2 {
+			return out, fmt.Errorf("explore: slowdown factor %d, want >= 2", k)
+		}
+	}
+	if len(out.SlowFactors) > 0 && len(out.Rounds) == 0 {
+		return out, fmt.Errorf("explore: SlowFactors set without Rounds")
+	}
+	for _, d := range out.Drops {
+		if d <= 0 {
+			return out, fmt.Errorf("explore: drop index %d, want > 0", d)
+		}
+	}
 	if out.perCrash() == 0 && out.MaxCrashes > 0 {
-		return out, fmt.Errorf("explore: empty per-crash choice set (no Actions and no Rounds)")
+		return out, fmt.Errorf("explore: empty per-fault choice set (no Actions, Rounds or Drops)")
 	}
 	return out, nil
 }
 
-// perCrash is the number of distinct choices for one crash: the action
-// cross product plus the round triggers.
+// perCrash is the number of distinct choices for one fault, in decode order:
+// the action-crash cross product, the omission product, the plain round
+// crashes, the round crashes with restart, the round slowdowns, and the
+// drops.
 func (s Space) perCrash() int64 {
-	return int64(len(s.Actions))*int64(len(s.KeepWork))*int64(len(s.Prefixes)) +
-		int64(len(s.Rounds))
+	total := int64(len(s.Actions)) * int64(len(s.KeepWork)) * int64(len(s.Prefixes))
+	if s.Omissions {
+		total += int64(len(s.Actions)) * int64(len(s.Prefixes))
+	}
+	total += int64(len(s.Rounds))
+	total += int64(len(s.Rounds)) * int64(len(s.RestartDelays))
+	total += int64(len(s.Rounds)) * int64(len(s.SlowFactors))
+	total += int64(len(s.Drops))
+	return total
 }
 
 // countSat is the saturation value for Count: a space this large is not
@@ -237,9 +286,12 @@ func (s Space) vectorAt(i int64) Vector {
 	return vec
 }
 
-// decodeChoice maps a digit in [0, perCrash()) to the victim's choice: the
-// action cross product first (action index outermost, then keep-work, then
-// prefix), round triggers after.
+// decodeChoice maps a digit in [0, perCrash()) to the victim's choice, in
+// the perCrash order: the action-crash cross product first (action index
+// outermost, then keep-work, then prefix), then omissions (action outermost,
+// then prefix), plain round crashes, round crashes with restart (round
+// outermost, then delay), round slowdowns (round outermost, then factor),
+// and drops last.
 func (s Space) decodeChoice(victim, digit int) Choice {
 	actionPart := len(s.Actions) * len(s.KeepWork) * len(s.Prefixes)
 	if digit < actionPart {
@@ -251,5 +303,37 @@ func (s Space) decodeChoice(victim, digit int) Choice {
 			Prefix:   s.Prefixes[digit%len(s.Prefixes)],
 		}
 	}
-	return Choice{Victim: victim, Round: s.Rounds[digit-actionPart]}
+	digit -= actionPart
+	if s.Omissions {
+		omitPart := len(s.Actions) * len(s.Prefixes)
+		if digit < omitPart {
+			return Choice{
+				Victim:   victim,
+				AtAction: s.Actions[digit/len(s.Prefixes)],
+				Omit:     true,
+				Prefix:   s.Prefixes[digit%len(s.Prefixes)],
+			}
+		}
+		digit -= omitPart
+	}
+	if digit < len(s.Rounds) {
+		return Choice{Victim: victim, Round: s.Rounds[digit]}
+	}
+	digit -= len(s.Rounds)
+	restartPart := len(s.Rounds) * len(s.RestartDelays)
+	if digit < restartPart {
+		r := s.Rounds[digit/len(s.RestartDelays)]
+		return Choice{Victim: victim, Round: r, RestartAt: r + s.RestartDelays[digit%len(s.RestartDelays)]}
+	}
+	digit -= restartPart
+	slowPart := len(s.Rounds) * len(s.SlowFactors)
+	if digit < slowPart {
+		return Choice{
+			Victim: victim,
+			Round:  s.Rounds[digit/len(s.SlowFactors)],
+			Slow:   s.SlowFactors[digit%len(s.SlowFactors)],
+		}
+	}
+	digit -= slowPart
+	return Choice{Victim: victim, DropNth: s.Drops[digit]}
 }

@@ -78,6 +78,17 @@ type procState struct {
 	granted  bool // granted a step this round, yield pending or collected
 	killed   bool // worker torn down (crash, halt or shutdown)
 
+	// Extended fault alphabet (mirrors the engine's Proc fields): stalled
+	// marks a rate-degraded process serving its post-action stall rounds,
+	// slowFactor its persistent factor; snapped records a crash checkpoint
+	// held for revival, restartAts the pending Verdict.RestartAt revival
+	// rounds (ascending; the engine's restart heap entries for this PID).
+	stalled    bool
+	slowFactor int
+	snapped    bool
+	restartAts []int64
+	restarts   int64
+
 	retireRound int64
 	workDone    int64
 	msgsSent    int64
@@ -124,6 +135,11 @@ type Plane struct {
 	pendingUnsorted bool
 
 	slots []yieldSlot
+
+	// Optional adversary extensions, resolved once in New by type assertion
+	// (nil when not implemented), exactly as the engine's Reset does.
+	dropper   sim.DeliveryAdversary
+	restarter sim.Restarter
 
 	unitsDone    []bool
 	distinctDone int
@@ -176,6 +192,8 @@ func New(cfg Config, steppers func(id int) sim.Stepper) *Plane {
 	if cfg.DetailedMetrics {
 		pl.metrics.MessagesByKind = make(map[string]int64)
 	}
+	pl.dropper, _ = cfg.Adversary.(sim.DeliveryAdversary)
+	pl.restarter, _ = cfg.Adversary.(sim.Restarter)
 	pl.procs = make([]*procState, cfg.NumProcs)
 	for id := range pl.procs {
 		pl.procs[id] = &procState{
@@ -238,11 +256,14 @@ func (pl *Plane) Run() (sim.Result, error) {
 	defer func() {
 		pl.shutdown()
 	}()
-	for pl.live > 0 {
+	for pl.live > 0 || pl.restartPending() {
 		if pl.now > pl.cfg.MaxRound {
 			pl.fail(fmt.Errorf("%w: round %d > %d", sim.ErrRoundLimit, pl.now, pl.cfg.MaxRound))
 			break
 		}
+		// Revivals precede this round's scheduled crashes and deliveries,
+		// exactly as in the engine's round loop.
+		pl.restartDue()
 		pl.crashScheduled()
 		pl.deliver()
 		pl.wakeSleepers()
@@ -307,21 +328,95 @@ func (pl *Plane) crashScheduled() {
 		if ps.status != sim.StatusRunning {
 			continue
 		}
-		pl.crash(ps, pid)
+		pl.crash(ps, pid, 0)
 	}
 }
 
 // crash retires one process as crashed; the counters and flags mirror the
-// engine's crash() so Results agree field for field.
-func (pl *Plane) crash(ps *procState, pid int) {
+// engine's crash() so Results agree field for field. restartAt carries the
+// verdict's revival round (0 for round-triggered crashes, which never see a
+// verdict). A crash that may be revived — an explicit restartAt, or any
+// crash under a Restarter adversary whose round schedule is opaque —
+// checkpoints the process and leaves its worker parked instead of killing
+// it; non-recoverable processes (script shims included) are torn down as
+// before.
+func (pl *Plane) crash(ps *procState, pid int, restartAt int64) {
 	ps.status = sim.StatusCrashed
 	ps.p.SetActive(false)
 	ps.retireRound = pl.now
 	ps.runnable = false
 	ps.sleeping = false
+	ps.stalled = false
 	pl.live--
 	pl.metrics.Crashes++
+	ps.p.DropMail() // as the engine's crash clears the inbox
+	if (restartAt > pl.now || pl.restarter != nil) && ps.p.SnapshotState() {
+		ps.snapped = true
+		if restartAt > pl.now {
+			// Keep pending revival rounds ascending, as the engine's heap
+			// orders its entries.
+			i := len(ps.restartAts)
+			for i > 0 && ps.restartAts[i-1] > restartAt {
+				i--
+			}
+			ps.restartAts = append(ps.restartAts, 0)
+			copy(ps.restartAts[i+1:], ps.restartAts[i:])
+			ps.restartAts[i] = restartAt
+		}
+		return
+	}
 	pl.killWorker(ps, pid)
+}
+
+// restartDue revives crashed processes whose scheduled restart round has
+// arrived: verdict-scheduled revivals first, then the adversary's round
+// schedule, matching the engine's restartDue. Per-process revival attempts
+// are idempotent (restart is guarded), so the engine's global (round, pid)
+// heap order and the plane's pid-major order commit the same state.
+func (pl *Plane) restartDue() {
+	for pid, ps := range pl.procs {
+		for len(ps.restartAts) > 0 && ps.restartAts[0] <= pl.now {
+			ps.restartAts = ps.restartAts[1:]
+			pl.restart(ps, pid)
+		}
+	}
+	if pl.restarter != nil {
+		for _, pid := range pl.restarter.ScheduledRestarts(pl.now) {
+			if pid >= 0 && pid < len(pl.procs) {
+				pl.restart(pl.procs[pid], pid)
+			}
+		}
+	}
+}
+
+// restart revives one crashed process from its crash checkpoint; requests
+// that cannot be honoured are ignored, exactly as in the engine.
+func (pl *Plane) restart(ps *procState, pid int) {
+	if ps.status != sim.StatusCrashed || ps.killed || !ps.p.RestoreState() {
+		return
+	}
+	ps.snapped = false
+	ps.status = sim.StatusRunning
+	ps.sleeping = false
+	ps.stalled = false
+	ps.slowFactor = 0
+	ps.retireRound = 0
+	ps.runnable = true // the revived process steps in its restart round
+	ps.restarts++
+	pl.live++
+	pl.metrics.Restarts++
+}
+
+// restartPending reports whether a scheduled restart can still revive some
+// process once live hits zero: the engine's restartPending over the plane's
+// per-process pending lists.
+func (pl *Plane) restartPending() bool {
+	for _, ps := range pl.procs {
+		if len(ps.restartAts) > 0 && ps.status == sim.StatusCrashed && ps.snapped && !ps.killed {
+			return true
+		}
+	}
+	return pl.restarter != nil && pl.restarter.NextScheduledRestart(pl.now-1) >= 0
 }
 
 // deliver stages the messages committed last round into per-process mail
@@ -362,14 +457,23 @@ func (pl *Plane) deliver() {
 	pl.spareBcast = recs[:0]
 }
 
-// stage queues one message for delivery with this round's grant.
+// stage queues one message for delivery with this round's grant, first
+// consulting the delivery adversary (transient loss) exactly where the
+// engine's deposit does. A stalled recipient keeps the mail but is not
+// woken by it.
 func (pl *Plane) stage(m sim.Message) {
 	ps := pl.procs[m.To]
 	if ps.status != sim.StatusRunning {
 		return
 	}
+	if pl.dropper != nil && !pl.dropper.OnDeliver(pl.now, m) {
+		pl.metrics.Dropped++
+		return
+	}
 	ps.mail = append(ps.mail, m)
-	ps.runnable = true
+	if !ps.stalled {
+		ps.runnable = true
+	}
 }
 
 // wakeSleepers makes every sleeping process whose wake time has arrived
@@ -392,6 +496,7 @@ func (pl *Plane) grantRunnable() int {
 			continue
 		}
 		ps.sleeping = false
+		ps.stalled = false
 		ps.granted = true
 		granted++
 		pl.tr.SendGrant(pid, Grant{Round: pl.now, Msgs: ps.mail})
@@ -482,6 +587,17 @@ func (pl *Plane) commitAction(ps *procState, pid int, a sim.Action) {
 				sends = append(sends, a.SendAt(i))
 			}
 		}
+	} else if verdict.Omit {
+		// Send omission: same Deliver-mask filtering as a crash, but the
+		// process lives on and keeps its work (engine commit, verbatim).
+		n := a.SendCount()
+		sends, bcast = nil, sim.Broadcast{}
+		for i := 0; i < n && i < len(verdict.Deliver); i++ {
+			if verdict.Deliver[i] {
+				sends = append(sends, a.SendAt(i))
+			}
+		}
+		pl.metrics.Omitted += int64(n - len(sends))
 	}
 	if a.WorkUnit > 0 && keepWork {
 		pl.metrics.WorkTotal++
@@ -554,7 +670,18 @@ func (pl *Plane) commitAction(ps *procState, pid int, a sim.Action) {
 	}
 	pl.trace(ps, pid, a, verdict.Crash, false)
 	if verdict.Crash {
-		pl.crash(ps, pid)
+		pl.crash(ps, pid, verdict.RestartAt)
+		return
+	}
+	if verdict.Slow > 0 {
+		ps.slowFactor = verdict.Slow
+	}
+	if ps.slowFactor > 1 {
+		// Rate degradation: the next action is slowFactor rounds away; the
+		// stall is a sleep that mail cannot cut short (see stage).
+		ps.sleeping, ps.stalled = true, true
+		ps.wakeAt = pl.now + int64(ps.slowFactor)
+		ps.runnable = false
 	}
 }
 
@@ -601,6 +728,20 @@ func (pl *Plane) nextRound() int64 {
 	if c := pl.cfg.Adversary.NextScheduledCrash(pl.now); c >= 0 && c < next {
 		next = c
 	}
+	// Pending revivals bound the jump too, stale entries included (the
+	// engine's restart heap behaves the same way).
+	for _, ps := range pl.procs {
+		for _, at := range ps.restartAts {
+			if at < next {
+				next = at
+			}
+		}
+	}
+	if pl.restarter != nil {
+		if r := pl.restarter.NextScheduledRestart(pl.now); r >= 0 && r < next {
+			next = r
+		}
+	}
 	if next <= pl.now {
 		next = pl.now + 1
 	}
@@ -618,6 +759,7 @@ func (pl *Plane) finalize() {
 		pl.metrics.PerProc[i] = sim.ProcStats{
 			Status: ps.status, Work: ps.workDone, Sent: ps.msgsSent,
 			RetireRound: ps.retireRound, Actions: ps.actions,
+			Restarts: ps.restarts,
 		}
 		if ps.status != sim.StatusRunning {
 			if ps.retireRound > last {

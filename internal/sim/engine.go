@@ -62,8 +62,20 @@ type Result struct {
 	CompletedRound int64
 	// Survivors is the number of processes that terminated voluntarily.
 	Survivors int
-	// Crashes is the number of processes the adversary crashed.
+	// Crashes is the number of times the adversary crashed a process (a
+	// restarted process may crash again; each crash counts).
 	Crashes int
+	// Restarts counts crash-recovery revivals (Verdict.RestartAt and
+	// Restarter schedules that actually restored a process).
+	Restarts int64
+	// Dropped counts messages the adversary suppressed at delivery time
+	// (DeliveryAdversary verdicts); they are included in Messages, which
+	// counts transmissions.
+	Dropped int64
+	// Omitted counts sends suppressed by send-omission verdicts
+	// (Verdict.Omit); unlike Dropped these never transmitted and are not in
+	// Messages.
+	Omitted int64
 	// Events counts script resumptions, i.e. the simulation work actually
 	// done; Rounds/Events measures the fast-forward speedup.
 	Events int64
@@ -88,6 +100,8 @@ type ProcStats struct {
 	// action. Schedule-space exploration (internal/explore) uses the
 	// failure-free Actions horizon to bound its action-indexed crash choices.
 	Actions int64
+	// Restarts counts this process's crash-recovery revivals.
+	Restarts int64
 }
 
 // Engine coordinates the lock-step execution of all process scripts.
@@ -125,8 +139,14 @@ type Engine struct {
 
 	runq        runSet   // processes to resume this round
 	sleepers    wakeHeap // (wakeAt, pid), stale entries discarded on pop
+	restartq    wakeHeap // (restartAt, pid) from Verdict.RestartAt, stale on pop
 	live        int      // processes with StatusRunning
 	activeCount int      // live processes with SetActive(true)
+
+	// Optional adversary extensions, resolved once per Reset by type
+	// assertion on cfg.Adversary (nil when not implemented).
+	dropper   DeliveryAdversary
+	restarter Restarter
 
 	unitsDone    []bool
 	distinctDone int
@@ -185,6 +205,9 @@ func (e *Engine) Reset(cfg Config, steppers func(id int) Stepper) {
 	e.pendingBcast = e.pendingBcast[:0]
 	e.spareBcast = e.spareBcast[:0]
 	e.sleepers = e.sleepers[:0]
+	e.restartq = e.restartq[:0]
+	e.dropper, _ = cfg.Adversary.(DeliveryAdversary)
+	e.restarter, _ = cfg.Adversary.(Restarter)
 	e.runq.reset(cfg.NumProcs)
 	if n := cfg.NumUnits + 1; n <= cap(e.unitsDone) {
 		e.unitsDone = e.unitsDone[:n]
@@ -221,11 +244,15 @@ func (e *Engine) Run() (Result, error) {
 		e.killAll()
 		e.scrub()
 	}()
-	for e.live > 0 {
+	for e.live > 0 || e.restartPending() {
 		if e.now > e.cfg.MaxRound {
 			e.fail(fmt.Errorf("%w: round %d > %d", ErrRoundLimit, e.now, e.cfg.MaxRound))
 			break
 		}
+		// Revivals precede this round's scheduled crashes and deliveries, so
+		// a restarted process can be re-crashed the same round and receives
+		// the messages already in flight to it.
+		e.restartDue()
 		e.crashScheduled()
 		e.deliver()
 		e.wakeSleepers()
@@ -268,6 +295,59 @@ func (e *Engine) crashScheduled() {
 		}
 		e.crash(p)
 	}
+}
+
+// restartDue revives crashed processes whose scheduled restart round has
+// arrived: verdict-scheduled restarts first (heap order), then the
+// adversary's round schedule. Stale heap entries (non-recoverable crash, or
+// the process restarted earlier via the schedule) are discarded on pop.
+func (e *Engine) restartDue() {
+	for len(e.restartq) > 0 && e.restartq[0].at <= e.now {
+		entry := e.restartq.popTop()
+		e.restart(entry.pid)
+	}
+	if e.restarter != nil {
+		for _, pid := range e.restarter.ScheduledRestarts(e.now) {
+			if pid >= 0 && pid < len(e.procs) {
+				e.restart(pid)
+			}
+		}
+	}
+}
+
+// restart revives one crashed process from its crash checkpoint. Requests
+// that cannot be honoured — the process is not crashed, or holds no
+// checkpoint (non-Recoverable stepper) — are ignored.
+func (e *Engine) restart(pid int) {
+	p := e.procs[pid]
+	if p.status != StatusCrashed || !p.restoreState() {
+		return
+	}
+	p.status = StatusRunning
+	p.sleeping = false
+	p.stalled = false
+	p.slowFactor = 0
+	p.retireRound = 0
+	p.inbox = p.inbox[:0]
+	p.restarts++
+	e.live++
+	e.metrics.Restarts++
+	e.runq.add(pid) // the revived process steps in its restart round
+}
+
+// restartPending reports whether a scheduled restart can still revive some
+// process once live hits zero, popping stale restart-queue entries so a
+// dead queue cannot keep the run loop spinning.
+func (e *Engine) restartPending() bool {
+	for len(e.restartq) > 0 {
+		p := e.procs[e.restartq[0].pid]
+		if p.status != StatusCrashed || !p.hasSnap {
+			e.restartq.popTop()
+			continue
+		}
+		return true
+	}
+	return e.restarter != nil && e.restarter.NextScheduledRestart(e.now-1) >= 0
 }
 
 // bcastRec is one committed broadcast awaiting delivery: the single shared
@@ -327,14 +407,23 @@ func (e *Engine) deliver() {
 	e.spareBcast = recs[:0]
 }
 
-// deposit appends one delivered message to its recipient's inbox.
+// deposit appends one delivered message to its recipient's inbox, first
+// consulting the delivery adversary (transient loss). A stalled recipient
+// (rate degradation) keeps the mail but is not woken by it: the stall is a
+// slow processor, not a sleep it can be prodded out of.
 func (e *Engine) deposit(m Message) {
 	p := e.procs[m.To]
 	if p.status != StatusRunning {
 		return
 	}
+	if e.dropper != nil && !e.dropper.OnDeliver(e.now, m) {
+		e.metrics.Dropped++
+		return
+	}
 	p.inbox = append(p.inbox, m)
-	e.runq.add(m.To)
+	if !p.stalled {
+		e.runq.add(m.To)
+	}
 }
 
 // wakeSleepers moves every sleeper whose wake time has arrived onto the run
@@ -358,6 +447,7 @@ func (e *Engine) stepRunnable() {
 			return true
 		}
 		p.sleeping = false
+		p.stalled = false
 		e.resumeProc(p)
 		return e.err == nil
 	})
@@ -428,6 +518,18 @@ func (e *Engine) commit(p *Proc, a Action) {
 				sends = append(sends, a.SendAt(i))
 			}
 		}
+	} else if verdict.Omit {
+		// Send omission: same Deliver-mask filtering as a crash, but the
+		// process lives on and keeps its work. Suppressed sends never
+		// transmit (they are invisible to Messages) and are tallied.
+		n := a.SendCount()
+		sends, bcast = nil, Broadcast{}
+		for i := 0; i < n && i < len(verdict.Deliver); i++ {
+			if verdict.Deliver[i] {
+				sends = append(sends, a.SendAt(i))
+			}
+		}
+		e.metrics.Omitted += int64(n - len(sends))
 	}
 	if a.WorkUnit > 0 && keepWork {
 		e.metrics.WorkTotal++
@@ -507,11 +609,30 @@ func (e *Engine) commit(p *Proc, a Action) {
 	e.trace(p, a, verdict.Crash, false)
 	if verdict.Crash {
 		e.crash(p)
+		if verdict.RestartAt > e.now && p.snapshotState() {
+			e.restartq.push(wakeEntry{at: verdict.RestartAt, pid: p.id})
+		}
+		return
+	}
+	if verdict.Slow > 0 {
+		p.slowFactor = verdict.Slow
+	}
+	if p.slowFactor > 1 {
+		// Rate degradation: the action committed, but the next one is
+		// slowFactor rounds away instead of one. The stall is modelled as a
+		// sleep that mail cannot cut short (see deposit).
+		p.sleeping, p.stalled = true, true
+		p.wakeAt = e.now + int64(p.slowFactor)
+		e.runq.remove(p.id)
+		e.sleepers.push(wakeEntry{at: p.wakeAt, pid: p.id})
 	}
 }
 
 // crash marks a process crashed. For stepper-backed processes this is a pure
-// state flip; only the goroutine shim has anything to release.
+// state flip; only the goroutine shim has anything to release. When the
+// adversary can schedule restarts by round (Restarter), every Recoverable
+// process is checkpointed here — the round schedule is opaque, so any crash
+// might be revived later. Verdict.RestartAt checkpoints in commit instead.
 func (e *Engine) crash(p *Proc) {
 	p.status = StatusCrashed
 	e.setInactive(p)
@@ -520,6 +641,9 @@ func (e *Engine) crash(p *Proc) {
 	e.live--
 	e.runq.remove(p.id)
 	e.metrics.Crashes++
+	if e.restarter != nil {
+		p.snapshotState()
+	}
 	if p.shim != nil {
 		p.shim.kill()
 	}
@@ -578,6 +702,16 @@ func (e *Engine) nextRound() int64 {
 	if c := e.cfg.Adversary.NextScheduledCrash(e.now); c >= 0 && c < next {
 		next = c
 	}
+	// Pending revivals bound the jump too; stale restart entries cost one
+	// extra (cheap) visited round rather than an eager heap fixup.
+	if len(e.restartq) > 0 && e.restartq[0].at < next {
+		next = e.restartq[0].at
+	}
+	if e.restarter != nil {
+		if r := e.restarter.NextScheduledRestart(e.now); r >= 0 && r < next {
+			next = r
+		}
+	}
 	if next <= e.now {
 		next = e.now + 1
 	}
@@ -593,6 +727,7 @@ func (e *Engine) finalize() {
 		e.metrics.PerProc[i] = ProcStats{
 			Status: p.status, Work: p.workDone, Sent: p.msgsSent,
 			RetireRound: p.retireRound, Actions: p.actions,
+			Restarts: p.restarts,
 		}
 		if p.status != StatusRunning {
 			if p.retireRound > last {
@@ -655,5 +790,7 @@ func (e *Engine) scrub() {
 		p.stepper = nil
 		p.shim = nil
 		p.tap = nil
+		p.snap = nil
+		p.hasSnap = false
 	}
 }

@@ -69,6 +69,22 @@ func (p *Proc) Deliver(m Message) { p.inbox = append(p.inbox, m) }
 // hosts read it between steps when building trace events.
 func (p *Proc) Label() string { return p.label }
 
+// SnapshotState checkpoints the process body for crash recovery, reporting
+// whether the stepper is Recoverable. External hosts call it at crash time
+// when a restart may follow, exactly as the engine's crash path does; an
+// existing (unconsumed) checkpoint is kept rather than overwritten.
+func (p *Proc) SnapshotState() bool { return p.snapshotState() }
+
+// RestoreState rewinds the process body to the checkpoint taken by
+// SnapshotState, consuming it; false means no checkpoint was held. External
+// hosts call it when reviving a crashed process.
+func (p *Proc) RestoreState() bool { return p.restoreState() }
+
+// DropMail discards the undrained inbox, keeping the buffer for reuse.
+// External hosts call it when crashing a process, as the engine does, so a
+// later restart cannot observe pre-crash mail.
+func (p *Proc) DropMail() { p.inbox = p.inbox[:0] }
+
 // Release frees the script goroutine behind a shim-backed Proc; it is a
 // no-op for native steppers. External hosts must call it when retiring a
 // process (crash, halt or plane shutdown), as the Engine's crash/killAll

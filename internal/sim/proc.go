@@ -59,10 +59,51 @@ type Proc struct {
 	sendScratch []Send
 	pidScratch  []int
 
+	// Rate degradation (Verdict.Slow): slowFactor is the persistent factor
+	// (0/1 = full speed); stalled marks the process as serving its k-1
+	// post-action stall rounds, during which incoming mail must not wake it.
+	slowFactor int
+	stalled    bool
+	// Crash recovery: snap holds the checkpoint taken at crash time for a
+	// possible restart (Verdict.RestartAt / Restarter). Only Recoverable
+	// steppers can be checkpointed.
+	snap    any
+	hasSnap bool
+
 	retireRound int64
 	workDone    int64
 	msgsSent    int64
 	actions     int64
+	restarts    int64
+}
+
+// snapshotState checkpoints the process body for a possible restart,
+// reporting whether the stepper supports it (shim-backed scripts do not).
+// An existing checkpoint is left in place: the first crash wins until a
+// restart consumes it.
+func (p *Proc) snapshotState() bool {
+	if p.hasSnap {
+		return true
+	}
+	r, ok := p.stepper.(Recoverable)
+	if !ok {
+		return false
+	}
+	p.snap = r.Snapshot()
+	p.hasSnap = true
+	return true
+}
+
+// restoreState rewinds the process body to its crash checkpoint, consuming
+// it — a later crash of the restarted process takes a fresh checkpoint.
+func (p *Proc) restoreState() bool {
+	if !p.hasSnap {
+		return false
+	}
+	p.stepper.(Recoverable).Restore(p.snap)
+	p.snap = nil
+	p.hasSnap = false
+	return true
 }
 
 // rearm readies a (possibly recycled) Proc for a new run under the given
@@ -83,10 +124,15 @@ func (p *Proc) rearm(h Host, id int, st Stepper) {
 	p.tap = nil
 	p.inbox = p.inbox[:0]
 	p.inboxSpare = p.inboxSpare[:0]
+	p.slowFactor = 0
+	p.stalled = false
+	p.snap = nil
+	p.hasSnap = false
 	p.retireRound = 0
 	p.workDone = 0
 	p.msgsSent = 0
 	p.actions = 0
+	p.restarts = 0
 }
 
 // ID returns the process identifier (0-based).

@@ -64,6 +64,91 @@ type shimHolder interface{ scriptShim() *goShim }
 
 func (sh *goShim) scriptShim() *goShim { return sh }
 
+// Recoverable marks a stepper whose entire state can be checkpointed and
+// rewound, which is what makes crash-recovery faults (Verdict.RestartAt,
+// Restarter) possible: the plane calls Snapshot at crash time and Restore
+// when the scheduled restart round arrives, before the process steps again.
+// Restore must leave the stepper exactly as it was when Snapshot was taken,
+// and the snapshot must be insulated from later mutation of the live stepper
+// (deep-copy any mutable state). Script-backed steppers are never
+// Recoverable — a goroutine stack cannot be checkpointed — so script
+// processes ignore restart requests and stay crashed.
+type Recoverable interface {
+	Stepper
+	// Snapshot returns an opaque checkpoint of the stepper's state.
+	Snapshot() any
+	// Restore rewinds the stepper to a value returned by Snapshot.
+	Restore(snap any)
+}
+
+// Slowed wraps a stepper so every productive step is followed by k-1 idle
+// actions: the statically-assigned rate-degradation model (the
+// quarter-efficiency idiom is k = 4), as opposed to the adversary-driven
+// Verdict.Slow which stalls the process between actions from the outside.
+// A Slowed process still occupies its rounds — each pad action passes
+// through the adversary like any other committed action — so its per-proc
+// Actions count grows k-fold while its protocol progress drops k-fold.
+// k <= 1 returns the stepper unchanged. Script-backed steppers may be
+// wrapped (the shim is forwarded); a Recoverable stepper stays recoverable,
+// with the pad counter checkpointed alongside the inner state.
+func Slowed(st Stepper, k int) Stepper {
+	if k <= 1 {
+		return st
+	}
+	s := &slowed{inner: st, k: k}
+	if sh, ok := st.(shimHolder); ok {
+		return &slowedShim{slowed: s, shim: sh.scriptShim()}
+	}
+	if _, ok := st.(Recoverable); ok {
+		return slowedRec{s}
+	}
+	return s
+}
+
+type slowed struct {
+	inner Stepper
+	k     int
+	pad   int // idle actions still owed before the next productive step
+}
+
+func (s *slowed) Step(p *Proc) Yield {
+	if s.pad > 0 {
+		s.pad--
+		return Yield{Kind: YieldAction}
+	}
+	y := s.inner.Step(p)
+	if y.Kind == YieldAction {
+		s.pad = s.k - 1
+	}
+	return y
+}
+
+type slowedShim struct {
+	*slowed
+	shim *goShim
+}
+
+func (s *slowedShim) scriptShim() *goShim { return s.shim }
+
+// slowedSnap checkpoints a slowed Recoverable stepper: inner state plus the
+// owed pad count, so a restart resumes mid-degradation cycle exactly.
+type slowedSnap struct {
+	inner any
+	pad   int
+}
+
+type slowedRec struct{ *slowed }
+
+func (s slowedRec) Snapshot() any {
+	return slowedSnap{inner: s.inner.(Recoverable).Snapshot(), pad: s.pad}
+}
+
+func (s slowedRec) Restore(snap any) {
+	sn := snap.(slowedSnap)
+	s.inner.(Recoverable).Restore(sn.inner)
+	s.pad = sn.pad
+}
+
 // FlattenBroadcasts wraps a stepper so every broadcast-valued action it
 // yields is expanded into the equivalent per-send action before reaching the
 // engine. The flat plane is the reference semantics of the broadcast record

@@ -96,6 +96,19 @@ func New(ix *Index, owner, t int) *View {
 	return v
 }
 
+// Clone returns an independent deep copy of the view; only the immutable
+// Index is shared. Crash-recovery checkpoints of Protocol C machines rely on
+// the clone being insulated from every later mutation of the original.
+func (v *View) Clone() *View {
+	return &View{
+		ix:          v.ix,
+		faulty:      append([]bool(nil), v.faulty...),
+		faultyCount: v.faultyCount,
+		point:       append([]int(nil), v.point...),
+		round:       append([]int64(nil), v.round...),
+	}
+}
+
 // Snapshot is an immutable copy of a view, carried inside ordinary messages.
 type Snapshot struct {
 	Faulty []bool

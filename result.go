@@ -22,6 +22,13 @@ type Result struct {
 	// counts injected failures.
 	Survivors int
 	Crashes   int
+	// Restarts counts crash-recovery revivals; Dropped counts messages lost
+	// in transit (sent, and so paid for, but never delivered); Omitted
+	// counts sends suppressed at the source by omission faults (never sent,
+	// not in Messages).
+	Restarts int64
+	Dropped  int64
+	Omitted  int64
 	// Events counts simulated script steps; Rounds/Events measures how much
 	// quiet time the engine fast-forwarded over.
 	Events int64
@@ -53,6 +60,9 @@ func newResult(res sim.Result) Result {
 		Complete:       res.Complete(),
 		Survivors:      res.Survivors,
 		Crashes:        res.Crashes,
+		Restarts:       res.Restarts,
+		Dropped:        res.Dropped,
+		Omitted:        res.Omitted,
 		Events:         res.Events,
 		Workers:        make([]WorkerStats, len(res.PerProc)),
 	}
