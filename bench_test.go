@@ -174,18 +174,27 @@ func BenchmarkExploreSmall(b *testing.B) {
 	b.Fatal("unknown explore case")
 }
 
-// BenchmarkLiveProtocolB measures the live concurrent execution plane on
-// the EngineProtocolB workload: the delta against that case is the round
-// barrier's cost per run. Shared with cmd/bench via internal/benchmarks.
-func BenchmarkLiveProtocolB(b *testing.B) {
+// Live plane micro-benchmarks: the same workloads as their Engine* twins,
+// run over real goroutines and the channel transport. The delta against the
+// matching Engine* case is the barrier's cost per run. Shared with cmd/bench
+// via internal/benchmarks.
+
+func benchLiveCase(b *testing.B, name string) {
+	b.Helper()
 	for _, c := range benchmarks.LiveCases() {
-		if c.Name == "LiveProtocolB" {
+		if c.Name == name {
 			benchmarks.RunLive(b, c)
 			return
 		}
 	}
-	b.Fatal("unknown live case")
+	b.Fatalf("unknown live case %q", name)
 }
+
+func BenchmarkLiveProtocolB(b *testing.B) { benchLiveCase(b, "LiveProtocolB") }
+
+func BenchmarkLiveProtocolD(b *testing.B) { benchLiveCase(b, "LiveProtocolD") }
+
+func BenchmarkLiveFaultStorm(b *testing.B) { benchLiveCase(b, "LiveFaultStorm") }
 
 func BenchmarkAgreementViaB(b *testing.B) {
 	b.ReportAllocs()

@@ -1,20 +1,34 @@
 // Command bench measures the Engine*, Sweep*, Explore* and Live* simulator
-// benchmarks and records the perf trajectory in a JSON baseline
-// (BENCH_engine.json): ns/op, allocs/op, bytes/op and events/run per
-// benchmark.
+// benchmarks and records the perf trajectory: the latest baseline in
+// BENCH_engine.json (ns/op, allocs/op, bytes/op and events/run per
+// benchmark) and the per-PR history in BENCH_history.json, from which the
+// README's trajectory table is regenerated.
 //
 // Usage:
 //
 //	go run ./cmd/bench -out BENCH_engine.json             # (re)write baseline
 //	go run ./cmd/bench -diff BENCH_engine.json            # measure + compare
 //	go run ./cmd/bench -diff BENCH_engine.json -strict    # exit 1 on regression
+//	go run ./cmd/bench -out BENCH_engine.json \
+//	    -history BENCH_history.json -label PR7 \
+//	    -readme README.md                                 # baseline + trajectory + README table
 //
 // With -diff, regressions beyond -threshold (default 1.25 = +25%) on any of
 // ns/op, allocs/op and bytes/op are printed as warnings (GitHub annotation
 // format under CI) without changing the exit status: micro-benchmark noise
-// across machines should not break builds, only leave a trail. With
-// -strict, regressions are printed as errors and the command exits 1 — CI
-// flips this per branch, warning on pull requests and failing on main.
+// across machines should not break builds, only leave a trail. Improvements
+// beyond the same margin are reported distinctly, as a cue to refresh the
+// committed baseline. The live/engine ns-per-op ratios are compared too —
+// ratios cancel machine speed, so the gap check is meaningful on any
+// machine — and a gap more than -gapslack (default 1.15 = +15%) above the
+// recorded one counts as a regression. With -strict, regressions are printed
+// as errors and the command exits 1 — CI flips this per branch, warning on
+// pull requests and failing on main.
+//
+// With -history, the measurements are appended to the named trajectory file
+// under -label (replacing an existing entry with the same label); with
+// -readme, the perf table between the bench-trajectory markers in the named
+// file is regenerated from the trajectory.
 package main
 
 import (
@@ -28,51 +42,104 @@ import (
 func main() {
 	out := flag.String("out", "", "write measured records to this JSON file")
 	diff := flag.String("diff", "", "compare measurements against this baseline JSON")
-	threshold := flag.Float64("threshold", 1.25, "warn when ns/op exceeds baseline×threshold")
+	threshold := flag.Float64("threshold", 1.25, "warn when a metric exceeds baseline×threshold")
+	gapSlack := flag.Float64("gapslack", 1.15, "warn when a live/engine ns ratio exceeds baseline×gapslack")
 	strict := flag.Bool("strict", false, "exit 1 when -diff finds regressions (CI uses this on main)")
+	history := flag.String("history", "", "append measurements to this trajectory JSON file")
+	label := flag.String("label", "", "trajectory label for -history (e.g. PR7)")
+	readme := flag.String("readme", "", "regenerate the perf table between the bench-trajectory markers in this file")
 	flag.Parse()
-	if *out == "" && *diff == "" {
-		fmt.Fprintln(os.Stderr, "bench: need -out and/or -diff")
+	if *out == "" && *diff == "" && *history == "" && *readme == "" {
+		fmt.Fprintln(os.Stderr, "bench: need -out, -diff, -history or -readme")
+		os.Exit(2)
+	}
+	if (*history != "") != (*label != "") {
+		fmt.Fprintln(os.Stderr, "bench: -history and -label go together")
 		os.Exit(2)
 	}
 
-	recs := benchmarks.Measure()
-	for _, r := range recs {
-		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op %8.0f events/run",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.EventsPerRun)
-		if r.SchedulesPerSec > 0 {
-			fmt.Printf(" %10.0f schedules/sec", r.SchedulesPerSec)
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	var recs []benchmarks.Record
+	if *out != "" || *diff != "" || *history != "" {
+		recs = benchmarks.Measure()
+		for _, r := range recs {
+			fmt.Printf("%-28s %12.0f ns/op %8d allocs/op %10d B/op %8.0f events/run",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.EventsPerRun)
+			if r.SchedulesPerSec > 0 {
+				fmt.Printf(" %10.0f schedules/sec", r.SchedulesPerSec)
+			}
+			fmt.Println()
 		}
-		fmt.Println()
+		for _, g := range benchmarks.Gaps(recs) {
+			fmt.Printf("%-28s %.2fx %s\n", g.Live+"/"+g.Engine, g.Ratio, g.Engine)
+		}
 	}
 
 	if *out != "" {
 		if err := benchmarks.WriteJSON(*out, recs); err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *history != "" {
+		entries, err := benchmarks.ReadHistory(*history)
+		if err != nil {
+			fail(err)
+		}
+		entries = benchmarks.AppendHistory(entries, *label, recs)
+		if err := benchmarks.WriteHistory(*history, entries); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %s in %s\n", *label, *history)
+	}
+
+	if *readme != "" {
+		path := *history
+		if path == "" {
+			path = "BENCH_history.json"
+		}
+		entries, err := benchmarks.ReadHistory(path)
+		if err != nil {
+			fail(err)
+		}
+		if len(entries) == 0 {
+			fail(fmt.Errorf("%s: empty trajectory, nothing to render", path))
+		}
+		if err := benchmarks.UpdateReadme(*readme, entries); err != nil {
+			fail(err)
+		}
+		fmt.Printf("regenerated trajectory table in %s\n", *readme)
 	}
 
 	if *diff != "" {
 		base, err := benchmarks.ReadJSON(*diff)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
-			os.Exit(1)
+			fail(err)
 		}
 		regs := benchmarks.Compare(base, recs, *threshold)
+		regs = append(regs, benchmarks.CompareGaps(base, recs, *gapSlack)...)
+		imps := benchmarks.Improvements(base, recs, *threshold)
+		// ::warning:: / ::error:: / ::notice:: render as annotations in GitHub
+		// Actions and as plain lines everywhere else.
+		for _, imp := range imps {
+			fmt.Printf("::notice title=bench improvement::%s is %.2fx baseline %s (%.0f -> %.0f); consider refreshing %s\n",
+				imp.Name, imp.Ratio, imp.Metric, imp.Base, imp.Current, *diff)
+		}
 		if len(regs) == 0 {
-			fmt.Printf("no ns/allocs/bytes regressions beyond %.0f%% vs %s\n", (*threshold-1)*100, *diff)
+			fmt.Printf("no ns/allocs/bytes/gap regressions beyond %.0f%% vs %s\n", (*threshold-1)*100, *diff)
 			return
 		}
-		// ::warning:: / ::error:: render as annotations in GitHub Actions and
-		// as plain lines everywhere else.
 		level := "warning"
 		if *strict {
 			level = "error"
 		}
 		for _, reg := range regs {
-			fmt.Printf("::%s title=bench regression::%s is %.2fx baseline %s (%.0f -> %.0f)\n",
+			fmt.Printf("::%s title=bench regression::%s is %.2fx baseline %s (%.2f -> %.2f)\n",
 				level, reg.Name, reg.Ratio, reg.Metric, reg.Base, reg.Current)
 		}
 		if *strict {

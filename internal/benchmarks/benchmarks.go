@@ -227,6 +227,37 @@ func LiveCases() []LiveCase {
 			},
 			Adversary: func() sim.Adversary { return adversary.NewCascade(16, 15) },
 		},
+		{
+			// The live twin of EngineProtocolD: agreement broadcasts under
+			// random crashes, all 16 goroutines working concurrently.
+			Name: "LiveProtocolD", N: 256, T: 16,
+			NewSteppers: func() (func(int) sim.Stepper, error) {
+				return core.ProtocolDSteppers(core.DConfig{N: 256, T: 16})
+			},
+			Adversary: func() sim.Adversary { return adversary.NewRandom(0.01, 15, 9) },
+		},
+		{
+			// The live twin of EngineFaultStorm: the full fault alphabet —
+			// kept-work action crash, crash-then-restart (recovery on real
+			// goroutines), seeded loss and a slowdown — in one Protocol B run.
+			// No MaxActive invariant: the slowed worker legitimately overlaps
+			// its successor.
+			Name: "LiveFaultStorm", N: 256, T: 16,
+			NewSteppers: func() (func(int) sim.Stepper, error) {
+				return core.SteppersFor(core.ProtocolBProcs(core.ABConfig{N: 256, T: 16}))
+			},
+			Adversary: func() sim.Adversary {
+				return adversary.NewChain(
+					adversary.NewSchedule(
+						adversary.Crash{PID: 3, AtAction: 9, KeepWork: true},
+						adversary.Crash{PID: 0, Round: 40, RestartAt: 80},
+						adversary.Crash{PID: 5, Round: 120},
+					),
+					adversary.NewLoss(0.05, 16, 11),
+					&adversary.Slowdown{PID: 1, Round: 30, Factor: 3},
+				)
+			},
+		},
 	}
 }
 

@@ -1,0 +1,240 @@
+package benchmarks
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"encoding/json"
+)
+
+// HistoryEntry is one PR's worth of measurements in BENCH_history.json: the
+// per-PR perf trajectory, append-only where BENCH_engine.json keeps only the
+// latest baseline. Early entries carry only the benchmarks that existed at
+// the time.
+type HistoryEntry struct {
+	Label   string   `json:"label"`
+	Records []Record `json:"records"`
+}
+
+// ReadHistory loads a trajectory written by WriteHistory. A missing file is
+// an empty trajectory, not an error: the first -history run creates it.
+func ReadHistory(path string) ([]HistoryEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []HistoryEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteHistory persists the trajectory deterministically (indented, trailing
+// newline), like WriteJSON does for the baseline.
+func WriteHistory(path string, entries []HistoryEntry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AppendHistory adds one PR's records under label, replacing an existing
+// entry with the same label (re-running a PR's measurement refreshes its
+// point on the trajectory instead of duplicating it).
+func AppendHistory(entries []HistoryEntry, label string, recs []Record) []HistoryEntry {
+	for i := range entries {
+		if entries[i].Label == label {
+			entries[i].Records = recs
+			return entries
+		}
+	}
+	return append(entries, HistoryEntry{Label: label, Records: recs})
+}
+
+// fmtCell renders one measurement as "time / allocs" with time auto-scaled;
+// records without an alloc count (early history) render the time alone.
+func fmtCell(r Record) string {
+	var t string
+	switch ns := r.NsPerOp; {
+	case ns >= 1e6:
+		t = fmt.Sprintf("%.2g ms", ns/1e6)
+	case ns >= 1e3:
+		t = fmt.Sprintf("%.0f µs", ns/1e3)
+	default:
+		t = fmt.Sprintf("%.0f ns", ns)
+	}
+	if r.AllocsPerOp <= 0 {
+		return t
+	}
+	return fmt.Sprintf("%s / %d allocs", t, r.AllocsPerOp)
+}
+
+// RenderTrajectory renders the history as the README's markdown perf table:
+// one row per benchmark, one column per PR label, "—" where a benchmark did
+// not exist yet. Row order is alphabetical (stable across regenerations).
+func RenderTrajectory(entries []HistoryEntry) string {
+	names := map[string]bool{}
+	for _, e := range entries {
+		for _, r := range e.Records {
+			names[r.Name] = true
+		}
+	}
+	rows := make([]string, 0, len(names))
+	for n := range names {
+		rows = append(rows, n)
+	}
+	sort.Strings(rows)
+
+	var b strings.Builder
+	b.WriteString("| benchmark |")
+	for _, e := range entries {
+		fmt.Fprintf(&b, " %s |", e.Label)
+	}
+	b.WriteString("\n|---|")
+	for range entries {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, name := range rows {
+		fmt.Fprintf(&b, "| %s |", name)
+		for _, e := range entries {
+			cell := "—"
+			for _, r := range e.Records {
+				if r.Name == name {
+					cell = fmtCell(r)
+					break
+				}
+			}
+			fmt.Fprintf(&b, " %s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Trajectory markers delimit the regenerated README table; everything
+// between them is owned by `go run ./cmd/bench -readme`.
+const (
+	trajectoryBegin = "<!-- bench-trajectory:begin -->"
+	trajectoryEnd   = "<!-- bench-trajectory:end -->"
+)
+
+// UpdateReadme regenerates the perf table between the trajectory markers in
+// the file at path from the given history.
+func UpdateReadme(path string, entries []HistoryEntry) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s := string(data)
+	lo := strings.Index(s, trajectoryBegin)
+	hi := strings.Index(s, trajectoryEnd)
+	if lo < 0 || hi < 0 || hi < lo {
+		return fmt.Errorf("%s: missing %s/%s markers", path, trajectoryBegin, trajectoryEnd)
+	}
+	out := s[:lo+len(trajectoryBegin)] + "\n" + RenderTrajectory(entries) + s[hi:]
+	return os.WriteFile(path, []byte(out), 0o644)
+}
+
+// gapPairs ties each live benchmark to its engine twin: the ns/op ratio
+// between the two is the concurrency plane's overhead factor, the number the
+// live-plane perf work drives down.
+var gapPairs = [][2]string{
+	{"LiveProtocolB", "EngineProtocolB"},
+	{"LiveProtocolD", "EngineProtocolD"},
+	{"LiveFaultStorm", "EngineFaultStorm"},
+}
+
+// Gap is one live/engine ns-per-op ratio.
+type Gap struct {
+	Live, Engine string
+	Ratio        float64 // live ns/op ÷ engine ns/op
+}
+
+// Gaps computes the live/engine ratios present in recs.
+func Gaps(recs []Record) []Gap {
+	byName := make(map[string]Record, len(recs))
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	var out []Gap
+	for _, p := range gapPairs {
+		l, okL := byName[p[0]]
+		e, okE := byName[p[1]]
+		if !okL || !okE || e.NsPerOp <= 0 {
+			continue
+		}
+		out = append(out, Gap{Live: p[0], Engine: p[1], Ratio: l.NsPerOp / e.NsPerOp})
+	}
+	return out
+}
+
+// CompareGaps reports live/engine ratio regressions beyond slack (e.g. 1.15
+// fails a gap >15% above the recorded one). Comparing ratios instead of raw
+// ns/op cancels machine speed out of the check: a uniformly slower CI
+// machine moves both sides of each ratio, not the gap.
+func CompareGaps(baseline, current []Record, slack float64) []Regression {
+	base := map[string]float64{}
+	for _, g := range Gaps(baseline) {
+		base[g.Live] = g.Ratio
+	}
+	var regs []Regression
+	for _, g := range Gaps(current) {
+		b, ok := base[g.Live]
+		if !ok || b <= 0 {
+			continue
+		}
+		if g.Ratio > b*slack {
+			regs = append(regs, Regression{
+				Name: g.Live + "/" + g.Engine, Metric: "live_gap",
+				Base: b, Current: g.Ratio, Ratio: g.Ratio / b,
+			})
+		}
+	}
+	return regs
+}
+
+// Improvements is Compare's mirror image: metrics that got better beyond the
+// threshold margin (current < baseline ÷ threshold). cmd/bench reports them
+// distinctly from regressions — an improvement is a cue to refresh the
+// committed baseline, not a warning.
+func Improvements(baseline, current []Record, threshold float64) []Regression {
+	base := make(map[string]Record, len(baseline))
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var imps []Regression
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		for _, m := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"ns_per_op", b.NsPerOp, cur.NsPerOp},
+			{"allocs_per_op", float64(b.AllocsPerOp), float64(cur.AllocsPerOp)},
+			{"bytes_per_op", float64(b.BytesPerOp), float64(cur.BytesPerOp)},
+		} {
+			if m.base <= 0 || m.cur <= 0 {
+				continue
+			}
+			ratio := m.cur / m.base
+			if ratio < 1/threshold {
+				imps = append(imps, Regression{
+					Name: cur.Name, Metric: m.name,
+					Base: m.base, Current: m.cur, Ratio: ratio,
+				})
+			}
+		}
+	}
+	return imps
+}

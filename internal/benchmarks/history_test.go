@@ -1,0 +1,132 @@
+package benchmarks
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func rec(name string, ns float64, allocs, bytes int64) Record {
+	return Record{Name: name, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	entries, err := ReadHistory(path)
+	if err != nil || entries != nil {
+		t.Fatalf("missing file: got %v, %v; want empty, nil", entries, err)
+	}
+	entries = AppendHistory(entries, "seed", []Record{rec("EngineProtocolB", 486000, 334, 0)})
+	entries = AppendHistory(entries, "PR7", []Record{rec("EngineProtocolB", 77000, 49, 8200)})
+	if err := WriteHistory(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0].Label != "seed" || back[1].Label != "PR7" {
+		t.Fatalf("round trip lost entries: %+v", back)
+	}
+	// Re-recording a label replaces its entry instead of duplicating it.
+	back = AppendHistory(back, "PR7", []Record{rec("EngineProtocolB", 70000, 49, 8000)})
+	if len(back) != 2 || back[1].Records[0].NsPerOp != 70000 {
+		t.Fatalf("relabel did not replace: %+v", back)
+	}
+}
+
+func TestRenderTrajectory(t *testing.T) {
+	entries := []HistoryEntry{
+		{Label: "seed", Records: []Record{rec("EngineProtocolB", 486000, 334, 0)}},
+		{Label: "PR7", Records: []Record{
+			rec("EngineProtocolB", 77000, 49, 8200),
+			rec("LiveProtocolB", 238000, 62, 7996),
+		}},
+	}
+	table := RenderTrajectory(entries)
+	for _, want := range []string{
+		"| benchmark | seed | PR7 |",
+		"| EngineProtocolB | 486 µs / 334 allocs | 77 µs / 49 allocs |",
+		"| LiveProtocolB | — | 238 µs / 62 allocs |", // absent from seed
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestUpdateReadme(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "README.md")
+	body := "intro\n" + trajectoryBegin + "\nstale table\n" + trajectoryEnd + "\noutro\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries := []HistoryEntry{{Label: "PR7", Records: []Record{rec("EngineProtocolB", 77000, 49, 0)}}}
+	if err := UpdateReadme(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	if strings.Contains(s, "stale table") {
+		t.Fatal("stale table survived regeneration")
+	}
+	for _, want := range []string{"intro\n", "outro\n", "77 µs / 49 allocs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("regenerated README missing %q:\n%s", want, s)
+		}
+	}
+	// Second regeneration is idempotent.
+	if err := UpdateReadme(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := os.ReadFile(path)
+	if string(again) != s {
+		t.Fatal("regeneration not idempotent")
+	}
+	if err := UpdateReadme(filepath.Join(t.TempDir(), "nomarkers.md"), entries); err == nil {
+		t.Fatal("want error on missing file")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	recs := []Record{
+		rec("EngineProtocolB", 100, 0, 0),
+		rec("LiveProtocolB", 300, 0, 0),
+		rec("EngineProtocolD", 200, 0, 0),
+		// LiveProtocolD absent: pair skipped, not zero.
+	}
+	gaps := Gaps(recs)
+	if len(gaps) != 1 || gaps[0].Live != "LiveProtocolB" || gaps[0].Ratio != 3 {
+		t.Fatalf("gaps = %+v", gaps)
+	}
+
+	base := []Record{rec("EngineProtocolB", 100, 0, 0), rec("LiveProtocolB", 300, 0, 0)}
+	// Machine twice as slow but same ratio: no regression.
+	scaled := []Record{rec("EngineProtocolB", 200, 0, 0), rec("LiveProtocolB", 600, 0, 0)}
+	if regs := CompareGaps(base, scaled, 1.15); len(regs) != 0 {
+		t.Fatalf("uniform slowdown flagged: %+v", regs)
+	}
+	// Gap widened 3x -> 4x: regression beyond 15%.
+	wide := []Record{rec("EngineProtocolB", 100, 0, 0), rec("LiveProtocolB", 400, 0, 0)}
+	regs := CompareGaps(base, wide, 1.15)
+	if len(regs) != 1 || regs[0].Metric != "live_gap" || regs[0].Base != 3 || regs[0].Current != 4 {
+		t.Fatalf("widened gap: %+v", regs)
+	}
+}
+
+func TestImprovementsDistinctFromRegressions(t *testing.T) {
+	base := []Record{rec("EngineProtocolB", 100, 100, 1000)}
+	cur := []Record{rec("EngineProtocolB", 50, 100, 2000)} // ns halved, bytes doubled
+	imps := Improvements(base, cur, 1.25)
+	if len(imps) != 1 || imps[0].Metric != "ns_per_op" || imps[0].Ratio != 0.5 {
+		t.Fatalf("improvements = %+v", imps)
+	}
+	regs := Compare(base, cur, 1.25)
+	if len(regs) != 1 || regs[0].Metric != "bytes_per_op" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+}

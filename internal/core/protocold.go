@@ -191,9 +191,11 @@ func (st *dState) agree(p *sim.Proc, j, phase int, s, t *bitset.Set, grace bool,
 // bcast sends the current view to every other member of u as one broadcast
 // record (one round; an empty recipient list still consumes the round to
 // keep processes aligned). The view's word slices are copy-on-write shared
-// snapshots of the sender's sets.
+// snapshots of the sender's sets; the payload is a pointer, like the
+// stepper substrate's arena-backed views, so the two substrates' messages
+// interoperate in mixed runs.
 func (st *dState) bcast(p *sim.Proc, j, phase int, u, s, t *bitset.Set, done bool) {
-	v := DView{Phase: phase, S: s.Shared(), T: t.Shared(), Done: done}
+	v := &DView{Phase: phase, S: s.Shared(), T: t.Shared(), Done: done}
 	p.StepBroadcast(u.Members(), v)
 }
 
@@ -223,15 +225,15 @@ func (st *dState) collect(p *sim.Proc, phase int, buf map[int][]taggedView) []ta
 	delete(buf, phase)
 	msgs := p.WaitUntil(p.Now())
 	for _, m := range msgs {
-		v, ok := m.Payload.(DView)
+		v, ok := m.Payload.(*DView)
 		if !ok {
 			continue
 		}
 		switch {
 		case v.Phase == phase:
-			views = append(views, taggedView{DView: v, sender: m.From})
+			views = append(views, taggedView{DView: *v, sender: m.From})
 		case v.Phase > phase:
-			buf[v.Phase] = append(buf[v.Phase], taggedView{DView: v, sender: m.From})
+			buf[v.Phase] = append(buf[v.Phase], taggedView{DView: *v, sender: m.From})
 		}
 	}
 	return views

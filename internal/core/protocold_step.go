@@ -14,9 +14,10 @@ import (
 // revert factor's share of a phase's processes die.
 //
 // The machine is allocation-frugal on the hot path: the view sets it
-// broadcasts are copy-on-write shared snapshots (bitset.Shared /
-// AdoptShared), member lists and received views land in reusable scratch
-// buffers, and every broadcast is one engine record via the broadcast plane.
+// broadcasts are frozen arena snapshots (see viewArena) so the live sets
+// are never pushed into copy-on-write mode, member lists and received views
+// land in scratch buffers preallocated to their maximum size, and every
+// broadcast is one engine record via the broadcast plane.
 type dMachine struct {
 	st    *dState
 	j     int
@@ -42,6 +43,10 @@ type dMachine struct {
 	heard                []bool
 	views                []taggedView
 	rcpts                []int
+
+	// arena backs the published view payloads; shared by reference with
+	// crash-recovery clones (append-only, so that sharing is safe).
+	arena *viewArena
 
 	rev *aMachine
 }
@@ -74,6 +79,13 @@ func newDMachine(st *dState, j int) *dMachine {
 		sCur:  bitset.New(st.cfg.N+1, false),
 		heard: make([]bool, st.cfg.T),
 		buf:   make(map[int][]taggedView),
+		// Scratch at maximum size up front: append growth on these is pure
+		// alloc churn (units holds at most every unit, rcpts and views at
+		// most every peer).
+		units: make([]int, 0, st.cfg.N+1),
+		rcpts: make([]int, 0, st.cfg.T),
+		views: make([]taggedView, 0, st.cfg.T),
+		arena: &viewArena{},
 		state: dPhaseTop,
 	}
 }
@@ -203,10 +215,12 @@ func (m *dMachine) step(p *sim.Proc) (sim.Yield, bool) {
 
 // bcastYield sends the current view to every other member of u as one
 // broadcast record (one round; an empty recipient list still consumes the
-// round to keep processes aligned). The view's word slices are shared
-// copy-on-write snapshots — every recipient reads the same frozen words.
+// round to keep processes aligned). The view's word slices are frozen
+// arena snapshots — every recipient reads the same immutable words, and
+// the sender's live sets stay privately mutable.
 func (m *dMachine) bcastYield(p *sim.Proc, done bool) sim.Yield {
-	v := DView{Phase: m.phase, S: m.sCur.Shared(), T: m.tNew.Shared(), Done: done}
+	v := m.arena.view()
+	*v = DView{Phase: m.phase, S: m.arena.snap(m.sCur.Words()), T: m.arena.snap(m.tNew.Words()), Done: done}
 	m.rcpts = m.u.AppendMembers(m.rcpts[:0])
 	return broadcastYield(p, m.rcpts, v)
 }
@@ -221,15 +235,15 @@ func (m *dMachine) collect(p *sim.Proc) []taggedView {
 		delete(m.buf, m.phase)
 	}
 	for _, msg := range p.Drain() {
-		v, ok := msg.Payload.(DView)
+		v, ok := msg.Payload.(*DView)
 		if !ok {
 			continue
 		}
 		switch {
 		case v.Phase == m.phase:
-			views = append(views, taggedView{DView: v, sender: msg.From})
+			views = append(views, taggedView{DView: *v, sender: msg.From})
 		case v.Phase > m.phase:
-			m.buf[v.Phase] = append(m.buf[v.Phase], taggedView{DView: v, sender: msg.From})
+			m.buf[v.Phase] = append(m.buf[v.Phase], taggedView{DView: *v, sender: msg.From})
 		}
 	}
 	m.views = views

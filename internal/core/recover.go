@@ -13,8 +13,10 @@ package core
 //     are deep-copied (the view's Index stays shared).
 //   - dMachine owns six mutable bitsets, a future-phase view buffer and an
 //     optional embedded revert aMachine; clone copies them all. The DView
-//     payloads inside buffered taggedViews carry copy-on-write frozen word
-//     slices and stay shared.
+//     payloads inside buffered taggedViews carry frozen word slices (arena
+//     snapshots) and stay shared, as does the publish arena itself — it is
+//     append-only, so clone and original bumping it concurrently can never
+//     overwrite each other's published views.
 //
 // Scripts are never Recoverable (a goroutine stack cannot be checkpointed),
 // so script-substrate runs ignore restart schedules and stay crashed —

@@ -1,0 +1,50 @@
+package core
+
+// viewArena bump-allocates the frozen word snapshots and DView boxes a
+// Protocol D machine publishes in its agreement broadcasts. Under the
+// broadcast record plane one DView payload serves every recipient, but the
+// payload still needs frozen copies of the sender's S and T words — the
+// sender keeps mutating its live sets next round. Before the arena those
+// copies came from bitset's copy-on-write Shared() snapshots, which made
+// every publishing round pay a fresh words allocation on the *sender's*
+// sets (the next mutation always copied); the arena inverts the cost by
+// copying the words out into a slab at publish time, so the live sets are
+// never marked shared and mutate in place.
+//
+// Discipline: slabs are append-only and never reset or reused — when one
+// fills, it is abandoned to its published holders and a fresh slab starts.
+// Published entries are therefore immutable for the machine's lifetime,
+// which is what lets recipients AdoptShared the words without copying, and
+// what makes sharing one arena across crash-recovery snapshots safe (the
+// clone and the original may both keep bumping; neither can overwrite what
+// the other published).
+type viewArena struct {
+	words []uint64
+	views []DView
+}
+
+// snap copies src into the words slab and returns the frozen copy, capacity
+// -clamped so append on the caller's side can never bleed into later
+// entries.
+func (a *viewArena) snap(src []uint64) []uint64 {
+	n := len(src)
+	if cap(a.words)-len(a.words) < n {
+		a.words = make([]uint64, 0, max(512, n))
+	}
+	off := len(a.words)
+	a.words = a.words[:off+n]
+	dst := a.words[off : off+n : off+n]
+	copy(dst, src)
+	return dst
+}
+
+// view returns a fresh DView box from the views slab. The caller fills it
+// before publishing; entries already handed out stay valid because a full
+// slab is abandoned, never grown in place.
+func (a *viewArena) view() *DView {
+	if len(a.views) == cap(a.views) {
+		a.views = make([]DView, 0, 64)
+	}
+	a.views = a.views[:len(a.views)+1]
+	return &a.views[len(a.views)-1]
+}

@@ -292,6 +292,7 @@ func F6AsyncProtocolA() Table {
 			B(net.Sent(), int64(9*c.t*4)),
 			{Value: fmt.Sprint(complete), OK: &ok},
 		})
+		net.Recycle()
 	}
 	t.Notes = append(t.Notes,
 		"asynchronous runs are schedule-dependent; bounds hold for every schedule, exact values vary",

@@ -38,9 +38,26 @@ type Network struct {
 	closed   bool
 }
 
+// netPool recycles Network carcasses — the inbox channels and per-sender
+// waitgroup slice are the expensive parts of a network build, and experiment
+// sweeps construct one network per run. Reset discipline mirrors
+// core.runPooled: NewNetwork takes a carcass only when the shape matches,
+// reseeds the delay RNG and zeroes the counters; Recycle closes, drains every
+// inbox (so stale messages never leak into the next run) and parks the
+// carcass.
+var netPool sync.Pool
+
 // NewNetwork builds a network for t processes. maxDelay bounds the random
-// per-message delivery delay; seed makes delay choices reproducible.
+// per-message delivery delay; seed makes delay choices reproducible. Carcasses
+// parked by Recycle are reused when their process count matches.
 func NewNetwork(t int, maxDelay time.Duration, seed int64) *Network {
+	if c, ok := netPool.Get().(*Network); ok && len(c.inboxes) == t {
+		c.rng.Seed(seed)
+		c.maxDelay = maxDelay
+		c.sent = 0
+		c.closed = false
+		return c
+	}
 	n := &Network{
 		rng:      rand.New(rand.NewSource(seed)),
 		inboxes:  make([]chan NetMessage, t),
@@ -53,6 +70,49 @@ func NewNetwork(t int, maxDelay time.Duration, seed int64) *Network {
 		n.inboxes[i] = make(chan NetMessage, 4*t+16)
 	}
 	return n
+}
+
+// delivery is a pooled envelope for a delayed message: the timer callback is
+// created once per envelope (fn is a bound method value), so a steady stream
+// of delayed sends allocates neither closures nor envelopes.
+type delivery struct {
+	n   *Network
+	msg NetMessage
+	fn  func()
+}
+
+var deliveryPool sync.Pool
+
+func init() { // assigned here: the New hook and delivery.run refer to each other
+	deliveryPool.New = func() any {
+		d := &delivery{}
+		d.fn = d.run
+		return d
+	}
+}
+
+// run fires when the delay elapses: deliver, scrub the payload reference so
+// the pooled envelope pins nothing, and park the envelope.
+func (d *delivery) run() {
+	n, msg := d.n, d.msg
+	d.n = nil
+	d.msg = NetMessage{}
+	deliveryPool.Put(d)
+	n.deliver(msg)
+}
+
+// deliver lands a message in its inbox (or drops it if the recipient stopped
+// draining) and retires the in-flight accounting taken out by Send.
+func (n *Network) deliver(m NetMessage) {
+	defer n.wg.Done()
+	if m.From >= 0 && m.From < len(n.inflight) {
+		defer n.inflight[m.From].Done()
+	}
+	select {
+	case n.inboxes[m.To] <- m:
+	default:
+		// Inbox full: the recipient stopped draining (retired); drop.
+	}
 }
 
 // Send routes a message with a random delay. Messages to out-of-range or
@@ -77,22 +137,14 @@ func (n *Network) Send(from, to int, payload any) {
 	}
 	n.mu.Unlock()
 
-	deliver := func() {
-		defer n.wg.Done()
-		if from >= 0 && from < len(n.inflight) {
-			defer n.inflight[from].Done()
-		}
-		select {
-		case n.inboxes[to] <- NetMessage{From: from, To: to, Payload: payload}:
-		default:
-			// Inbox full: the recipient stopped draining (retired); drop.
-		}
-	}
+	m := NetMessage{From: from, To: to, Payload: payload}
 	if delay == 0 {
-		deliver()
+		n.deliver(m)
 		return
 	}
-	time.AfterFunc(delay, deliver)
+	d := deliveryPool.Get().(*delivery)
+	d.n, d.msg = n, m
+	time.AfterFunc(delay, d.fn)
 }
 
 // FlushFrom blocks until every message already sent by `from` has been
@@ -126,6 +178,24 @@ func (n *Network) Close() {
 	n.closed = true
 	n.mu.Unlock()
 	n.wg.Wait()
+}
+
+// Recycle closes the network, drains whatever its recipients left unread and
+// parks the carcass for NewNetwork to reuse. The caller promises that no
+// goroutine still holds an Inbox channel or will call Send — a recycled
+// network's channels belong to the next run.
+func (n *Network) Recycle() {
+	n.Close()
+	for _, ch := range n.inboxes {
+		for drained := false; !drained; {
+			select {
+			case <-ch:
+			default:
+				drained = true
+			}
+		}
+	}
+	netPool.Put(n)
 }
 
 // Detector is a sound and eventually-complete failure detector: Retired(p)

@@ -172,6 +172,8 @@ func TestAsyncMessageBound(t *testing.T) {
 
 func TestAsyncRepeatedRuns(t *testing.T) {
 	// Stress many seeds/delays for ordering robustness (run with -race).
+	// Recycling each network forces later iterations onto pooled carcasses,
+	// so a missed drain or counter reset would surface as an incomplete run.
 	for seed := int64(0); seed < 8; seed++ {
 		n, tt := 16, 4
 		net := NewNetwork(tt, 30*time.Microsecond, seed)
@@ -183,5 +185,9 @@ func TestAsyncRepeatedRuns(t *testing.T) {
 		if !c.Wait() {
 			t.Fatalf("seed %d incomplete", seed)
 		}
+		if net.Sent() == 0 {
+			t.Fatalf("seed %d sent no messages", seed)
+		}
+		net.Recycle()
 	}
 }

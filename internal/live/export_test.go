@@ -1,0 +1,9 @@
+package live
+
+import "time"
+
+// SetDelayHook installs a test observer that sees every latency draw
+// (pid, delay) before the sending worker sleeps it. Test-only: the hook is
+// how TestTransportLatencyDeterminism pins the batched and unbatched frame
+// paths to identical delay streams.
+func (ct *ChanTransport) SetDelayHook(h func(pid int, d time.Duration)) { ct.delayHook = h }

@@ -4,17 +4,26 @@
 // process — exchanging frames through a pluggable Transport (in-process
 // channels today, sockets-shaped tomorrow).
 //
-// The plane is a BSP-style round barrier. Each round the coordinator
-// delivers last round's messages, grants every runnable process one step,
-// and the processes step concurrently — genuinely in parallel, with the
-// transport free to delay and reorder their yields. The coordinator then
-// commits the collected yields in ascending PID order, replicating the sim
-// engine's scheduling, adversary consultation, message accounting and
-// fast-forward semantics decision for decision. That makes the plane's
-// Result (and error) reflect.DeepEqual the single-threaded engine's for the
-// same configuration — the property TestLivePlaneEquivalence pins for every
-// protocol × adversary × grid — while the execution underneath is true
-// multi-goroutine concurrency, verified race-clean under `go test -race`.
+// The plane is a BSP-style round barrier, implemented sense-reversing: each
+// round the coordinator token holder delivers last round's messages, arms
+// the RoundBatch (one slot per runnable process, the round number as the
+// sense value, an atomic count of expected arrivals) and grants every
+// runnable process one step. The processes step concurrently — genuinely in
+// parallel, with the transport free to delay and reorder their yields —
+// and each finished round lands in the batch as a single YieldFrame hop.
+// The arrival that completes the batch wins the coordinator token and
+// commits the collected yields in ascending PID order on its own goroutine,
+// replicating the sim engine's scheduling, adversary consultation, message
+// accounting and fast-forward semantics decision for decision. That makes
+// the plane's Result (and error) reflect.DeepEqual the single-threaded
+// engine's for the same configuration — the property
+// TestLivePlaneEquivalence pins for every protocol × adversary × grid —
+// while the execution underneath is true multi-goroutine concurrency,
+// verified race-clean under `go test -race`. Because the token rides the
+// frames instead of a dedicated coordinator goroutine, a solo runnable
+// process re-grants itself without a single goroutine handoff — the
+// common case in single-active protocols, and the reason the plane's
+// wall-clock cost tracks the engine's instead of the scheduler's.
 //
 // Fault injection rides the same sim.Adversary interface as the engine:
 // replaying an explore.Vector schedule against the live plane is
@@ -58,17 +67,19 @@ type Config struct {
 	// DetailedMetrics enables per-kind message counting.
 	DetailedMetrics bool
 	// Tracer, when non-nil, receives one event per committed action, in the
-	// exact order the sim engine would emit them.
+	// exact order the sim engine would emit them. Calls are serialized (the
+	// coordinator token guarantees mutual exclusion) but arrive on whichever
+	// worker goroutine holds the token, not on the Run caller's.
 	Tracer func(sim.Event)
 	// Transport carries the barrier traffic; nil means an in-process
-	// channel transport with zero latency.
+	// channel transport with zero latency, owned and reused by the plane.
 	Transport Transport
 }
 
 // procState is the coordinator's book on one process. The *sim.Proc inside
 // is worker-owned while a step is in flight; the coordinator touches it only
-// between the process's steps (grant/yield frames establish the
-// happens-before edges).
+// between the process's steps (grant frames and barrier arrivals establish
+// the happens-before edges).
 type procState struct {
 	p        *sim.Proc
 	status   sim.Status
@@ -106,23 +117,78 @@ type bcastRec struct {
 	to      []int
 }
 
-// yieldSlot holds one collected yield until the PID-ordered commit.
+// yieldSlot holds one collected yield until the PID-ordered commit. armed
+// marks the slot as expecting a frame for the round in flight; present
+// marks the frame as landed.
 type yieldSlot struct {
+	armed    bool
 	present  bool
 	yield    sim.Yield
 	panicVal any
 	panicked bool
 }
 
+// RoundBatch is the arrival half of the plane's sense-reversing barrier:
+// the PID-indexed batch of yield frames for the round in flight. The
+// coordinator arms one slot per granted process and publishes the round as
+// the sense value and the grant count as the pending counter before the
+// first grant goes out; workers' frames then land via Arrive in whatever
+// order the transport produces. The arrival that brings pending to zero
+// wins the coordinator token and runs the serial phases (commit, faults,
+// delivery, fast-forward, next grant) inline on its own goroutine — there
+// is no dedicated coordinator goroutine to wake, which is what removes the
+// per-round handoff tax. Frames carrying a stale sense or an unarmed PID
+// are dropped without touching the counter, so a transport that replays or
+// reorders frames cannot release the barrier early; only the granted
+// worker's own (possibly panicked) frame can.
+type RoundBatch struct {
+	pl      *Plane
+	sense   atomic.Int64 // the round currently armed (-1 when idle)
+	pending atomic.Int64 // granted frames still missing this round
+	slots   []yieldSlot
+}
+
+var _ YieldSink = (*RoundBatch)(nil)
+
+// Arrive implements YieldSink: it files one worker's frame into its armed
+// slot and, on completing the batch, runs the coordinator turn for the
+// round. Safe for concurrent use by any number of transport goroutines.
+func (rb *RoundBatch) Arrive(f YieldFrame) {
+	if f.PID < 0 || f.PID >= len(rb.slots) || f.Round != rb.sense.Load() {
+		return // stale or alien frame: transport contract violation, dropped
+	}
+	s := &rb.slots[f.PID]
+	if !s.armed || s.present {
+		return
+	}
+	s.present = true
+	s.yield, s.panicVal, s.panicked = f.Yield, f.PanicVal, f.Panicked
+	if rb.pending.Add(-1) == 0 {
+		rb.pl.turn(false)
+	}
+}
+
 // Plane coordinates one live run. It implements sim.Host for its processes.
-// A Plane is single-use: build with New, execute with Run.
+// A Plane built with New is single-use; the package-level Run recycles
+// planes (goroutine bookkeeping, process handles, frame slots, buffers and
+// the default transport included) through an internal sync.Pool, mirroring
+// the engine's runPooled.
 type Plane struct {
 	cfg Config
 	tr  Transport
+	// homeTr is the plane-owned default transport, built lazily for runs
+	// without a Config.Transport and reused across pooled runs (its grant
+	// channels survive; Close is never called on it).
+	homeTr *ChanTransport
+	ownTr  bool
 
-	procs []*procState
-	now   int64
-	live  int
+	// allProcs retains every process slot ever used by this plane so pooled
+	// reuse recycles procState and sim.Proc values; procs is the current
+	// run's prefix.
+	allProcs []*procState
+	procs    []*procState
+	now      int64
+	live     int
 	// active is the SetActive count; workers update it concurrently from
 	// inside their steps, hence the atomic (the engine's plain field relies
 	// on strict alternation the plane deliberately gives up).
@@ -134,10 +200,12 @@ type Plane struct {
 	spareBcast      []bcastRec
 	pendingUnsorted bool
 
-	slots []yieldSlot
+	batch        RoundBatch
+	grantScratch []int
+	done         chan struct{}
 
-	// Optional adversary extensions, resolved once in New by type assertion
-	// (nil when not implemented), exactly as the engine's Reset does.
+	// Optional adversary extensions, resolved once per reset by type
+	// assertion (nil when not implemented), exactly as the engine's Reset.
 	dropper   sim.DeliveryAdversary
 	restarter sim.Restarter
 
@@ -158,8 +226,8 @@ func (pl *Plane) NumProcs() int { return pl.cfg.NumProcs }
 // NumUnits implements sim.Host.
 func (pl *Plane) NumUnits() int { return pl.cfg.NumUnits }
 
-// Round implements sim.Host. Workers read it only inside a step; the
-// coordinator writes it only between rounds, and every grant frame carries a
+// Round implements sim.Host. Workers read it only inside a step; the token
+// holder writes it only between rounds, and every grant frame carries a
 // happens-before edge, so the plain field is race-free.
 func (pl *Plane) Round() int64 { return pl.now }
 
@@ -169,52 +237,135 @@ func (pl *Plane) AddActive(delta int) { pl.active.Add(int64(delta)) }
 // New builds a plane; steppers(id) supplies each process's body (use
 // sim.ScriptStepper to run blocking Scripts).
 func New(cfg Config, steppers func(id int) sim.Stepper) *Plane {
+	pl := &Plane{}
+	pl.reset(cfg, steppers)
+	return pl
+}
+
+// planePool recycles planes across package-level Run calls: the live
+// counterpart of the engine's runPooled, with the same reset-then-scrub
+// discipline.
+var planePool = sync.Pool{New: func() any { return &Plane{} }}
+
+// Run executes a complete run on a pooled plane: behaviourally identical to
+// New(cfg, steppers).Run(), but process handles, frame slots, message
+// buffers and the default transport are recycled across calls.
+func Run(cfg Config, steppers func(id int) sim.Stepper) (sim.Result, error) {
+	pl := planePool.Get().(*Plane)
+	pl.reset(cfg, steppers)
+	res, err := pl.Run()
+	pl.scrub()
+	planePool.Put(pl)
+	return res, err
+}
+
+// reset readies a (possibly recycled) plane for one run, recycling every
+// buffer whose capacity survives scrub.
+func (pl *Plane) reset(cfg Config, steppers func(id int) sim.Stepper) {
 	if cfg.Adversary == nil {
 		cfg.Adversary = sim.NopAdversary{}
 	}
 	if cfg.MaxRound == 0 {
 		cfg.MaxRound = sim.Forever
 	}
-	if cfg.Transport == nil {
-		cfg.Transport = NewChanTransport(Latency{})
+	pl.ownTr = cfg.Transport == nil
+	if pl.ownTr {
+		if pl.homeTr == nil {
+			pl.homeTr = NewChanTransport(Latency{})
+		}
+		cfg.Transport = pl.homeTr
 	}
-	pl := &Plane{
-		cfg:       cfg,
-		tr:        cfg.Transport,
-		live:      cfg.NumProcs,
-		slots:     make([]yieldSlot, cfg.NumProcs),
-		unitsDone: make([]bool, cfg.NumUnits+1),
-		metrics:   sim.Result{CompletedRound: -1},
+	pl.cfg = cfg
+	pl.tr = cfg.Transport
+	pl.now = 0
+	pl.live = cfg.NumProcs
+	pl.active.Store(0)
+	pl.pendingNext = pl.pendingNext[:0]
+	pl.spare = pl.spare[:0]
+	pl.pendingBcast = pl.pendingBcast[:0]
+	pl.spareBcast = pl.spareBcast[:0]
+	pl.pendingUnsorted = false
+	if n := cfg.NumProcs; n <= cap(pl.batch.slots) {
+		pl.batch.slots = pl.batch.slots[:n]
+	} else {
+		pl.batch.slots = make([]yieldSlot, n)
 	}
+	pl.batch.pl = pl
+	pl.batch.sense.Store(-1)
+	pl.batch.pending.Store(0)
+	if n := cfg.NumUnits + 1; n <= cap(pl.unitsDone) {
+		pl.unitsDone = pl.unitsDone[:n]
+		clear(pl.unitsDone)
+	} else {
+		pl.unitsDone = make([]bool, n)
+	}
+	pl.distinctDone = 0
+	pl.metrics = sim.Result{CompletedRound: -1}
 	if cfg.NumUnits == 0 {
 		pl.metrics.CompletedRound = 0
 	}
 	if cfg.DetailedMetrics {
 		pl.metrics.MessagesByKind = make(map[string]int64)
 	}
+	pl.err = nil
 	pl.dropper, _ = cfg.Adversary.(sim.DeliveryAdversary)
 	pl.restarter, _ = cfg.Adversary.(sim.Restarter)
-	pl.procs = make([]*procState, cfg.NumProcs)
-	for id := range pl.procs {
-		pl.procs[id] = &procState{
-			p:        sim.NewHostedProc(pl, id, steppers(id)),
-			status:   sim.StatusRunning,
-			runnable: true, // round 0: everyone steps, as in the engine
+	pl.started = false
+	pl.done = nil
+	for len(pl.allProcs) < cfg.NumProcs {
+		pl.allProcs = append(pl.allProcs, &procState{})
+	}
+	pl.procs = pl.allProcs[:cfg.NumProcs]
+	for id, ps := range pl.procs {
+		if ps.p == nil {
+			ps.p = sim.NewHostedProc(pl, id, steppers(id))
+		} else {
+			ps.p.Rehost(pl, id, steppers(id))
+		}
+		p, restartAts, mail := ps.p, ps.restartAts[:0], ps.mail[:0]
+		*ps = procState{
+			p: p, status: sim.StatusRunning,
+			runnable:   true, // round 0: everyone steps, as in the engine
+			restartAts: restartAts, mail: mail,
 		}
 	}
-	return pl
 }
 
-// Run executes a complete run for convenience: New(cfg, steppers).Run().
-func Run(cfg Config, steppers func(id int) sim.Stepper) (sim.Result, error) {
-	return New(cfg, steppers).Run()
+// scrub runs after a pooled run: it releases every payload reference the
+// run parked in the plane's recycled buffers (pending messages and records,
+// frame slots, per-process mail and Proc internals), so an idle plane
+// sitting in the pool does not keep the previous run's data alive. Only the
+// finished run's procs are touched — allProcs beyond cfg.NumProcs were
+// scrubbed by the last run that used them.
+func (pl *Plane) scrub() {
+	pl.pendingNext = scrubSlice(pl.pendingNext)
+	pl.spare = scrubSlice(pl.spare)
+	pl.pendingBcast = scrubSlice(pl.pendingBcast)
+	pl.spareBcast = scrubSlice(pl.spareBcast)
+	for i := range pl.batch.slots {
+		pl.batch.slots[i] = yieldSlot{}
+	}
+	for _, ps := range pl.procs {
+		ps.mail = scrubSlice(ps.mail)
+		ps.p.Scrub()
+	}
+}
+
+// scrubSlice zeroes a recycled buffer through its full capacity — dropping
+// the payload references parked in the cap region — and truncates it.
+func scrubSlice[T any](s []T) []T {
+	if s == nil {
+		return nil
+	}
+	clear(s[:cap(s)])
+	return s[:0]
 }
 
 // worker is the per-process goroutine: receive a grant, deliver its
-// messages into the local inbox, take one step, send the yield back. It
-// owns the *sim.Proc for the duration of the step; panics in the process
-// body are converted to frames by TryStep so the coordinator can fail the
-// run deterministically.
+// messages into the local inbox, take one step, send the whole round's
+// output back as one frame. It owns the *sim.Proc for the duration of the
+// step; panics in the process body are converted to frames by TryStep so
+// the run fails deterministically.
 func (pl *Plane) worker(pid int) {
 	defer pl.wg.Done()
 	ps := pl.procs[pid]
@@ -228,7 +379,7 @@ func (pl *Plane) worker(pid int) {
 			// The transport delivered a stale or reordered grant; surface it
 			// through the deterministic failure path instead of stepping the
 			// process in the wrong round.
-			pl.tr.SendYield(YieldFrame{PID: pid, Panicked: true, PanicVal: fmt.Sprintf(
+			pl.tr.SendYield(YieldFrame{PID: pid, Round: ps.p.Now(), Panicked: true, PanicVal: fmt.Sprintf(
 				"live: transport granted round %d to proc %d at round %d", g.Round, pid, ps.p.Now())})
 			continue
 		}
@@ -236,30 +387,64 @@ func (pl *Plane) worker(pid int) {
 			ps.p.Deliver(m)
 		}
 		y, pv, panicked := ps.p.TryStep()
-		pl.tr.SendYield(YieldFrame{PID: pid, Yield: y, PanicVal: pv, Panicked: panicked})
+		pl.tr.SendYield(YieldFrame{PID: pid, Round: g.Round, Yield: y, PanicVal: pv, Panicked: panicked})
 	}
 }
 
 // Run executes the run to completion and returns the aggregated metrics.
-// The round loop is the engine's, phase for phase; only the stepping in the
-// middle is concurrent.
+// The caller's goroutine runs the opening coordinator turn, then blocks
+// until some token holder declares the run over; the round loop itself is
+// the engine's, phase for phase, executed by whichever goroutine completes
+// each round's batch.
 func (pl *Plane) Run() (sim.Result, error) {
 	if pl.started {
 		return sim.Result{}, fmt.Errorf("live: Plane is single-use; build a new one per run")
 	}
 	pl.started = true
-	pl.tr.Open(pl.cfg.NumProcs)
+	pl.done = make(chan struct{})
+	pl.tr.Open(pl.cfg.NumProcs, &pl.batch)
 	pl.wg.Add(pl.cfg.NumProcs)
 	for id := range pl.procs {
 		go pl.worker(id)
 	}
-	defer func() {
-		pl.shutdown()
-	}()
+	defer pl.shutdown()
+	pl.turn(true)
+	<-pl.done
+	pl.finalize()
+	return pl.metrics, pl.err
+}
+
+// turn is one tenure of the coordinator token. Unless this is the opening
+// turn it first commits the round whose batch just completed; it then
+// advances through the engine's inter-round phases — fault injection,
+// delivery, wakeups, fast-forwards — until either a new set of grants is in
+// flight (the token parks at the barrier, to be picked up by the round's
+// last arrival) or the run is over (finish releases Run's goroutine).
+// Exactly one goroutine executes turn at any time: the token passes from
+// Run's goroutine to the last arriver of each batch, with the barrier's
+// atomic counter carrying the happens-before edge for all plane state.
+func (pl *Plane) turn(opening bool) {
+	if !opening {
+		pl.commit()
+		if pl.err != nil {
+			pl.finish()
+			return
+		}
+		if err := pl.checkInvariants(); err != nil {
+			pl.fail(err)
+			pl.finish()
+			return
+		}
+		if !pl.advanceRound() {
+			pl.finish()
+			return
+		}
+	}
 	for pl.live > 0 || pl.restartPending() {
 		if pl.now > pl.cfg.MaxRound {
 			pl.fail(fmt.Errorf("%w: round %d > %d", sim.ErrRoundLimit, pl.now, pl.cfg.MaxRound))
-			break
+			pl.finish()
+			return
 		}
 		// Revivals precede this round's scheduled crashes and deliveries,
 		// exactly as in the engine's round loop.
@@ -267,28 +452,41 @@ func (pl *Plane) Run() (sim.Result, error) {
 		pl.crashScheduled()
 		pl.deliver()
 		pl.wakeSleepers()
-		granted := pl.grantRunnable()
-		pl.collect(granted)
-		pl.commit()
-		if pl.err != nil {
-			break
+		if pl.grantRunnable() > 0 {
+			return // token parked at the barrier until the batch completes
 		}
+		// No grants this round: the engine's loop would commit nothing and
+		// fast-forward; replicate its error-check and round-advance phases.
 		if err := pl.checkInvariants(); err != nil {
 			pl.fail(err)
-			break
+			pl.finish()
+			return
 		}
-		next := pl.nextRound()
-		if next == sim.Forever {
-			if pl.live > 0 {
-				pl.fail(sim.ErrDeadlock)
-			}
-			break
+		if !pl.advanceRound() {
+			pl.finish()
+			return
 		}
-		pl.now = next
 	}
-	pl.finalize()
-	return pl.metrics, pl.err
+	pl.finish()
 }
+
+// advanceRound runs the engine's end-of-round phase: fast-forward to the
+// next interesting round, or report the run over (deadlock included).
+func (pl *Plane) advanceRound() bool {
+	next := pl.nextRound()
+	if next == sim.Forever {
+		if pl.live > 0 {
+			pl.fail(sim.ErrDeadlock)
+		}
+		return false
+	}
+	pl.now = next
+	return true
+}
+
+// finish declares the run over, releasing Run's goroutine. Called exactly
+// once, by the final token holder.
+func (pl *Plane) finish() { close(pl.done) }
 
 func (pl *Plane) fail(err error) {
 	if pl.err == nil {
@@ -305,15 +503,19 @@ func (pl *Plane) killWorker(ps *procState, pid int) {
 	pl.tr.SendGrant(pid, Grant{Kill: true})
 }
 
-// shutdown releases every remaining worker and closes the transport. All
-// workers are parked between steps whenever the coordinator runs, so the
-// kill grants land without blocking.
+// shutdown releases every remaining worker and closes the transport (the
+// plane-owned default transport is kept open for pooled reuse; nothing
+// leaks, its channels are empty once every worker consumed its kill
+// grant). All workers are parked between steps whenever shutdown runs, so
+// the kill grants land without blocking.
 func (pl *Plane) shutdown() {
 	for pid, ps := range pl.procs {
 		pl.killWorker(ps, pid)
 	}
 	pl.wg.Wait()
-	pl.tr.Close()
+	if !pl.ownTr {
+		pl.tr.Close()
+	}
 }
 
 // crashScheduled applies round-triggered crashes at the start of a round:
@@ -486,11 +688,20 @@ func (pl *Plane) wakeSleepers() {
 	}
 }
 
-// grantRunnable grants one step to every runnable process and returns how
-// many grants went out. The workers now step concurrently; the transport
-// delivers their yields in whatever order its latency model produces.
+// grantRunnable arms the barrier and grants one step to every runnable
+// process, returning the grant count. The batch shape — armed slots, sense
+// value, pending counter — is fully published before the first grant goes
+// out: the first worker to finish may arrive before later grants are even
+// sent, and the barrier must already know how many frames the round owes.
+//
+// The send loop walks grantScratch, not pl.procs: the next token tenure can
+// begin the moment the final grant's worker arrives, and from then on this
+// (former) holder may touch nothing the new holder writes. Every read of
+// plane state in the loop precedes that final SendGrant in program order,
+// and the final send happens-before the next tenure through the granted
+// worker's frame and the barrier's counter.
 func (pl *Plane) grantRunnable() int {
-	granted := 0
+	grants := pl.grantScratch[:0]
 	for pid, ps := range pl.procs {
 		if ps.status != sim.StatusRunning || !ps.runnable {
 			continue
@@ -498,38 +709,33 @@ func (pl *Plane) grantRunnable() int {
 		ps.sleeping = false
 		ps.stalled = false
 		ps.granted = true
-		granted++
-		pl.tr.SendGrant(pid, Grant{Round: pl.now, Msgs: ps.mail})
+		pl.batch.slots[pid].armed = true
+		grants = append(grants, pid)
 	}
-	return granted
+	pl.grantScratch = grants
+	if len(grants) == 0 {
+		return 0
+	}
+	pl.batch.sense.Store(pl.now)
+	pl.batch.pending.Store(int64(len(grants)))
+	for _, pid := range grants {
+		pl.tr.SendGrant(pid, Grant{Round: pl.now, Msgs: pl.procs[pid].mail})
+	}
+	return len(grants)
 }
 
-// collect gathers exactly the granted yields into PID-indexed slots. This
-// is the barrier: arrival order is arbitrary, commit order is not.
-func (pl *Plane) collect(granted int) {
-	for i := 0; i < granted; i++ {
-		f := pl.tr.RecvYield()
-		pl.slots[f.PID] = yieldSlot{
-			present: true, yield: f.Yield, panicVal: f.PanicVal, panicked: f.Panicked,
-		}
-	}
-}
-
-// commit applies the collected yields in ascending PID order — the engine's
+// commit applies the completed batch in ascending PID order — the engine's
 // stepRunnable order — so stateful adversaries, metrics and message buffers
 // observe the identical sequence. On a fatal error the remaining yields are
 // discarded uncounted, matching the engine, whose later processes never
 // step at all.
 func (pl *Plane) commit() {
 	for pid, ps := range pl.procs {
-		slot := &pl.slots[pid]
-		if !slot.present {
+		slot := &pl.batch.slots[pid]
+		if !slot.armed {
 			continue
 		}
-		slot.present = false
-		if !ps.granted {
-			continue // stale frame from a transport violating its contract
-		}
+		slot.armed, slot.present = false, false
 		ps.granted = false
 		ps.mail = ps.mail[:0]
 		if pl.err != nil {

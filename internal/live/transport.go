@@ -19,48 +19,61 @@ type Grant struct {
 	Kill  bool
 }
 
-// YieldFrame is one process→coordinator frame: the yield the process body
-// returned for the granted round, or the panic it raised.
+// YieldFrame is one process→coordinator frame: everything the process
+// produced for one granted round in a single hop — the yield the body
+// returned (or the panic it raised), stamped with the round it answers.
+// Round is the barrier's sense value: the RoundBatch accepts only frames
+// carrying the round currently armed, so a transport that delays a frame
+// past its round cannot corrupt a later barrier.
 type YieldFrame struct {
 	PID      int
+	Round    int64
 	Yield    sim.Yield
 	PanicVal any
 	Panicked bool
 }
 
+// YieldSink is where a transport lands inbound yield frames: the plane's
+// RoundBatch barrier. Arrive is safe to call from any goroutine and never
+// blocks; the sink absorbs one frame per granted process per round.
+type YieldSink interface {
+	Arrive(f YieldFrame)
+}
+
 // Transport carries the barrier traffic of a live plane: grants outbound to
-// the process workers, yields inbound to the coordinator. The contract every
-// implementation must provide:
+// the process workers, yields inbound to the coordinator's RoundBatch. The
+// contract every implementation must provide:
 //
 //   - per-process FIFO order on grants, and a happens-before edge on every
 //     transferred frame (the in-process implementation gets both from
-//     channels; a socket implementation gets them from the connection);
+//     channels and the barrier's atomics; a socket implementation gets them
+//     from the connection);
 //   - SendGrant never blocks on a worker that is parked between steps, and
 //     SendYield never blocks the worker longer than the transport's own
 //     delivery delay (the coordinator grants at most one step per process
 //     per round, so capacity one per process suffices);
-//   - Recv* block until a frame (or Close) arrives.
+//   - RecvGrant blocks until a grant (or Close) arrives; every SendYield
+//     frame is eventually handed to the sink, exactly once.
 //
 // Delivery TIMING is entirely the transport's: frames may take arbitrarily
-// long and arrive in any cross-process order. The coordinator's barrier
+// long and arrive in any cross-process order. The sense-reversing barrier
 // makes the run's Result independent of it, which is what a future socket
-// transport needs: serialize Grant/YieldFrame and give the remote end a
-// thin sim.Host view (the static run shape plus the round each grant
-// carries) — nothing about the coordinator changes.
+// transport needs: serialize Grant/YieldFrame, drain inbound frames into
+// the sink from the connection reader (the shape ChanTransport's unbatched
+// mode rehearses) — nothing about the coordinator changes.
 type Transport interface {
-	// Open sizes the transport for n processes; called once by Plane.Run
-	// before any frame flows.
-	Open(n int)
+	// Open sizes the transport for n processes and installs the sink that
+	// receives every yield frame; called by Plane.Run before any frame
+	// flows. A pooled plane may Open its own transport once per run, so
+	// implementations should tolerate repeated Open calls with the same n.
+	Open(n int, sink YieldSink)
 	// SendGrant hands one grant to process pid (coordinator side).
 	SendGrant(pid int, g Grant)
 	// RecvGrant blocks for the next grant addressed to pid (worker side);
 	// ok=false means the transport closed underneath the worker.
 	RecvGrant(pid int) (g Grant, ok bool)
-	// SendYield hands one yield frame to the coordinator (worker side).
+	// SendYield hands one yield frame toward the sink (worker side).
 	SendYield(f YieldFrame)
-	// RecvYield blocks for the next yield frame to arrive, in whatever
-	// order the wire produces (coordinator side).
-	RecvYield() YieldFrame
 	// Close tears the transport down after every worker has exited.
 	Close()
 }
@@ -68,8 +81,8 @@ type Transport interface {
 // Latency models per-frame delivery delay on the yield path: Base plus a
 // uniformly random extra in [0, Jitter), drawn from a per-process generator
 // seeded Seed+pid — reproducible wall-clock timing without any cross-worker
-// lock. Delays perturb real arrival order at the coordinator (that is their
-// point: they exercise the barrier) but never the Result.
+// lock. Delays perturb real arrival order at the barrier (that is their
+// point: they exercise it) but never the Result.
 type Latency struct {
 	Base   time.Duration
 	Jitter time.Duration
@@ -85,13 +98,31 @@ func (l Latency) delay(rng *rand.Rand) time.Duration {
 }
 
 // ChanTransport is the in-process Transport: one capacity-1 grant channel
-// per process and a shared yield channel wide enough that no worker ever
-// blocks sending. It is the default transport of a Plane.
+// per process, yields delivered straight into the plane's RoundBatch. It is
+// the default transport of a Plane and survives reuse across pooled runs
+// (Open with an unchanged n keeps the channels).
+//
+// The yield path has two modes. Batched (the default): SendYield calls the
+// sink on the worker's own goroutine — the whole round's output lands in
+// the RoundBatch in one hop, no intermediate queue, no coordinator wakeup
+// except for the round's last frame. Unbatched (NewUnbatchedChanTransport):
+// frames go through a channel drained by a pump goroutine, the shape a
+// socket transport's connection reader has — one queue hop per frame. The
+// two modes draw identical latency streams for identical seeds, a property
+// TestTransportLatencyDeterminism pins.
 type ChanTransport struct {
-	lat    Latency
-	grants []chan Grant
-	yields chan YieldFrame
-	rngs   []*rand.Rand
+	lat       Latency
+	unbatched bool
+	sink      YieldSink
+	grants    []chan Grant
+	frames    chan YieldFrame // unbatched mode: the pump's inbound queue
+	pumpDone  chan struct{}
+	rngs      []*rand.Rand
+	closed    bool
+
+	// delayHook, when non-nil, observes every drawn delay before it is
+	// slept (test instrumentation; see export_test.go).
+	delayHook func(pid int, d time.Duration)
 }
 
 // NewChanTransport builds an in-process transport with the given latency
@@ -100,19 +131,47 @@ func NewChanTransport(lat Latency) *ChanTransport {
 	return &ChanTransport{lat: lat}
 }
 
+// NewUnbatchedChanTransport builds an in-process transport that routes every
+// yield frame through an internal queue drained by a pump goroutine instead
+// of calling the sink directly — the delivery topology a socket transport's
+// reader loop has. Results and latency streams are identical to the batched
+// transport for identical seeds; only the number of in-process hops per
+// frame differs.
+func NewUnbatchedChanTransport(lat Latency) *ChanTransport {
+	return &ChanTransport{lat: lat, unbatched: true}
+}
+
 // Open implements Transport.
-func (ct *ChanTransport) Open(n int) {
-	ct.grants = make([]chan Grant, n)
-	for i := range ct.grants {
-		ct.grants[i] = make(chan Grant, 1)
+func (ct *ChanTransport) Open(n int, sink YieldSink) {
+	ct.sink = sink
+	if len(ct.grants) != n || ct.closed {
+		ct.grants = make([]chan Grant, n)
+		for i := range ct.grants {
+			ct.grants[i] = make(chan Grant, 1)
+		}
+		ct.closed = false
 	}
-	ct.yields = make(chan YieldFrame, n)
 	if ct.lat.Base > 0 || ct.lat.Jitter > 0 {
+		// Fresh generators every run: the delay stream is a per-run
+		// deterministic function of (Seed, pid, draw index).
 		ct.rngs = make([]*rand.Rand, n)
 		for i := range ct.rngs {
 			ct.rngs[i] = rand.New(rand.NewSource(ct.lat.Seed + int64(i)))
 		}
 	}
+	if ct.unbatched {
+		ct.frames = make(chan YieldFrame, n)
+		ct.pumpDone = make(chan struct{})
+		go ct.pump()
+	}
+}
+
+// pump drains the unbatched frame queue into the sink until Close.
+func (ct *ChanTransport) pump() {
+	for f := range ct.frames {
+		ct.sink.Arrive(f)
+	}
+	close(ct.pumpDone)
 }
 
 // SendGrant implements Transport.
@@ -129,18 +188,31 @@ func (ct *ChanTransport) RecvGrant(pid int) (Grant, bool) {
 // network transit instead of serializing at the coordinator.
 func (ct *ChanTransport) SendYield(f YieldFrame) {
 	if ct.rngs != nil {
-		if d := ct.lat.delay(ct.rngs[f.PID]); d > 0 {
+		d := ct.lat.delay(ct.rngs[f.PID])
+		if ct.delayHook != nil {
+			ct.delayHook(f.PID, d)
+		}
+		if d > 0 {
 			time.Sleep(d)
 		}
 	}
-	ct.yields <- f
+	if ct.unbatched {
+		ct.frames <- f
+		return
+	}
+	ct.sink.Arrive(f)
 }
-
-// RecvYield implements Transport.
-func (ct *ChanTransport) RecvYield() YieldFrame { return <-ct.yields }
 
 // Close implements Transport.
 func (ct *ChanTransport) Close() {
+	if ct.closed {
+		return
+	}
+	ct.closed = true
+	if ct.unbatched && ct.frames != nil {
+		close(ct.frames)
+		<-ct.pumpDone
+	}
 	for _, ch := range ct.grants {
 		close(ch)
 	}

@@ -94,3 +94,26 @@ func (p *Proc) Release() {
 		p.shim.kill()
 	}
 }
+
+// Rehost readies a recycled Proc for a new run under the given host — the
+// external-plane counterpart of the engine's internal rearm, keeping the
+// inbox and scratch buffer capacities the process accumulated. Pooled hosts
+// call it instead of NewHostedProc when reusing Procs across runs; a Proc
+// must be Scrubbed (run over, worker gone) before it is rehosted.
+func (p *Proc) Rehost(h Host, id int, st Stepper) { p.rearm(h, id, st) }
+
+// Scrub releases every reference a finished run parked in the process's
+// recycled buffers (inbox, send scratch, stepper, shim, checkpoint),
+// mirroring the engine's end-of-run scrub, so a Proc idling in a pool does
+// not keep the run's payloads alive. The buffers themselves keep their
+// capacity for the next Rehost.
+func (p *Proc) Scrub() {
+	p.inbox = scrubSlice(p.inbox)
+	p.inboxSpare = scrubSlice(p.inboxSpare)
+	p.sendScratch = scrubSlice(p.sendScratch)
+	p.stepper = nil
+	p.shim = nil
+	p.tap = nil
+	p.snap = nil
+	p.hasSnap = false
+}
