@@ -1,5 +1,5 @@
 // Benchmarks, one per experiment in DESIGN.md's index (T1–T9, F1–F7,
-// X1–X4): each run regenerates the corresponding EXPERIMENTS.md table and
+// X1–X6): each run regenerates the corresponding EXPERIMENTS.md table and
 // fails if any paper bound is violated, so `go test -bench=.` re-verifies
 // the whole reproduction. The Suite* benchmarks run the whole deterministic
 // suite through the internal/batch fan-out runner (sequential vs all-cores
@@ -73,6 +73,12 @@ func BenchmarkX3_RevertThreshold(b *testing.B) {
 }
 func BenchmarkX4_ScheduleSpace(b *testing.B) {
 	benchExperiment(b, experiments.X4ScheduleSpace)
+}
+func BenchmarkX5_FaultSurvival(b *testing.B) {
+	benchExperiment(b, experiments.X5FaultSurvival)
+}
+func BenchmarkX6_CertificationAtScale(b *testing.B) {
+	benchExperiment(b, experiments.X6CertificationAtScale)
 }
 
 // Suite benchmarks: the full deterministic experiment suite through the
@@ -164,14 +170,26 @@ func BenchmarkSweepReuse(b *testing.B) {
 // (schedules/sec): one op exhaustively walks and certifies the Protocol B
 // schedule space at the acceptance-criterion instance. Shared with
 // cmd/bench so BENCH_engine.json tracks exploration speed.
-func BenchmarkExploreSmall(b *testing.B) {
+func BenchmarkExploreSmall(b *testing.B) { benchExploreCase(b, "ExploreSmall") }
+
+// BenchmarkExploreLarge is ExploreSmall's certification-scale sibling: a
+// ~65x larger space on the symmetric trivial baseline, walked in canonical
+// mode (orbit representatives + prefix-equivalence pruning). ExploreLargeFull
+// walks the same space raw, so the pair's schedules/sec ratio isolates the
+// symmetry-reduction win.
+func BenchmarkExploreLarge(b *testing.B) { benchExploreCase(b, "ExploreLarge") }
+
+func BenchmarkExploreLargeFull(b *testing.B) { benchExploreCase(b, "ExploreLargeFull") }
+
+func benchExploreCase(b *testing.B, name string) {
+	b.Helper()
 	for _, c := range benchmarks.ExploreCases() {
-		if c.Name == "ExploreSmall" {
+		if c.Name == name {
 			benchmarks.RunExplore(b, c)
 			return
 		}
 	}
-	b.Fatal("unknown explore case")
+	b.Fatalf("unknown explore case %q", name)
 }
 
 // Live plane micro-benchmarks: the same workloads as their Engine* twins,

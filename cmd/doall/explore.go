@@ -19,7 +19,7 @@ import (
 func runExplore(args []string) error {
 	fs := flag.NewFlagSet("doall explore", flag.ExitOnError)
 	var (
-		protoName = fs.String("protocol", "a", "protocol: a|b|c|c-lowmsg|d|single-checkpoint|naive")
+		protoName = fs.String("protocol", "a", "protocol: a|b|c|c-lowmsg|d|trivial|single-checkpoint|naive")
 		n         = fs.Int("n", 8, "number of work units (n)")
 		t         = fs.Int("t", 3, "number of processes (t)")
 		crashes   = fs.Int("crashes", 2, "max crashes per schedule (at most t-1)")
@@ -30,8 +30,21 @@ func runExplore(args []string) error {
 		seed      = fs.Int64("seed", 1, "random-phase seed (search mode)")
 		objName   = fs.String("objective", "effort", "search objective: effort|work|messages|rounds")
 		jobs      = fs.Int("jobs", 0, "parallel shards (0 = GOMAXPROCS, 1 = sequential)")
-		maxSched  = fs.Int64("max-schedules", 0, "refuse spaces larger than this (0 = 4194304)")
+		maxSched  = fs.Int64("max-schedules", 0, "refuse walks longer than this (0 = 4194304; canonical count for symmetric protocols)")
 		replay    = fs.String("replay", "", "replay one decision vector (e.g. '0@a7:keep:p0,1@a3:keep:p0') and exit")
+		plane     = fs.String("plane", "", "search mode: also replay the worst schedule on another plane (sim|live)")
+
+		// Scale controls (exhaustive mode): symmetry, pruning, checkpointed
+		// resume and cross-process sharding.
+		full       = fs.Bool("full", false, "walk every raw schedule even for symmetric protocols (no symmetry reduction)")
+		noPrune    = fs.Bool("no-prune", false, "disable prefix-equivalence replay sharing (every schedule replays from round 0)")
+		force      = fs.Bool("force", false, "override the hard raw-schedule ceiling (weighted counters saturate)")
+		checkpoint = fs.String("checkpoint", "", "persist walk progress to this file after every chunk")
+		resume     = fs.Bool("resume", false, "resume the walk from -checkpoint instead of starting fresh")
+		ckEvery    = fs.Int64("checkpoint-every", 0, "walk indices between checkpoint writes (0 = 16384)")
+		stopAfter  = fs.Int64("stop-after", 0, "pause at the first chunk boundary past this many indices (requires -checkpoint)")
+		shard      = fs.String("shard", "", "walk only slice i of N, as 'i/N' (merge finished shard checkpoints with -merge)")
+		merge      = fs.String("merge", "", "comma-separated shard checkpoint files: merge them, print the combined report and exit")
 
 		// Extended fault alphabet (exhaustive mode): each flag adds a block
 		// of per-victim choices to the enumerated space.
@@ -48,6 +61,22 @@ func runExplore(args []string) error {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *merge != "" {
+		paths := strings.Split(*merge, ",")
+		for i := range paths {
+			paths[i] = strings.TrimSpace(paths[i])
+		}
+		rep, err := explore.MergeCheckpoints(paths)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.Text())
+		if rep.ViolationCount > 0 {
+			return fmt.Errorf("%d bound violations", rep.ViolationCount)
+		}
+		return nil
 	}
 
 	target, err := explore.NewTarget(strings.ToLower(*protoName), *n, *t, *crashes)
@@ -108,7 +137,20 @@ func runExplore(args []string) error {
 		if space.Drops, err = parseCSVInt(*drops); err != nil {
 			return fmt.Errorf("-drops: %w", err)
 		}
-		rep, err := target.Enumerate(space, explore.Options{Jobs: *jobs, MaxSchedules: *maxSched})
+		opt := explore.Options{
+			Jobs: *jobs, MaxSchedules: *maxSched,
+			Full: *full, NoPrune: *noPrune, Force: *force,
+			Checkpoint: *checkpoint, Resume: *resume,
+			CheckpointEvery: *ckEvery, StopAfter: *stopAfter,
+		}
+		if *shard != "" {
+			var i, cnt int
+			if _, err := fmt.Sscanf(*shard, "%d/%d", &i, &cnt); err != nil || cnt <= 0 || i < 0 || i >= cnt {
+				return fmt.Errorf("-shard %q: want 'i/N' with 0 <= i < N", *shard)
+			}
+			opt.Shard = explore.Shard{Index: i, Count: cnt}
+		}
+		rep, err := target.Enumerate(space, opt)
 		if err != nil {
 			return err
 		}
@@ -128,6 +170,7 @@ func runExplore(args []string) error {
 		sr, err := target.Search(explore.SearchOptions{
 			Objective: obj, Budget: *budget, Seed: *seed,
 			Depth: *depth, MaxPrefix: prefix, Jobs: *jobs,
+			Plane: *plane,
 		})
 		if err != nil {
 			return err

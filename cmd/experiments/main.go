@@ -1,5 +1,5 @@
 // Command experiments reruns every reproduction experiment (T1–T9, F1–F7,
-// X1–X4) and writes EXPERIMENTS.md with measured-vs-bound tables.
+// X1–X6) and writes EXPERIMENTS.md with measured-vs-bound tables.
 //
 // Experiments fan out across -jobs workers via the internal/batch runner;
 // the output file is byte-identical for every worker count (timings go to

@@ -99,6 +99,27 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	return out
 }
 
+// MapChunks evaluates fn over [lo, hi) split into fixed-size chunks —
+// fn(c·chunk-aligned lo', hi') per chunk — on up to workers goroutines,
+// returning results in chunk order. Chunk boundaries depend only on lo and
+// chunk, never on the worker count, so a deterministic fn gives
+// deterministic output for every worker count; internal/explore shards its
+// schedule-space walks through this.
+func MapChunks[T any](workers int, lo, hi, chunk int64, fn func(lo, hi int64) T) []T {
+	if hi <= lo {
+		return nil
+	}
+	if chunk <= 0 {
+		chunk = 1
+	}
+	n := int((hi - lo + chunk - 1) / chunk)
+	return Map(workers, n, func(i int) T {
+		a := lo + int64(i)*chunk
+		b := min(a+chunk, hi)
+		return fn(a, b)
+	})
+}
+
 // Job is one named protocol run. Config.Failures must be left nil when
 // NewFailures is set: failure specs are stateful and single-use, so the
 // runner builds a fresh one per execution, which keeps jobs re-runnable

@@ -164,10 +164,25 @@ type ExploreCase struct {
 	Crashes  int
 	Depth    int
 	Prefix   int
+	// Full forces the raw walk even on a symmetric protocol, so the Large
+	// pair measures canonical and full throughput over the same space.
+	Full bool
 }
 
 // ExploreCases returns the Explore* benchmark definitions.
 func ExploreCases() []ExploreCase {
+	large := ExploreCase{
+		// The symmetric trivial baseline at certification scale: 459,361 raw
+		// schedules (~65x ExploreSmall), walked as 1,771 canonical orbit
+		// representatives. schedules/sec here is the headline symmetry +
+		// pruning number.
+		Name:     "ExploreLarge",
+		Protocol: "trivial", N: 4, T: 8, Crashes: 3, Depth: 10, Prefix: 0,
+	}
+	largeFull := large
+	// The same space walked raw: only prefix-equivalence pruning helps, so
+	// ExploreLarge ÷ ExploreLargeFull is the symmetry win in isolation.
+	largeFull.Name, largeFull.Full = "ExploreLargeFull", true
 	return []ExploreCase{
 		{
 			// Protocol B at the acceptance-criterion instance: ~10k schedules
@@ -175,6 +190,8 @@ func ExploreCases() []ExploreCase {
 			Name:     "ExploreSmall",
 			Protocol: "b", N: 8, T: 3, Crashes: 2, Depth: 8, Prefix: 2,
 		},
+		large,
+		largeFull,
 	}
 }
 
@@ -191,7 +208,7 @@ func RunExplore(b *testing.B, c ExploreCase) {
 	space := explore.NewSpace(c.T, c.Crashes, c.Depth, c.Prefix)
 	var schedules int64
 	for i := 0; i < b.N; i++ {
-		rep, err := target.Enumerate(space, explore.Options{Jobs: 1})
+		rep, err := target.Enumerate(space, explore.Options{Jobs: 1, Full: c.Full})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -377,8 +394,11 @@ type Regression struct {
 // Compare reports regressions beyond ratio threshold (e.g. 1.25 warns on
 // >25% increases) between a committed baseline and fresh measurements — on
 // ns/op, allocs/op and bytes/op alike, so an allocation regression leaves a
-// trail even when wall-clock noise hides it. New benchmarks (absent from
-// the baseline) are not regressions.
+// trail even when wall-clock noise hides it. schedules/sec is a
+// higher-is-better metric, so its floor is the inverse: certification
+// throughput dropping below baseline/threshold is a regression too — the
+// strict schedules/sec floor in the bench gate. New benchmarks (absent
+// from the baseline) are not regressions.
 func Compare(baseline, current []Record, threshold float64) []Regression {
 	base := make(map[string]Record, len(baseline))
 	for _, r := range baseline {
@@ -393,15 +413,23 @@ func Compare(baseline, current []Record, threshold float64) []Regression {
 		for _, m := range []struct {
 			name      string
 			base, cur float64
+			inverse   bool // higher is better; regression when it drops
 		}{
-			{"ns_per_op", b.NsPerOp, cur.NsPerOp},
-			{"allocs_per_op", float64(b.AllocsPerOp), float64(cur.AllocsPerOp)},
-			{"bytes_per_op", float64(b.BytesPerOp), float64(cur.BytesPerOp)},
+			{"ns_per_op", b.NsPerOp, cur.NsPerOp, false},
+			{"allocs_per_op", float64(b.AllocsPerOp), float64(cur.AllocsPerOp), false},
+			{"bytes_per_op", float64(b.BytesPerOp), float64(cur.BytesPerOp), false},
+			{"schedules_per_sec", b.SchedulesPerSec, cur.SchedulesPerSec, true},
 		} {
 			if m.base <= 0 {
 				continue
 			}
 			ratio := m.cur / m.base
+			if m.inverse {
+				if m.cur <= 0 {
+					continue
+				}
+				ratio = m.base / m.cur
+			}
 			if ratio > threshold {
 				regs = append(regs, Regression{
 					Name: cur.Name, Metric: m.name,

@@ -69,6 +69,83 @@ func X4ScheduleSpace() Table {
 	return t
 }
 
+// X6CertificationAtScale certifies spaces two orders of magnitude beyond
+// X4's model-checking sweep, using the scale machinery of internal/explore:
+// symmetry reduction (the PID-exchangeable trivial baseline is certified
+// via canonical orbit representatives, each weighted by its orbit size) and
+// prefix-equivalence pruning (sibling delivery prefixes share one replayed
+// run, so engine runs fall well below walked indices). The pinned raw and
+// walked counts double as regression checks on the canonical indexing
+// itself: any change to the space grammar or the orbit decoder moves them.
+func X6CertificationAtScale() Table {
+	t := Table{
+		ID:    "X6",
+		Title: "Certification at scale (symmetry reduction + prefix-equivalence pruning)",
+		Claim: "exhaustive certification extends to fault-alphabet spaces ~150x larger than X4's sweeps " +
+			"(8.25M raw schedules vs X4's largest 55,897) at the same order of wall-clock: symmetric " +
+			"targets are walked via canonical orbit representatives with orbit-weighted counters, and " +
+			"prefix-equivalence pruning shares replayed runs across sibling delivery prefixes",
+		Columns: []string{"protocol", "mode", "n", "t", "f",
+			"raw schedules", "walked", "engine runs ≤ walked", "worst work ≤ bound", "violations"},
+	}
+	cases := []struct {
+		proto           string
+		n, tt, f        int
+		depth, prefix   int
+		rawPin, walkPin int64
+	}{
+		// The symmetric baseline at acceptance scale: 8,252,815 raw
+		// schedules collapse onto 18,424 canonical representatives.
+		{"trivial", 4, 9, 3, 6, 1, 8252815, 18424},
+		// An asymmetric protocol (D holds under every fault kind, X5) walks
+		// its space raw, but pruning still collapses the replay work.
+		{"d", 8, 3, 2, 6, 2, 12871, 12871},
+	}
+	for _, c := range cases {
+		target, err := explore.NewTarget(c.proto, c.n, c.tt, c.f)
+		if err != nil {
+			t.Err = err
+			return t
+		}
+		space := explore.NewSpace(c.tt, c.f, c.depth, c.prefix)
+		space.Omissions = true
+		space.Rounds = []int64{0, 1, 2}
+		space.RestartDelays = []int64{2}
+		space.SlowFactors = []int{2}
+		if c.proto == "trivial" {
+			space.Drops = []int{1}
+		} else {
+			space.Drops = []int{1, 2}
+		}
+		rep, err := target.Enumerate(space, explore.Options{})
+		if err != nil {
+			t.Err = fmt.Errorf("%s: %w", c.proto, err)
+			return t
+		}
+		t.Rows = append(t.Rows, []Cell{
+			V(c.proto), V(rep.Mode), V(c.n), V(c.tt), V(c.f),
+			Eq(rep.Schedules, c.rawPin),
+			Eq(rep.Walked, c.walkPin),
+			B(rep.EngineRuns, rep.Walked),
+			B(rep.WorstWork.Value, rep.Bounds.Work),
+			Eq(rep.ViolationCount, 0),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Both rows enumerate the full fault alphabet: crash (action- and round-triggered), send "+
+			"omission, message drop, restart and slowdown choices per victim (see DESIGN.md §5).",
+		"`raw schedules` counts every concrete schedule certified; in canonical mode the counters are "+
+			"orbit-weighted, so the 8.25M raw schedules of the trivial row cost only 18,424 replayed "+
+			"representatives — a 448x reduction, which is how a space 147x beyond X4's largest row "+
+			"(55,897 schedules) certifies in comparable wall-clock.",
+		"`engine runs ≤ walked` is the prefix-equivalence pruning win: sibling delivery prefixes that "+
+			"provably coincide replay one profiled run instead of one run per index.",
+		"Protocols A–C are excluded: A and B break the single-active guarantee under slowdown/loss "+
+			"(pinned in X5), and C's exponential deadlines make its extended-alphabet spaces "+
+			"wall-clock-prohibitive at this depth.")
+	return t
+}
+
 // faultVerdict classifies one (protocol, fault-kind) cell of X5 from the
 // certification failures its schedules produced: a broken guarantee
 // (completion, the single-active invariant, or an engine abort) outranks a

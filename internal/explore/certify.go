@@ -28,6 +28,17 @@ type Target struct {
 	N, T         int
 	MaxCrashes   int
 	SingleActive bool
+	// Symmetric declares the protocol exchangeable under PID renaming:
+	// no branch, role or message depends on the process identity, so
+	// renaming a schedule's victims renames the execution and nothing
+	// else. Enumerate then walks canonical orbit representatives only and
+	// weights each certificate by its orbit size. Declarations are guarded
+	// by SymmetryWitness (see canon.go): of this repository's protocols
+	// only the trivial baseline qualifies — A, B and single-checkpoint
+	// give process 0 the initial active role and order takeover chains by
+	// PID, C and naive chunk work by PID, and D's agreement phase is
+	// PID-ordered — and the witness test pins exactly that.
+	Symmetric bool
 	// MaxRound aborts runaway executions; an abort is reported as a
 	// violation. 0 means the engine default.
 	MaxRound int64
@@ -36,11 +47,12 @@ type Target struct {
 }
 
 // NewTarget builds a certification target for a named protocol (the
-// cmd/doall names: a, b, c, c-lowmsg, d, single-checkpoint, naive).
-// maxCrashes is the f the bounds assume; use t-1 or less to preserve the
-// one-survivor guarantee. Protocols A-D get the paper's bounds with this
-// reproduction's model-adjusted round constants; the baselines certify the
-// completion guarantee and the single-active invariant only.
+// cmd/doall names: a, b, c, c-lowmsg, d, trivial, single-checkpoint,
+// naive). maxCrashes is the f the bounds assume; use t-1 or less to
+// preserve the one-survivor guarantee. Protocols A-D get the paper's bounds
+// with this reproduction's model-adjusted round constants; trivial gets its
+// exact tn work bound; the other baselines certify the completion guarantee
+// and the single-active invariant only.
 func NewTarget(protocol string, n, t, maxCrashes int) (Target, error) {
 	if t <= 0 || n < 0 {
 		return Target{}, fmt.Errorf("explore: bad instance n=%d t=%d", n, t)
@@ -95,6 +107,16 @@ func NewTarget(protocol string, n, t, maxCrashes int) (Target, error) {
 			Messages: int64((4*f+2)*t*t) + int64(9*rootT/(2*math.Sqrt2)),
 			Rounds:   core.ProtocolDRoundBound(n, t, f),
 		}
+	case "trivial":
+		// The paper's §1 baseline: every process performs every unit and
+		// never communicates. It is anonymous by construction — the one
+		// protocol here that survives the SymmetryWitness cross-check —
+		// and its work bound tn is exact even under restarts (a process
+		// crashes at most once and never redoes a counted unit).
+		tg.NewProcs = func() (core.Procs, error) { return core.TrivialProcs(n), nil }
+		tg.SingleActive = false
+		tg.Symmetric = true
+		tg.Bounds = Bounds{Work: satMul(int64(t), int64(n))}
 	case "single-checkpoint":
 		tg.NewProcs = func() (core.Procs, error) {
 			scripts, err := core.SingleCheckpointScripts(n, t)
@@ -113,8 +135,9 @@ func NewTarget(protocol string, n, t, maxCrashes int) (Target, error) {
 		// A runaway execution must terminate the walk: abort well past the
 		// certified round bound and report the abort as a violation. A
 		// saturated round bound (Protocol C at larger n + t) keeps the
-		// engine default instead.
-		if b.Rounds < countSat/4 {
+		// engine default instead, as does an unchecked one (trivial, whose
+		// rounds depend on the slowdown factors in play).
+		if b.Rounds > 0 && b.Rounds < countSat/4 {
 			tg.MaxRound = 4 * b.Rounds
 		}
 	}
@@ -153,6 +176,23 @@ func (tg Target) runVector(vec Vector) (sim.Result, *Adversary, error) {
 	return res, adv, err
 }
 
+// runProfiled replays a parent vector while profiling pid (the sibling
+// block's varying victim) for the prefix-equivalence predicates.
+func (tg Target) runProfiled(vec Vector, pid int) (sim.Result, *runProfile, error) {
+	procs, err := tg.NewProcs()
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	prof := &runProfile{pid: pid}
+	adv := &profilingAdversary{Adversary: vec.Adversary(), prof: prof}
+	opt := core.RunOptions{Adversary: adv, MaxRound: tg.MaxRound}
+	if tg.SingleActive {
+		opt.MaxActive = 1
+	}
+	res, err := core.RunProcs(tg.N, tg.T, procs, opt)
+	return res, prof, err
+}
+
 // Violation is one certification failure, with the schedule that caused it
 // as a replayable vector.
 type Violation struct {
@@ -174,19 +214,29 @@ type Certification struct {
 // Certify replays one schedule and checks the completion guarantee, the
 // invariants (via the engine) and the target's bounds.
 func (tg Target) Certify(vec Vector) Certification {
-	cert := Certification{Vector: vec}
 	res, adv, err := tg.runVector(vec)
-	cert.Result = res
+	if err != nil {
+		return tg.certifyResult(vec, res, false, err)
+	}
+	collapsed := res.Crashes < vec.Crashes() || adv.OverDelivered() || adv.UnfiredFaults()
+	return tg.certifyResult(vec, res, collapsed, nil)
+}
+
+// certifyResult builds the certification verdict for a replay outcome —
+// fresh or shared through the prefix-equivalence walk; the checks are a
+// pure function of the result, which is what makes replay sharing sound.
+func (tg Target) certifyResult(vec Vector, res sim.Result, collapsed bool, runErr error) Certification {
+	cert := Certification{Vector: vec, Result: res}
 	fail := func(format string, args ...any) {
 		cert.Violations = append(cert.Violations, Violation{
 			Vector: vec.String(), Reason: fmt.Sprintf(format, args...),
 		})
 	}
-	if err != nil {
-		fail("run error: %v", err)
+	if runErr != nil {
+		fail("run error: %v", runErr)
 		return cert
 	}
-	cert.Collapsed = res.Crashes < vec.Crashes() || adv.OverDelivered() || adv.UnfiredFaults()
+	cert.Collapsed = collapsed
 	if err := core.CheckCompletion(res); err != nil {
 		fail("%v", err)
 	}
@@ -228,11 +278,30 @@ type Report struct {
 	N, T       int
 	MaxCrashes int
 	Bounds     Bounds
-	// Schedules counts certified executions; Collapsed counts those
+	// Mode is the walk mode: "full" visits every schedule, "canonical"
+	// (Symmetric targets) visits one orbit representative per PID-renaming
+	// class and weights its certificate by the orbit size.
+	Mode string
+	// RawSpace is the space's raw schedule count (saturating at countSat).
+	RawSpace int64
+	// Schedules counts certified schedules — raw executions in full mode,
+	// orbit-weighted certificates in canonical mode; Collapsed counts those
 	// coinciding with a canonically smaller vector's execution (still
-	// certified).
+	// certified), on the same scale.
 	Schedules int64
 	Collapsed int64
+	// Walked counts walk indices certified so far and WalkTotal the range
+	// this report is responsible for (the whole walk, or its shard);
+	// Walked < WalkTotal marks a paused, resumable report.
+	Walked    int64
+	WalkTotal int64
+	// EngineRuns counts fresh engine replays spent, parent-profiling runs
+	// included: Schedules/EngineRuns is the combined symmetry + pruning
+	// win. It depends on where the walk's chunk boundaries fall (a sibling
+	// block split across a shard or resume boundary re-profiles its
+	// parent), so it is diagnostics, not part of the byte-identical report
+	// surface: Text omits it and resumed/sharded runs may differ here.
+	EngineRuns int64
 	// ByCrashes histograms executions by crashes actually fired.
 	ByCrashes []int64
 	// WorstX are the worst observed metrics with their replayable vectors.
@@ -241,30 +310,36 @@ type Report struct {
 	WorstRounds   Extreme
 	WorstEffort   Extreme
 	// Violations retains the first maxViolations failures in index order;
-	// ViolationCount is the full total. A clean certification has 0.
+	// ViolationCount is the full total (orbit-weighted in canonical mode).
+	// A clean certification has 0.
 	Violations     []Violation
 	ViolationCount int64
 }
 
-func (r *Report) observe(cert Certification) {
-	r.Schedules++
+// observe folds one certification in, weighted by its orbit size (1 in
+// full mode).
+func (r *Report) observe(cert Certification, orbit int64) {
+	r.Walked++
+	r.Schedules = satAdd(r.Schedules, orbit)
 	if cert.Collapsed {
-		r.Collapsed++
+		r.Collapsed = satAdd(r.Collapsed, orbit)
 	}
 	crashes := cert.Result.Crashes
 	for len(r.ByCrashes) <= crashes {
 		r.ByCrashes = append(r.ByCrashes, 0)
 	}
-	r.ByCrashes[crashes]++
+	r.ByCrashes[crashes] = satAdd(r.ByCrashes[crashes], orbit)
 	res := cert.Result
 	r.WorstWork.observe(res.WorkTotal, cert.Vector, crashes)
 	r.WorstMessages.observe(res.Messages, cert.Vector, crashes)
 	r.WorstRounds.observe(res.Rounds, cert.Vector, crashes)
 	r.WorstEffort.observe(res.Effort(), cert.Vector, crashes)
-	r.ViolationCount += int64(len(cert.Violations))
-	for _, v := range cert.Violations {
-		if len(r.Violations) < maxViolations {
-			r.Violations = append(r.Violations, v)
+	if len(cert.Violations) > 0 {
+		r.ViolationCount = satAdd(r.ViolationCount, satMul(orbit, int64(len(cert.Violations))))
+		for _, v := range cert.Violations {
+			if len(r.Violations) < maxViolations {
+				r.Violations = append(r.Violations, v)
+			}
 		}
 	}
 }
@@ -272,13 +347,15 @@ func (r *Report) observe(cert Certification) {
 // merge folds b (a later shard) into r; shards are merged in index order so
 // the fold is deterministic for every worker count.
 func (r *Report) merge(b *Report) {
-	r.Schedules += b.Schedules
-	r.Collapsed += b.Collapsed
+	r.Schedules = satAdd(r.Schedules, b.Schedules)
+	r.Collapsed = satAdd(r.Collapsed, b.Collapsed)
+	r.Walked += b.Walked
+	r.EngineRuns += b.EngineRuns
 	for len(r.ByCrashes) < len(b.ByCrashes) {
 		r.ByCrashes = append(r.ByCrashes, 0)
 	}
 	for i, c := range b.ByCrashes {
-		r.ByCrashes[i] += c
+		r.ByCrashes[i] = satAdd(r.ByCrashes[i], c)
 	}
 	mergeExtreme := func(a *Extreme, b Extreme) {
 		if b.Value > a.Value { // ties keep the earlier shard's vector
@@ -294,7 +371,30 @@ func (r *Report) merge(b *Report) {
 			r.Violations = append(r.Violations, v)
 		}
 	}
-	r.ViolationCount += b.ViolationCount
+	r.ViolationCount = satAdd(r.ViolationCount, b.ViolationCount)
+}
+
+// Shard names one of Count deterministic contiguous slices of a walk, for
+// fanning an enumeration out across OS processes: shard i covers walk
+// indices [i·total/Count, (i+1)·total/Count). The zero Shard is the whole
+// walk. Finished shard checkpoints merge back via MergeCheckpoints.
+type Shard struct {
+	Index, Count int
+}
+
+func (sh Shard) rangeOf(total int64) (lo, hi int64, err error) {
+	if sh.Count == 0 && sh.Index == 0 {
+		return 0, total, nil
+	}
+	if sh.Count <= 0 || sh.Index < 0 || sh.Index >= sh.Count {
+		return 0, 0, fmt.Errorf("explore: bad shard %d/%d", sh.Index, sh.Count)
+	}
+	lo = int64(sh.Index) * (total / int64(sh.Count))
+	hi = int64(sh.Index+1) * (total / int64(sh.Count))
+	if sh.Index == sh.Count-1 {
+		hi = total
+	}
+	return lo, hi, nil
 }
 
 // Options configures a schedule-space walk.
@@ -302,8 +402,40 @@ type Options struct {
 	// Jobs caps the parallel shards (0 = GOMAXPROCS, 1 = sequential); the
 	// report is identical for every value.
 	Jobs int
-	// MaxSchedules refuses spaces larger than this (default 1<<22).
+	// MaxSchedules refuses walks longer than this (default 1<<22). The
+	// guard applies to the walked count — canonical representatives for
+	// Symmetric targets — so symmetry reduction makes previously refused
+	// spaces tractable instead of erroring.
 	MaxSchedules int64
+	// Full forces full (non-canonical) enumeration even for Symmetric
+	// targets, e.g. for symmetry cross-checks.
+	Full bool
+	// NoPrune disables prefix-equivalence pruning: every schedule replays
+	// from round 0. Reports are byte-identical either way (modulo
+	// EngineRuns); this exists for the equivalence property tests and as
+	// an escape hatch.
+	NoPrune bool
+	// Force overrides the hard raw-schedule ceiling (rawCeiling); beyond
+	// it the weighted counters saturate at countSat.
+	Force bool
+	// Checkpoint, when set, persists enumeration progress to this file
+	// after every chunk of CheckpointEvery indices, so a killed run
+	// resumes instead of restarting.
+	Checkpoint string
+	// Resume continues from the Checkpoint file (which must match the
+	// target, space, mode and shard) instead of starting fresh.
+	Resume bool
+	// CheckpointEvery is the chunk length between checkpoint writes
+	// (default 1<<14 walk indices).
+	CheckpointEvery int64
+	// StopAfter, when > 0, pauses the walk at the first chunk boundary at
+	// or past this many indices processed in this invocation (requires
+	// Checkpoint). The report comes back with Walked < WalkTotal; a
+	// Resume run completes it. This is how the CI resume smoke kills a
+	// run deterministically.
+	StopAfter int64
+	// Shard restricts the walk to one deterministic contiguous slice.
+	Shard Shard
 }
 
 func (o Options) maxSchedules() int64 {
@@ -313,46 +445,255 @@ func (o Options) maxSchedules() int64 {
 	return 1 << 22
 }
 
-// shardSize is the fixed per-shard schedule count. It must not depend on
-// the worker count: shard boundaries define which vector a tie-broken
-// extreme reports, and those are pinned byte-identical across -jobs.
+// rawCeiling is the hard raw-schedule ceiling: above it even orbit-weighted
+// certificate counting saturates, so Enumerate refuses unless Options.Force
+// acknowledges the saturation. A var so the guard tests can lower it.
+var rawCeiling = int64(1) << 40
+
+// shardSize is the fixed per-shard schedule count for the parallel fan-out.
+// It must not depend on the worker count: shard boundaries define which
+// vector a tie-broken extreme reports, and those are pinned byte-identical
+// across -jobs.
 const shardSize = 1024
 
-// Enumerate exhaustively walks and certifies every schedule in the space,
-// fanning shards out via the deterministic batch runner over pooled
-// engines.
+// Enumerate exhaustively certifies the space: every schedule in full mode,
+// every canonical orbit representative (weighted by orbit size) for
+// Symmetric targets. Chunks fan out via the deterministic batch runner over
+// pooled engines; within each walk range, sibling blocks share replays via
+// prefix-equivalence pruning. See Options for checkpointing, sharding and
+// the size guards.
 func (tg Target) Enumerate(space Space, opt Options) (*Report, error) {
 	norm, err := space.normalize()
 	if err != nil {
 		return nil, err
 	}
-	count := norm.count()
-	if count > opt.maxSchedules() {
-		return nil, fmt.Errorf("explore: space has %d schedules, above the %d limit (shrink depth/crashes or raise MaxSchedules)",
-			count, opt.maxSchedules())
+	canonical := tg.Symmetric && !opt.Full
+	mode := "full"
+	raw := norm.count()
+	total := raw
+	if canonical {
+		mode = "canonical"
+		total = norm.canonCount()
 	}
-	shards := int((count + shardSize - 1) / shardSize)
-	workers := opt.Jobs
-	parts := batch.Map(workers, shards, func(si int) *Report {
-		rep := tg.newReport()
-		lo := int64(si) * shardSize
-		hi := min(lo+shardSize, count)
-		for i := lo; i < hi; i++ {
-			rep.observe(tg.Certify(norm.vectorAt(i)))
+	if raw >= rawCeiling && !opt.Force {
+		return nil, fmt.Errorf("explore: space has %d raw schedules, at or above the %d hard ceiling; counters would saturate — pass Force (doall explore -force) to certify anyway",
+			raw, rawCeiling)
+	}
+	if total > opt.maxSchedules() {
+		if canonical {
+			return nil, fmt.Errorf("explore: space has %d canonical representatives (%d raw), above the %d walk limit (shrink depth/crashes or raise MaxSchedules)",
+				total, raw, opt.maxSchedules())
 		}
-		return rep
-	})
-	out := tg.newReport()
-	for _, p := range parts {
-		out.merge(p)
+		return nil, fmt.Errorf("explore: space has %d schedules, above the %d limit (shrink depth/crashes or raise MaxSchedules)",
+			total, opt.maxSchedules())
 	}
+	lo, hi, err := opt.Shard.rangeOf(total)
+	if err != nil {
+		return nil, err
+	}
+	if opt.StopAfter > 0 && opt.Checkpoint == "" {
+		return nil, fmt.Errorf("explore: StopAfter needs a Checkpoint path to pause into")
+	}
+	cursor := lo
+	out := tg.newReport(mode, raw)
+	if opt.Resume {
+		if opt.Checkpoint == "" {
+			return nil, fmt.Errorf("explore: Resume needs a Checkpoint path")
+		}
+		ck, err := LoadCheckpoint(opt.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		if err := ck.matches(tg, norm, mode, opt.Shard, total); err != nil {
+			return nil, err
+		}
+		cursor = ck.Cursor
+		out = ck.Report
+	}
+	chunk := opt.CheckpointEvery
+	if chunk <= 0 {
+		chunk = 1 << 14
+	}
+	processed := int64(0)
+	for cursor < hi {
+		end := min(cursor+chunk, hi)
+		parts := batch.MapChunks(opt.Jobs, cursor, end, shardSize, func(a, b int64) *Report {
+			return tg.walkRange(norm, canonical, a, b, opt.NoPrune)
+		})
+		for _, p := range parts {
+			out.merge(p)
+		}
+		processed += end - cursor
+		cursor = end
+		if opt.Checkpoint != "" {
+			if err := tg.saveCheckpoint(opt.Checkpoint, norm, mode, opt.Shard, lo, hi, cursor, total, out); err != nil {
+				return nil, err
+			}
+		}
+		if opt.StopAfter > 0 && processed >= opt.StopAfter && cursor < hi {
+			break
+		}
+	}
+	out.WalkTotal = hi - lo
 	return out, nil
 }
 
-func (tg Target) newReport() *Report {
+// walkRange certifies walk indices [lo, hi) sequentially, sharing replays
+// across sibling blocks unless noPrune. It is the unit batch.MapChunks fans
+// out; reports fold deterministically because observation order is index
+// order regardless of worker count.
+func (tg Target) walkRange(s Space, canonical bool, lo, hi int64, noPrune bool) *Report {
+	raw := int64(0) // per-part reports carry no RawSpace; the outer report does
+	rep := tg.newReport("", raw)
+	rep.RawSpace = 0
+	w := walker{tg: tg, s: s, canonical: canonical, noPrune: noPrune, rep: rep}
+	for i := lo; i < hi; i++ {
+		w.step(i)
+	}
+	return rep
+}
+
+// walker holds the per-range walk state: the current sibling block's parent
+// replay/profile and the effKey cache of firing siblings.
+type walker struct {
+	tg        Target
+	s         Space
+	canonical bool
+	noPrune   bool
+	rep       *Report
+
+	// Current block identity: victim count, leading victims and digits.
+	blockValid   bool
+	blockK       int
+	blockVictims []int
+	blockDigits  []int
+	blockLead    Vector // the parent's choices (leading k-1)
+
+	parentRes sim.Result
+	parentErr error
+	prof      *runProfile
+	cache     map[effKey]*cachedRun
+
+	victims []int // scratch
+	digits  []int // scratch
+	vec     Vector
+}
+
+func (w *walker) step(i int64) {
+	var orbit int64 = 1
+	if w.canonical {
+		w.digits = w.s.canonDecode(i, w.digits)
+		k := len(w.digits)
+		w.victims = append(w.victims[:0], w.s.Victims[:k]...)
+		orbit = w.s.orbitSize(w.digits)
+	} else {
+		w.victims, w.digits = w.s.fullDecode(i, w.victims, w.digits)
+	}
+	k := len(w.digits)
+	if k == 0 {
+		res, adv, err := w.tg.runVector(nil)
+		w.rep.EngineRuns++
+		collapsed := err == nil && (adv.OverDelivered() || adv.UnfiredFaults())
+		w.rep.observe(w.tg.certifyResult(nil, res, collapsed, err), orbit)
+		return
+	}
+	if w.noPrune {
+		w.buildVec(k)
+		w.rep.EngineRuns++
+		w.rep.observe(w.tg.Certify(w.vec), orbit)
+		return
+	}
+	if !w.sameBlock(k) {
+		w.startBlock(k)
+	}
+	w.buildVec(k)
+	vec := w.vec
+	last := vec[k-1]
+	if w.parentErr != nil {
+		// No usable profile: replay directly.
+		w.rep.EngineRuns++
+		w.rep.observe(w.tg.Certify(vec), orbit)
+		return
+	}
+	fires, key, overDel, dedup := w.prof.classify(last, w.parentRes.Rounds)
+	if !fires {
+		// The child's execution is the parent's; the planned fault never
+		// firing makes the schedule collapsed by definition.
+		w.rep.observe(w.tg.certifyResult(vec, w.parentRes, true, nil), orbit)
+		return
+	}
+	if dedup {
+		if cr, ok := w.cache[key]; ok && cr.usableFor(overDel) {
+			cert := w.tg.certifyResult(vec, cr.res, cr.collapsedFor(vec, overDel), cr.err)
+			w.rep.observe(cert, orbit)
+			return
+		}
+		res, adv, err := w.tg.runVector(vec)
+		w.rep.EngineRuns++
+		cr := &cachedRun{res: res, err: err, ownOverDel: overDel}
+		var collapsed bool
+		if err == nil {
+			cr.overDel = adv.OverDelivered()
+			cr.unfired = adv.UnfiredFaults()
+			collapsed = res.Crashes < vec.Crashes() || cr.overDel || cr.unfired
+		}
+		if old, ok := w.cache[key]; !ok || (old.ownOverDel && !overDel) {
+			w.cache[key] = cr
+		}
+		w.rep.observe(w.tg.certifyResult(vec, res, collapsed, err), orbit)
+		return
+	}
+	w.rep.EngineRuns++
+	w.rep.observe(w.tg.Certify(vec), orbit)
+}
+
+// sameBlock reports whether index state (k, leading victims, leading
+// digits) still matches the current sibling block.
+func (w *walker) sameBlock(k int) bool {
+	if !w.blockValid || k != w.blockK {
+		return false
+	}
+	for j := 0; j < k-1; j++ {
+		if w.victims[j] != w.blockVictims[j] || w.digits[j] != w.blockDigits[j] {
+			return false
+		}
+	}
+	// The varying victim must match too (in full mode the victim set
+	// changes while leading digits may not).
+	return w.victims[k-1] == w.blockVictims[k-1]
+}
+
+// startBlock profiles the new block's parent: the leading k-1 choices
+// replayed once, observing the varying victim.
+func (w *walker) startBlock(k int) {
+	w.blockValid = true
+	w.blockK = k
+	w.blockVictims = append(w.blockVictims[:0], w.victims[:k]...)
+	w.blockDigits = append(w.blockDigits[:0], w.digits[:k]...)
+	w.blockLead = w.blockLead[:0]
+	for j := 0; j < k-1; j++ {
+		w.blockLead = append(w.blockLead, w.s.decodeChoice(w.victims[j], w.digits[j]))
+	}
+	w.parentRes, w.prof, w.parentErr = w.tg.runProfiled(w.blockLead, w.victims[k-1])
+	w.rep.EngineRuns++
+	w.cache = make(map[effKey]*cachedRun, 8)
+}
+
+// buildVec materializes the current index's vector into the scratch slice:
+// the block's leading choices plus the varying last choice.
+func (w *walker) buildVec(k int) {
+	w.vec = w.vec[:0]
+	for j := 0; j < k-1; j++ {
+		w.vec = append(w.vec, w.s.decodeChoice(w.victims[j], w.digits[j]))
+	}
+	w.vec = append(w.vec, w.s.decodeChoice(w.victims[k-1], w.digits[k-1]))
+}
+
+func (tg Target) newReport(mode string, raw int64) *Report {
 	return &Report{
 		Protocol: tg.Protocol, N: tg.N, T: tg.T,
 		MaxCrashes: tg.MaxCrashes, Bounds: tg.Bounds,
+		Mode: mode, RawSpace: raw,
 		WorstWork:     Extreme{Value: -1},
 		WorstMessages: Extreme{Value: -1},
 		WorstRounds:   Extreme{Value: -1},

@@ -1,0 +1,253 @@
+package explore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// ckTestTarget is the instance the checkpoint tests walk: small enough to
+// enumerate in milliseconds, large enough to span several chunks.
+func ckTestTarget(t *testing.T) (Target, Space) {
+	t.Helper()
+	tg, err := NewTarget("b", 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tg, testSpaces(3, 2)["full-alphabet"]
+}
+
+func textModuloEngineRuns(r *Report) (*Report, string) {
+	cp := *r
+	cp.EngineRuns = 0
+	return &cp, cp.Text()
+}
+
+// TestEnumerateShardsMergeByteIdentical pins the cross-process fan-out:
+// walking the space as independent shards and merging their checkpoints
+// reproduces the unsharded report byte for byte.
+func TestEnumerateShardsMergeByteIdentical(t *testing.T) {
+	tg, sp := ckTestTarget(t)
+	whole, err := tg.Enumerate(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	const shards = 3
+	var paths []string
+	for i := 0; i < shards; i++ {
+		path := filepath.Join(dir, "shard.ck")
+		path = path + string(rune('0'+i))
+		rep, err := tg.Enumerate(sp, Options{
+			Shard:      Shard{Index: i, Count: shards},
+			Checkpoint: path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Walked != rep.WalkTotal {
+			t.Fatalf("shard %d paused unexpectedly: %d of %d", i, rep.Walked, rep.WalkTotal)
+		}
+		paths = append(paths, path)
+	}
+	// Merge in scrambled order: MergeCheckpoints recovers shard order from
+	// the ranges.
+	merged, err := MergeCheckpoints([]string{paths[2], paths[0], paths[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, wholeText := textModuloEngineRuns(whole)
+	m, mergedText := textModuloEngineRuns(merged)
+	if mergedText != wholeText {
+		t.Fatalf("merged text differs from unsharded:\n%s\nvs\n%s", mergedText, wholeText)
+	}
+	if !reflect.DeepEqual(m, w) {
+		t.Fatalf("merged report differs from unsharded:\n%+v\nvs\n%+v", m, w)
+	}
+	// Incomplete tilings must be refused.
+	if _, err := MergeCheckpoints(paths[:2]); err == nil {
+		t.Fatal("merge of 2 of 3 shards accepted")
+	}
+}
+
+// TestCheckpointResumeMatches pins resumability: a walk paused at a chunk
+// boundary and resumed from its checkpoint file ends byte-identical to the
+// uninterrupted walk.
+func TestCheckpointResumeMatches(t *testing.T) {
+	tg, sp := ckTestTarget(t)
+	whole, err := tg.Enumerate(sp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "walk.ck")
+	opt := Options{Checkpoint: path, CheckpointEvery: 256, StopAfter: 300}
+	paused, err := tg.Enumerate(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused.Walked >= paused.WalkTotal {
+		t.Fatalf("walk did not pause: %d of %d", paused.Walked, paused.WalkTotal)
+	}
+	if !strings.Contains(paused.Text(), "paused:") {
+		t.Fatalf("paused report does not say so:\n%s", paused.Text())
+	}
+	// Resume twice: once with another pause in the middle, then to the end.
+	opt.Resume = true
+	paused2, err := tg.Enumerate(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paused2.Walked <= paused.Walked || paused2.Walked >= paused2.WalkTotal {
+		t.Fatalf("second leg walked %d (first %d, total %d)",
+			paused2.Walked, paused.Walked, paused2.WalkTotal)
+	}
+	opt.StopAfter = 0
+	resumed, err := tg.Enumerate(sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, wholeText := textModuloEngineRuns(whole)
+	r, resumedText := textModuloEngineRuns(resumed)
+	if resumedText != wholeText {
+		t.Fatalf("resumed text differs from uninterrupted:\n%s\nvs\n%s", resumedText, wholeText)
+	}
+	if !reflect.DeepEqual(r, w) {
+		t.Fatalf("resumed report differs:\n%+v\nvs\n%+v", r, w)
+	}
+	// Resuming against a different space or target must be refused.
+	other := NewSpace(3, 2, 3, 1)
+	if _, err := tg.Enumerate(other, opt); err == nil {
+		t.Fatal("resume against a different space accepted")
+	}
+	tg2, err := NewTarget("a", 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg2.Enumerate(sp, opt); err == nil {
+		t.Fatal("resume against a different target accepted")
+	}
+}
+
+// TestCheckpointLoadRejectsCorruption pins the loud-failure modes one by
+// one: wrong format, wrong version, flipped content, truncation.
+func TestCheckpointLoadRejectsCorruption(t *testing.T) {
+	tg, sp := ckTestTarget(t)
+	path := filepath.Join(t.TempDir(), "walk.ck")
+	if _, err := tg.Enumerate(sp, Options{Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err != nil {
+		t.Fatalf("pristine checkpoint refused: %v", err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte, wantSub string) {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "bad.ck")
+			if err := os.WriteFile(p, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadCheckpoint(p)
+			if err == nil {
+				t.Fatal("corrupt checkpoint accepted")
+			}
+			if !strings.Contains(err.Error(), wantSub) {
+				t.Fatalf("error %q does not mention %q", err, wantSub)
+			}
+		})
+	}
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)/2] }, "unparseable")
+	corrupt("flipped-content", func(b []byte) []byte {
+		// Still valid JSON, different content: only the checksum catches it.
+		return []byte(strings.Replace(string(b), `"Mode": "full"`, `"Mode": "falu"`, 1))
+	}, "checksum mismatch")
+	corrupt("wrong-format", func(b []byte) []byte {
+		return []byte(strings.Replace(string(b), checkpointFormat, "other-format", 1))
+	}, "format")
+	corrupt("wrong-version", func(b []byte) []byte {
+		var ck Checkpoint
+		if err := json.Unmarshal(b, &ck); err != nil {
+			t.Fatal(err)
+		}
+		ck.Version = 99
+		out, err := json.Marshal(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}, "version")
+}
+
+// FuzzCheckpoint throws arbitrary bytes at the checkpoint loader: it must
+// never panic, must reject anything that does not round-trip its checksum,
+// and whenever it does accept a file, resuming from it must reproduce the
+// uninterrupted walk exactly.
+func FuzzCheckpoint(f *testing.F) {
+	tg, err := NewTarget("trivial", 3, 3, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sp := NewSpace(3, 2, 2, 1)
+	dir := f.TempDir()
+	seedPath := filepath.Join(dir, "seed.ck")
+	whole, err := tg.Enumerate(sp, Options{Checkpoint: seedPath})
+	if err != nil {
+		f.Fatal(err)
+	}
+	_, wholeText := textModuloEngineRuns(whole)
+	finished, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pausedPath := filepath.Join(dir, "paused.ck")
+	if _, err := tg.Enumerate(sp, Options{
+		Checkpoint: pausedPath, CheckpointEvery: 8, StopAfter: 8,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	paused, err := os.ReadFile(pausedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(finished)
+	f.Add(paused)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"Format":"explore-checkpoint","Version":1}`))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := parseCheckpoint(data, "fuzz.ck")
+		if err != nil {
+			return // rejected loudly, as it should be
+		}
+		// Accepted: the checksum must actually validate the content...
+		sum, digestErr := ck.digest()
+		if digestErr != nil || sum != ck.Sum {
+			t.Fatalf("accepted checkpoint fails its own digest: %v / %s vs %s", digestErr, sum, ck.Sum)
+		}
+		// ...and if it belongs to our walk, resuming from it must land on
+		// the uninterrupted result.
+		norm, normErr := sp.normalize()
+		if normErr != nil {
+			t.Fatal(normErr)
+		}
+		if ck.matches(tg, norm, "canonical", Shard{}, norm.canonCount()) != nil {
+			return
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.ck")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := tg.Enumerate(sp, Options{Checkpoint: path, Resume: true})
+		if err != nil {
+			t.Fatalf("resume from accepted checkpoint failed: %v", err)
+		}
+		if _, text := textModuloEngineRuns(rep); text != wholeText {
+			t.Fatalf("resume from accepted checkpoint diverges:\n%s\nvs\n%s", text, wholeText)
+		}
+	})
+}

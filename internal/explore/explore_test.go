@@ -2,6 +2,7 @@ package explore
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -509,6 +510,11 @@ func TestEnumerateDetectsViolations(t *testing.T) {
 	}
 }
 
+// TestEnumerateRefusesHugeSpaces pins the two size guards. The walk limit
+// applies to the walked count — canonical representatives for Symmetric
+// targets — so a space whose raw count is far beyond MaxSchedules still
+// certifies when its canonical count fits; the raw ceiling is a hard stop
+// (counters would saturate) that only Force overrides.
 func TestEnumerateRefusesHugeSpaces(t *testing.T) {
 	tg, err := NewTarget("b", 64, 16, 15)
 	if err != nil {
@@ -516,6 +522,74 @@ func TestEnumerateRefusesHugeSpaces(t *testing.T) {
 	}
 	if _, err := tg.Enumerate(NewSpace(16, 15, 40, 16), Options{}); err == nil {
 		t.Fatal("astronomic space accepted")
+	}
+
+	// Symmetry makes a raw-intractable space tractable: t=20, f=3, depth 8,
+	// prefix-0 has ~4.7M raw schedules (over the 1<<22 walk limit) but only
+	// 969 canonical representatives.
+	triv, err := NewTarget("trivial", 4, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := NewSpace(20, 3, 8, 0)
+	if raw, canon := big.Count(), big.CanonicalCount(); raw <= 1<<22 || canon > 1<<22 {
+		t.Fatalf("test space mis-sized: raw %d, canonical %d", raw, canon)
+	}
+	rep, err := triv.Enumerate(big, Options{})
+	if err != nil {
+		t.Fatalf("canonical-tractable space refused: %v", err)
+	}
+	if rep.Mode != "canonical" || rep.Schedules != big.Count() {
+		t.Fatalf("mode %s, weighted %d of %d raw", rep.Mode, rep.Schedules, big.Count())
+	}
+	// The same space walked in full mode trips the walk limit.
+	if _, err := triv.Enumerate(big, Options{Full: true}); err == nil {
+		t.Fatal("raw walk over MaxSchedules accepted in full mode")
+	}
+
+	// The raw ceiling is a hard stop even when the canonical walk is tiny;
+	// Force overrides it. Lower the ceiling rather than building a real
+	// 2^40 space.
+	old := rawCeiling
+	rawCeiling = big.Count()
+	defer func() { rawCeiling = old }()
+	_, err = triv.Enumerate(big, Options{})
+	if err == nil || !strings.Contains(err.Error(), "Force") {
+		t.Fatalf("over-ceiling space accepted or error unhelpful: %v", err)
+	}
+	forced, err := triv.Enumerate(big, Options{Force: true})
+	if err != nil {
+		t.Fatalf("Force did not override the ceiling: %v", err)
+	}
+	if forced.Schedules != big.Count() {
+		t.Fatalf("forced walk weighted %d of %d", forced.Schedules, big.Count())
+	}
+}
+
+// TestSearchLivePlane pins the cross-plane search validation: the worst
+// schedule found on the simulator replays identically on the live
+// concurrent plane, for a protocol with real message traffic.
+func TestSearchLivePlane(t *testing.T) {
+	tg, err := NewTarget("b", 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := tg.Search(SearchOptions{Seed: 7, Budget: 400, MaxPrefix: -1, Plane: "live"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.LiveResult == nil || !sr.LiveMatch {
+		t.Fatalf("live validation failed: match=%v result=%+v violations=%v",
+			sr.LiveMatch, sr.LiveResult, sr.Violations)
+	}
+	if len(sr.Violations) != 0 {
+		t.Fatalf("violations: %v", sr.Violations)
+	}
+	if !strings.Contains(sr.Text(), "live plane:     MATCHES") {
+		t.Fatalf("text missing live verdict:\n%s", sr.Text())
+	}
+	if _, err := tg.Search(SearchOptions{Seed: 7, Budget: 50, Plane: "nope"}); err == nil {
+		t.Fatal("unknown plane accepted")
 	}
 }
 

@@ -1,0 +1,87 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPrunedEnumerationMatchesDirect is the pruning soundness oracle: the
+// prefix-equivalence walk must produce a report byte-identical to the
+// direct walk's — every protocol, crash-only and full-alphabet spaces —
+// modulo the EngineRuns diagnostic, which is exactly what pruning reduces.
+func TestPrunedEnumerationMatchesDirect(t *testing.T) {
+	targets := []struct {
+		proto string
+		grid  [3]int // n, t, f
+	}{
+		{"a", [3]int{8, 3, 2}},
+		{"b", [3]int{8, 3, 2}},
+		{"c", [3]int{6, 3, 2}},
+		{"d", [3]int{6, 3, 2}},
+		{"trivial", [3]int{4, 3, 2}},
+	}
+	for _, tc := range targets {
+		tc := tc
+		t.Run(tc.proto, func(t *testing.T) {
+			t.Parallel()
+			n, tt, f := tc.grid[0], tc.grid[1], tc.grid[2]
+			tg, err := NewTarget(tc.proto, n, tt, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, sp := range testSpaces(tt, f) {
+				// Exercise both walk modes on the Symmetric target.
+				for _, full := range []bool{false, true} {
+					if full && !tg.Symmetric {
+						continue
+					}
+					pruned, err := tg.Enumerate(sp, Options{Full: full})
+					if err != nil {
+						t.Fatal(err)
+					}
+					direct, err := tg.Enumerate(sp, Options{Full: full, NoPrune: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pruned.EngineRuns >= direct.EngineRuns {
+						t.Errorf("%s full=%v: pruning did not reduce engine runs: %d vs %d",
+							name, full, pruned.EngineRuns, direct.EngineRuns)
+					}
+					p, d := *pruned, *direct
+					p.EngineRuns, d.EngineRuns = 0, 0
+					if !reflect.DeepEqual(&p, &d) {
+						t.Fatalf("%s full=%v: pruned report differs from direct:\n%+v\nvs\n%+v",
+							name, full, p, d)
+					}
+					if pruned.Text() != direct.Text() {
+						t.Fatalf("%s full=%v: rendered text differs", name, full)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrunedJobsInvariance re-pins worker-count invariance now that walks
+// share replays: chunk boundaries are fixed relative to the walk range, so
+// even EngineRuns must agree across -jobs.
+func TestPrunedJobsInvariance(t *testing.T) {
+	tg, err := NewTarget("b", 8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := testSpaces(3, 2)["full-alphabet"]
+	one, err := tg.Enumerate(sp, Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 5} {
+		many, err := tg.Enumerate(sp, Options{Jobs: jobs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(one, many) {
+			t.Fatalf("jobs=%d report differs:\n%+v\nvs\n%+v", jobs, one, many)
+		}
+	}
+}

@@ -14,6 +14,22 @@ func (r *Report) Text() string {
 		r.Protocol, r.N, r.T, r.MaxCrashes)
 	fmt.Fprintf(&b, "schedules:      %d certified, %d collapsed onto smaller vectors\n",
 		r.Schedules, r.Collapsed)
+	// Coverage: raw space vs indices actually walked. EngineRuns is
+	// deliberately absent — it depends on chunk boundaries (see Report),
+	// and this block is the byte-identity surface for shard merges and
+	// checkpoint resumes.
+	switch r.Mode {
+	case "canonical":
+		fmt.Fprintf(&b, "coverage:       %d raw schedules via %d canonical representatives (canonical mode)\n",
+			r.RawSpace, r.Walked)
+	case "full":
+		fmt.Fprintf(&b, "coverage:       %d raw schedules, %d walked (full mode)\n",
+			r.RawSpace, r.Walked)
+	}
+	if r.WalkTotal > 0 && r.Walked < r.WalkTotal {
+		fmt.Fprintf(&b, "paused:         %d of %d indices walked; resume from the checkpoint\n",
+			r.Walked, r.WalkTotal)
+	}
 	b.WriteString("crashes fired: ")
 	for i, c := range r.ByCrashes {
 		fmt.Fprintf(&b, " %d:%d", i, c)
@@ -53,6 +69,13 @@ func (s SearchResult) Text() string {
 		s.Evaluated, s.Steps, s.Depth)
 	fmt.Fprintf(&b, "worst found:    %d (%d crashes) via %s\n",
 		s.Best.Value, s.Best.Crashes, s.Best.Vector)
+	if s.LiveResult != nil {
+		verdict := "MATCHES"
+		if !s.LiveMatch {
+			verdict = "DIVERGES from"
+		}
+		fmt.Fprintf(&b, "live plane:     %s the simulator on the worst schedule\n", verdict)
+	}
 	fmt.Fprintf(&b, "violations:     %d\n", s.ViolationCount)
 	for _, v := range s.Violations {
 		fmt.Fprintf(&b, "  VIOLATION %s: %s\n", v.Vector, v.Reason)

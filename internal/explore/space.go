@@ -286,6 +286,43 @@ func (s Space) vectorAt(i int64) Vector {
 	return vec
 }
 
+// fullDecode unranks index i (the space must be normalized and i < count())
+// into its victim set and per-victim choice digits, reusing the scratch
+// slices. It is vectorAt without the Choice materialization: the walker
+// needs the (victims, digits) coordinates to detect sibling blocks.
+func (s Space) fullDecode(i int64, victims, digits []int) ([]int, []int) {
+	m := s.perCrash()
+	k := 0
+	for {
+		block := binom(len(s.Victims), k)
+		for j := 0; j < k; j++ {
+			block = satMul(block, m)
+		}
+		if i < block {
+			break
+		}
+		i -= block
+		k++
+	}
+	victims, digits = victims[:0], digits[:0]
+	if k == 0 {
+		return victims, digits
+	}
+	choiceSpace := int64(1)
+	for j := 0; j < k; j++ {
+		choiceSpace = satMul(choiceSpace, m)
+	}
+	victimRank, choiceRank := i/choiceSpace, i%choiceSpace
+	victims = append(victims, make([]int, k)...)
+	combUnrank(s.Victims, k, victimRank, victims)
+	digits = append(digits, make([]int, k)...)
+	for j := k - 1; j >= 0; j-- {
+		digits[j] = int(choiceRank % m)
+		choiceRank /= m
+	}
+	return victims, digits
+}
+
 // decodeChoice maps a digit in [0, perCrash()) to the victim's choice, in
 // the perCrash order: the action-crash cross product first (action index
 // outermost, then keep-work, then prefix), then omissions (action outermost,

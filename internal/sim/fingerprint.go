@@ -1,0 +1,48 @@
+package sim
+
+// Cheap state fingerprinting for execution results. Schedule-space
+// exploration (internal/explore) compares replays at decision horizons —
+// two vectors whose executions coincide up to their last divergent choice
+// share one replay — and needs an O(t) commutative-free digest to assert
+// that sharing held, without hauling full Result values through checkpoint
+// files.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a state byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint digests the result — every aggregate plus the per-process
+// stats, in PID order — into one FNV-1a word. Two results with equal
+// fingerprints are equal for certification purposes; MessagesByKind is a
+// DetailedMetrics-only breakdown of Messages and is excluded, as is the
+// Events counter (a scheduler-effort measure, not an execution observable).
+func (r Result) Fingerprint() uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range []int64{
+		r.WorkTotal, int64(r.WorkDistinct), r.Messages, r.Rounds,
+		r.CompletedRound, int64(r.Survivors), int64(r.Crashes),
+		r.Restarts, r.Dropped, r.Omitted, int64(len(r.PerProc)),
+	} {
+		h = fnvMix(h, uint64(v))
+	}
+	for _, p := range r.PerProc {
+		h = fnvMix(h, uint64(int64(p.Status)))
+		h = fnvMix(h, uint64(p.Work))
+		h = fnvMix(h, uint64(p.Sent))
+		h = fnvMix(h, uint64(p.RetireRound))
+		h = fnvMix(h, uint64(p.Actions))
+		h = fnvMix(h, uint64(p.Restarts))
+	}
+	return h
+}
