@@ -45,14 +45,11 @@ func runLive(args []string) error {
 		return err
 	}
 
-	vec, err := explore.ParseVector(*schedule)
-	if err != nil {
+	if err := validateGrid(*units, *workers); err != nil {
 		return err
 	}
-	for _, c := range crashes {
-		vec = append(vec, explore.Choice{Victim: c.Process, Round: c.Round})
-	}
-	if err := vec.Validate(); err != nil {
+	vec, err := buildSchedule(*schedule, crashes, *workers)
+	if err != nil {
 		return err
 	}
 
@@ -94,43 +91,64 @@ func runLive(args []string) error {
 	fmt.Printf("plane:     live (%d goroutines, latency=%v jitter=%v seed=%d)\n",
 		*workers, *latency, *jitter, *seed)
 	fmt.Printf("protocol:  %s (n=%d, t=%d, schedule=%s)\n", strings.ToUpper(*protoName), *units, *workers, vec)
-	fmt.Printf("work:      %d performed (%d distinct of %d)\n", liveRes.WorkTotal, liveRes.WorkDistinct, *units)
-	fmt.Printf("messages:  %s\n", formatMessages(liveRes.Messages, liveRes.MessagesByKind))
-	fmt.Printf("effort:    %d\n", liveRes.Effort())
-	fmt.Printf("rounds:    %d (simulated %d events)\n", liveRes.Rounds, liveRes.Events)
-	fmt.Printf("processes: %d survived, %d crashed\n", liveRes.Survivors, liveRes.Crashes)
-	if liveRes.Restarts > 0 || liveRes.Dropped > 0 || liveRes.Omitted > 0 {
-		fmt.Printf("faults:    %d restarts, %d dropped in transit, %d sends omitted\n",
-			liveRes.Restarts, liveRes.Dropped, liveRes.Omitted)
-	}
-	fmt.Printf("complete:  %v\n", liveRes.Complete())
+	printResultBlock(liveRes, *units)
 
 	if *compare {
-		simRec := trace.NewRecorder(0)
-		simRes, err := runSimPlane(opt, simRec.Hook())
-		if err != nil {
+		if err := compareAgainstSim(opt, liveRes, rec); err != nil {
 			return err
 		}
-		if !reflect.DeepEqual(simRes, liveRes) {
-			return fmt.Errorf("PLANES DIVERGE:\nsim:  %+v\nlive: %+v", simRes, liveRes)
-		}
-		if d := trace.Diff(rec.Events(), simRec.Events()); d != "" {
-			return fmt.Errorf("PLANE TRACES DIVERGE: %s", d)
-		}
-		fmt.Printf("compare:   sim plane identical (%d events, traces equal)\n", simRes.Events)
 	}
+	return finishReport(liveRes, *verbose, *showTrace, rec)
+}
 
-	if *verbose {
+// printResultBlock renders the standard cost-measure block; live and serve
+// share it so cluster output cannot drift from single-process output.
+func printResultBlock(res sim.Result, units int) {
+	fmt.Printf("work:      %d performed (%d distinct of %d)\n", res.WorkTotal, res.WorkDistinct, units)
+	fmt.Printf("messages:  %s\n", formatMessages(res.Messages, res.MessagesByKind))
+	fmt.Printf("effort:    %d\n", res.Effort())
+	fmt.Printf("rounds:    %d (simulated %d events)\n", res.Rounds, res.Events)
+	fmt.Printf("processes: %d survived, %d crashed\n", res.Survivors, res.Crashes)
+	if res.Restarts > 0 || res.Dropped > 0 || res.Omitted > 0 {
+		fmt.Printf("faults:    %d restarts, %d dropped in transit, %d sends omitted\n",
+			res.Restarts, res.Dropped, res.Omitted)
+	}
+	fmt.Printf("complete:  %v\n", res.Complete())
+}
+
+// compareAgainstSim replays the same configuration on the sim engine and
+// fails loudly unless Result and trace are identical — the -compare flag of
+// both live and serve.
+func compareAgainstSim(opt planeOptions, liveRes sim.Result, rec *trace.Recorder) error {
+	simRec := trace.NewRecorder(0)
+	simRes, err := runSimPlane(opt, simRec.Hook())
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(simRes, liveRes) {
+		return fmt.Errorf("PLANES DIVERGE:\nsim:  %+v\nlive: %+v", simRes, liveRes)
+	}
+	if d := trace.Diff(rec.Events(), simRec.Events()); d != "" {
+		return fmt.Errorf("PLANE TRACES DIVERGE: %s", d)
+	}
+	fmt.Printf("compare:   sim plane identical (%d events, traces equal)\n", simRes.Events)
+	return nil
+}
+
+// finishReport prints the optional per-worker table and timeline, then
+// enforces the paper's completion guarantee.
+func finishReport(res sim.Result, verbose, showTrace bool, rec *trace.Recorder) error {
+	if verbose {
 		fmt.Println("\nworker  status      work  sent  retired@")
-		for i, w := range liveRes.PerProc {
+		for i, w := range res.PerProc {
 			fmt.Printf("%6d  %-10s  %4d  %4d  %d\n", i, w.Status, w.Work, w.Sent, w.RetireRound)
 		}
 	}
-	if *showTrace {
+	if showTrace {
 		fmt.Println()
 		fmt.Print(rec.Timeline(160))
 	}
-	if liveRes.Survivors > 0 && !liveRes.Complete() {
+	if res.Survivors > 0 && !res.Complete() {
 		return fmt.Errorf("GUARANTEE VIOLATED: survivors exist but work incomplete")
 	}
 	return nil

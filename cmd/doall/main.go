@@ -6,7 +6,11 @@
 // worst-case search) and certifies the paper's bounds on every execution.
 // The live subcommand runs a protocol on the concurrent execution plane —
 // one goroutine per process over a latency-modelled transport — optionally
-// replaying a crash schedule and comparing against the sim plane.
+// replaying a crash schedule and comparing against the sim plane. The serve
+// and join subcommands split the same live plane across OS processes: serve
+// hosts the coordinator and listens, each join hosts a slice of the workers
+// over TCP or a unix socket, and killing a join mid-run is a real crash
+// fault with the same certificate semantics as a scheduled crash.
 //
 // Usage:
 //
@@ -18,6 +22,10 @@
 //	doall explore -protocol B -n 64 -t 8 -crashes 7 -mode search -budget 5000
 //	doall live -protocol B -units 256 -workers 16 -schedule 0@a7:keep:p0,1@r4 -jitter 100us -compare
 //	doall live -protocol D -units 512 -workers 64 -seed 7 -compare
+//	doall serve -protocol B -units 256 -workers 16 -joins 2 -listen 127.0.0.1:9095 -compare
+//	doall join -connect 127.0.0.1:9095
+//	doall serve -protocol D -units 64 -workers 8 -joins 2 -listen unix:/tmp/doall.sock -chaos-drop 0.1
+//	doall join -connect unix:/tmp/doall.sock -chaos-drop 0.1
 package main
 
 import (
@@ -75,6 +83,10 @@ func main() {
 		err = runExplore(os.Args[2:])
 	case len(os.Args) > 1 && os.Args[1] == "live":
 		err = runLive(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "serve":
+		err = runServe(os.Args[2:])
+	case len(os.Args) > 1 && os.Args[1] == "join":
+		err = runJoin(os.Args[2:])
 	default:
 		err = run()
 	}

@@ -1,0 +1,22 @@
+package core
+
+import "encoding/gob"
+
+// The live plane's wire transport gob-encodes sim.Message payloads as
+// interface values, which requires every concrete payload type a protocol
+// sends to be registered. This is the complete payload alphabet of the
+// DHW92 suite: protocols A/B/C (checkpoint exchange and liveness probes),
+// protocol D (*DView gossip — the view travels by pointer), and the
+// baseline protocols' reports. A new protocol whose payloads should cross
+// the wire registers its types the same way.
+func init() {
+	gob.Register(PartialCP{})
+	gob.Register(FullCP{})
+	gob.Register(GoAhead{})
+	gob.Register(AreYouAlive{})
+	gob.Register(Alive{})
+	gob.Register(COrdinary{})
+	gob.Register(&DView{})
+	gob.Register(UniformDone{})
+	gob.Register(NaiveReport{})
+}

@@ -130,6 +130,29 @@ func TestFaultConformance(t *testing.T) {
 	}
 }
 
+// TestFaultConformanceWireTCP is the third-substrate leg of the fault
+// matrix: the same protocol × fault-alphabet configurations — omission,
+// loss, slowdown, crash-restart, the composed storm — run as a loopback-TCP
+// wire cluster (serve-side plane, two socket-joined worker hosts) and must
+// produce the engine's exact Result and trace, including crash
+// checkpoint/restore relayed as control frames.
+func TestFaultConformanceWireTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns socket clusters")
+	}
+	g := struct{ n, t int }{16, 4}
+	for _, proto := range []string{"a", "b", "c", "d"} {
+		for advName, mkAdv := range faultAdversaries(g.n, g.t) {
+			name := fmt.Sprintf("%s/n=%d,t=%d/%s", proto, g.n, g.t, advName)
+			proto, mkAdv := proto, mkAdv
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				requireWireConformance(t, wireCluster{protocol: proto, n: g.n, tt: g.t, joins: 2}, mkAdv)
+			})
+		}
+	}
+}
+
 // TestFaultConformanceReplayDeterminism replays the heaviest composed
 // adversary twice on each plane: seeded fault schedules must be exactly
 // reproducible, not merely plane-equivalent.

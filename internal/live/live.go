@@ -73,6 +73,10 @@ type Config struct {
 	Tracer func(sim.Event)
 	// Transport carries the barrier traffic; nil means an in-process
 	// channel transport with zero latency, owned and reused by the plane.
+	// A Transport implementing WorkerHoster (the wire transport) switches
+	// the plane into remote mode: the steppers func passed to New/Run is
+	// ignored (may be nil) and the processes live wherever the transport's
+	// workers are hosted.
 	Transport Transport
 }
 
@@ -105,6 +109,12 @@ type procState struct {
 	msgsSent    int64
 	actions     int64
 
+	// Remote mode (WorkerHoster transports): the process lives in another
+	// OS process, so ps.p is unused; label and active mirror the state the
+	// worker's yield frames report, updated at commit.
+	active bool
+	label  string
+
 	mail []sim.Message // this round's deliveries, recycled per round
 }
 
@@ -126,6 +136,11 @@ type yieldSlot struct {
 	yield    sim.Yield
 	panicVal any
 	panicked bool
+
+	// Remote-mode frame extras (see YieldFrame).
+	label  string
+	active bool
+	died   bool
 }
 
 // RoundBatch is the arrival half of the plane's sense-reversing barrier:
@@ -163,6 +178,7 @@ func (rb *RoundBatch) Arrive(f YieldFrame) {
 	}
 	s.present = true
 	s.yield, s.panicVal, s.panicked = f.Yield, f.PanicVal, f.Panicked
+	s.label, s.active, s.died = f.Label, f.Active, f.Died
 	if rb.pending.Add(-1) == 0 {
 		rb.pl.turn(false)
 	}
@@ -181,6 +197,11 @@ type Plane struct {
 	// channels survive; Close is never called on it).
 	homeTr *ChanTransport
 	ownTr  bool
+	// remote marks a WorkerHoster transport: the workers live in other OS
+	// processes, so the plane builds no sim.Procs and spawns no worker
+	// goroutines; hoster carries the per-process operations it relays.
+	remote bool
+	hoster WorkerHoster
 
 	// allProcs retains every process slot ever used by this plane so pooled
 	// reuse recycles procState and sim.Proc values; procs is the current
@@ -277,6 +298,8 @@ func (pl *Plane) reset(cfg Config, steppers func(id int) sim.Stepper) {
 	}
 	pl.cfg = cfg
 	pl.tr = cfg.Transport
+	pl.hoster, _ = cfg.Transport.(WorkerHoster)
+	pl.remote = pl.hoster != nil
 	pl.now = 0
 	pl.live = cfg.NumProcs
 	pl.active.Store(0)
@@ -317,10 +340,12 @@ func (pl *Plane) reset(cfg Config, steppers func(id int) sim.Stepper) {
 	}
 	pl.procs = pl.allProcs[:cfg.NumProcs]
 	for id, ps := range pl.procs {
-		if ps.p == nil {
-			ps.p = sim.NewHostedProc(pl, id, steppers(id))
-		} else {
-			ps.p.Rehost(pl, id, steppers(id))
+		if !pl.remote {
+			if ps.p == nil {
+				ps.p = sim.NewHostedProc(pl, id, steppers(id))
+			} else {
+				ps.p.Rehost(pl, id, steppers(id))
+			}
 		}
 		p, restartAts, mail := ps.p, ps.restartAts[:0], ps.mail[:0]
 		*ps = procState{
@@ -347,7 +372,9 @@ func (pl *Plane) scrub() {
 	}
 	for _, ps := range pl.procs {
 		ps.mail = scrubSlice(ps.mail)
-		ps.p.Scrub()
+		if ps.p != nil { // nil for procs only ever used by remote runs
+			ps.p.Scrub()
+		}
 	}
 }
 
@@ -403,9 +430,11 @@ func (pl *Plane) Run() (sim.Result, error) {
 	pl.started = true
 	pl.done = make(chan struct{})
 	pl.tr.Open(pl.cfg.NumProcs, &pl.batch)
-	pl.wg.Add(pl.cfg.NumProcs)
-	for id := range pl.procs {
-		go pl.worker(id)
+	if !pl.remote {
+		pl.wg.Add(pl.cfg.NumProcs)
+		for id := range pl.procs {
+			go pl.worker(id)
+		}
 	}
 	defer pl.shutdown()
 	pl.turn(true)
@@ -544,15 +573,17 @@ func (pl *Plane) crashScheduled() {
 // before.
 func (pl *Plane) crash(ps *procState, pid int, restartAt int64) {
 	ps.status = sim.StatusCrashed
-	ps.p.SetActive(false)
+	pl.deactivate(ps)
 	ps.retireRound = pl.now
 	ps.runnable = false
 	ps.sleeping = false
 	ps.stalled = false
 	pl.live--
 	pl.metrics.Crashes++
-	ps.p.DropMail() // as the engine's crash clears the inbox
-	if (restartAt > pl.now || pl.restarter != nil) && ps.p.SnapshotState() {
+	if !pl.remote {
+		ps.p.DropMail() // as the engine's crash clears the inbox
+	}
+	if (restartAt > pl.now || pl.restarter != nil) && pl.snapshotWorker(ps, pid) {
 		ps.snapped = true
 		if restartAt > pl.now {
 			// Keep pending revival rounds ascending, as the engine's heap
@@ -568,6 +599,70 @@ func (pl *Plane) crash(ps *procState, pid int, restartAt int64) {
 		return
 	}
 	pl.killWorker(ps, pid)
+}
+
+// deactivate clears one process's active flag at retirement (crash, halt,
+// panic), keeping the at-most-active count in sync. Local procs own the flag
+// (SetActive routes its delta through the Host); a remote proc's flag is the
+// plane-side mirror of its yield frames, so the plane adjusts the count
+// itself.
+func (pl *Plane) deactivate(ps *procState) {
+	if !pl.remote {
+		ps.p.SetActive(false)
+		return
+	}
+	if ps.active {
+		ps.active = false
+		pl.active.Add(-1)
+	}
+}
+
+// snapshotWorker checkpoints a crashing process for possible revival,
+// reporting whether its stepper supports it — Proc.SnapshotState locally, a
+// relayed control frame for remote workers (whose recoverability the
+// transport learned at handshake; a worker whose host process is gone is not
+// recoverable).
+func (pl *Plane) snapshotWorker(ps *procState, pid int) bool {
+	if !pl.remote {
+		return ps.p.SnapshotState()
+	}
+	if ps.killed || !pl.hoster.WorkerRecoverable(pid) {
+		return false
+	}
+	pl.hoster.SnapshotWorker(pid)
+	return true
+}
+
+// restoreWorker rewinds a crashed process to its crash checkpoint, reporting
+// whether one was held — Proc.RestoreState locally, a relayed control frame
+// for remote workers.
+func (pl *Plane) restoreWorker(ps *procState, pid int) bool {
+	if !pl.remote {
+		return ps.p.RestoreState()
+	}
+	if !ps.snapped || !pl.hoster.WorkerRecoverable(pid) {
+		return false
+	}
+	pl.hoster.RestoreWorker(pid)
+	return true
+}
+
+// transportCrash retires a granted process whose remote host process
+// vanished mid-round (the transport synthesized a Died frame for it). The
+// bookkeeping is the engine's round-start crash: no event is committed for
+// the granted round, exactly as an engine process crashed at round R never
+// steps at R — which is what maps a SIGKILLed join process onto the crash
+// verdicts explore certificates describe.
+func (pl *Plane) transportCrash(ps *procState, pid int) {
+	ps.killed = true // the worker's host process is gone; nothing to tear down
+	ps.status = sim.StatusCrashed
+	pl.deactivate(ps)
+	ps.retireRound = pl.now
+	ps.runnable = false
+	ps.sleeping = false
+	ps.stalled = false
+	pl.live--
+	pl.metrics.Crashes++
 }
 
 // restartDue revives crashed processes whose scheduled restart round has
@@ -594,7 +689,7 @@ func (pl *Plane) restartDue() {
 // restart revives one crashed process from its crash checkpoint; requests
 // that cannot be honoured are ignored, exactly as in the engine.
 func (pl *Plane) restart(ps *procState, pid int) {
-	if ps.status != sim.StatusCrashed || ps.killed || !ps.p.RestoreState() {
+	if ps.status != sim.StatusCrashed || ps.killed || !pl.restoreWorker(ps, pid) {
 		return
 	}
 	ps.snapped = false
@@ -736,15 +831,37 @@ func (pl *Plane) commit() {
 			continue
 		}
 		slot.armed, slot.present = false, false
+		died, label, activeNow := slot.died, slot.label, slot.active
+		slot.died, slot.label, slot.active = false, "", false
 		ps.granted = false
 		ps.mail = ps.mail[:0]
 		if pl.err != nil {
 			continue // run already failed: drop, uncounted
 		}
+		if died {
+			// The worker's host process vanished while holding this grant:
+			// a crash in the granted round, no event committed.
+			pl.transportCrash(ps, pid)
+			continue
+		}
+		if pl.remote {
+			// Mirror the post-step label and active flag the frame carried;
+			// local procs update the count from inside their steps, remote
+			// ones here, before the invariant is next sampled.
+			ps.label = label
+			if activeNow != ps.active {
+				ps.active = activeNow
+				if activeNow {
+					pl.active.Add(1)
+				} else {
+					pl.active.Add(-1)
+				}
+			}
+		}
 		pl.metrics.Events++
 		if slot.panicked {
 			ps.status = sim.StatusCrashed
-			ps.p.SetActive(false)
+			pl.deactivate(ps)
 			ps.retireRound = pl.now
 			ps.runnable = false
 			pl.live--
@@ -763,7 +880,7 @@ func (pl *Plane) commit() {
 			ps.runnable = false
 		case sim.YieldHalt:
 			ps.status = sim.StatusTerminated
-			ps.p.SetActive(false)
+			pl.deactivate(ps)
 			ps.retireRound = pl.now
 			ps.runnable = false
 			pl.live--
@@ -895,8 +1012,12 @@ func (pl *Plane) trace(ps *procState, pid int, a sim.Action, crashed, halted boo
 	if pl.cfg.Tracer == nil {
 		return
 	}
+	label := ps.label
+	if !pl.remote {
+		label = ps.p.Label()
+	}
 	pl.cfg.Tracer(sim.Event{
-		Round: pl.now, PID: pid, Label: ps.p.Label(),
+		Round: pl.now, PID: pid, Label: label,
 		Work: a.WorkUnit, Sent: a.SendCount(),
 		Crashed: crashed, Halted: halted,
 	})

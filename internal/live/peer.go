@@ -1,0 +1,335 @@
+package live
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+var errPeerClosed = errors.New("live: wire peer closed")
+
+// wirePeer is one endpoint of a sequenced wire link: the reliability layer
+// both the serve transport and each join run over their connection. It turns
+// a raw (and possibly chaos-afflicted, possibly reconnecting) byte stream
+// into exactly-once, in-order delivery of sequenced frames:
+//
+//   - Outbound: send assigns ascending Seq numbers and buffers every encoded
+//     frame until a cumulative ack covers it. The first transmission passes
+//     through the chaos layer (drop/duplicate/hold); a retransmit ticker
+//     replays unacked frames verbatim, chaos-free, so every frame
+//     eventually lands. On reconnect the whole unacked buffer is replayed.
+//   - Inbound: frames below the expected Seq are duplicates (suppressed,
+//     re-acked so the sender stops resending); frames above it are parked in
+//     an out-of-order buffer; in-sequence frames — and whatever the buffer
+//     now continues — are queued for the dispatcher.
+//   - Dispatch: a single goroutine drains the in-order queue and calls
+//     deliver without holding any peer lock. One dispatcher per peer means
+//     delivery order is frame order even across a reconnect, where the old
+//     and new connections' readers briefly coexist.
+//
+// Connection lifecycle is the owner's: attach installs a (re)connected
+// conn + its handshake-time buffered reader and replays unacked frames;
+// a failed read or write detaches the conn and fires onDown once per
+// attached conn.
+type wirePeer struct {
+	chaos   WireChaos
+	chaosOn bool
+	rto     time.Duration
+	deliver func(*wireFrame)
+	onDown  func(err error)
+
+	mu      sync.Mutex
+	conn    net.Conn
+	sendSeq uint64
+	unacked map[uint64][]byte
+	held    [][]byte // chaos-held first transmissions awaiting later traffic
+	want    uint64   // next inbound Seq to deliver
+	parked  map[uint64]*wireFrame
+	queue   []*wireFrame
+	qReady  *sync.Cond
+	closed  bool
+	done    chan struct{}
+}
+
+func newWirePeer(chaos WireChaos, rto time.Duration, deliver func(*wireFrame), onDown func(error)) *wirePeer {
+	if rto <= 0 {
+		rto = defaultRTO
+	}
+	p := &wirePeer{
+		chaos: chaos, chaosOn: chaos.enabled(), rto: rto,
+		deliver: deliver, onDown: onDown,
+		unacked: make(map[uint64][]byte),
+		parked:  make(map[uint64]*wireFrame),
+		want:    1,
+		done:    make(chan struct{}),
+	}
+	p.qReady = sync.NewCond(&p.mu)
+	go p.dispatch()
+	go p.retransmitLoop()
+	return p
+}
+
+// attach installs a fresh connection (br carries any bytes the handshake's
+// buffered reader over-read; nil for a bare conn), replays the unacked
+// buffer, and starts the connection's reader.
+func (p *wirePeer) attach(conn net.Conn, br *bufio.Reader) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.conn = conn
+	p.held = p.held[:0]
+	for _, seq := range p.unackedSeqsLocked() {
+		p.writeLocked(conn, p.unacked[seq])
+	}
+	p.mu.Unlock()
+	if br == nil {
+		br = bufio.NewReaderSize(conn, 64<<10)
+	}
+	go p.readLoop(conn, br)
+}
+
+// send sequences, buffers and (chaos permitting) transmits one frame.
+func (p *wirePeer) send(f *wireFrame) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errPeerClosed
+	}
+	// Encode before committing the Seq: a frame that cannot encode (an
+	// unregistered gob payload, say) must not consume a sequence number, or
+	// the permanent hole would silently park every later frame on the
+	// receiver.
+	f.Seq = p.sendSeq + 1
+	b, err := encodeWireFrame(f)
+	if err != nil {
+		return err
+	}
+	p.sendSeq++
+	p.unacked[f.Seq] = b
+	conn := p.conn
+	if conn == nil {
+		return nil // disconnected: replayed on the next attach
+	}
+	if p.chaosOn {
+		switch p.chaos.decide(f.Seq) {
+		case chaosDrop:
+			return nil // first transmission lost; the retransmit tick repairs
+		case chaosDup:
+			p.writeLocked(conn, b)
+			p.writeLocked(conn, b)
+		case chaosHold:
+			p.held = append(p.held, b)
+			return nil // sent after the next frame: reordered
+		default:
+			p.writeLocked(conn, b)
+		}
+	} else {
+		p.writeLocked(conn, b)
+	}
+	p.flushHeldLocked()
+	return nil
+}
+
+// sendAckLocked acknowledges everything delivered so far. Acks are
+// unsequenced and bypass chaos: they are cumulative, so any later ack
+// supersedes a lost one.
+func (p *wirePeer) sendAckLocked() {
+	conn := p.conn
+	if conn == nil {
+		return
+	}
+	b, err := encodeWireFrame(&wireFrame{Kind: frameAck, AckUpTo: p.want - 1})
+	if err != nil {
+		return
+	}
+	p.writeLocked(conn, b)
+	p.flushHeldLocked()
+}
+
+func (p *wirePeer) flushHeldLocked() {
+	if len(p.held) == 0 || p.conn == nil {
+		return
+	}
+	held := p.held
+	p.held = p.held[:0]
+	for _, b := range held {
+		p.writeLocked(p.conn, b)
+	}
+}
+
+func (p *wirePeer) writeLocked(conn net.Conn, b []byte) {
+	if p.conn != conn || conn == nil {
+		return
+	}
+	if _, err := conn.Write(b); err != nil {
+		p.downLocked(conn, err)
+	}
+}
+
+// downLocked detaches a failed connection, once, and notifies the owner.
+func (p *wirePeer) downLocked(conn net.Conn, err error) {
+	if p.conn != conn || p.closed {
+		return
+	}
+	p.conn = nil
+	conn.Close()
+	if p.onDown != nil {
+		go p.onDown(err) // without p.mu: the owner's handler takes its own locks
+	}
+}
+
+// bounce force-drops the current connection as if it had failed — test
+// instrumentation for the reconnect path.
+func (p *wirePeer) bounce() {
+	p.mu.Lock()
+	if c := p.conn; c != nil {
+		p.downLocked(c, errors.New("live: wire connection bounced"))
+	}
+	p.mu.Unlock()
+}
+
+func (p *wirePeer) readLoop(conn net.Conn, br *bufio.Reader) {
+	for {
+		f, err := readWireFrame(br)
+		if err != nil {
+			p.mu.Lock()
+			p.downLocked(conn, err)
+			p.mu.Unlock()
+			return
+		}
+		p.handle(f)
+	}
+}
+
+// handle files one inbound frame: acks prune the resend buffer; sequenced
+// frames are deduplicated, reordered, and queued for the dispatcher.
+func (p *wirePeer) handle(f *wireFrame) {
+	p.mu.Lock()
+	switch {
+	case f.Kind == frameAck:
+		for s := range p.unacked {
+			if s <= f.AckUpTo {
+				delete(p.unacked, s)
+			}
+		}
+	case f.Seq == 0:
+		// Handshake frames never reach an attached peer; drop.
+	case f.Seq < p.want:
+		// Duplicate of a delivered frame (chaos dup, retransmit overlap, or
+		// resend-after-reconnect): suppress, re-ack so the sender stops.
+		p.sendAckLocked()
+	case f.Seq > p.want:
+		if _, dup := p.parked[f.Seq]; !dup {
+			p.parked[f.Seq] = f
+		}
+		p.sendAckLocked()
+	default:
+		p.queue = append(p.queue, f)
+		p.want++
+		for {
+			nf, ok := p.parked[p.want]
+			if !ok {
+				break
+			}
+			delete(p.parked, p.want)
+			p.queue = append(p.queue, nf)
+			p.want++
+		}
+		p.sendAckLocked()
+		p.qReady.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// dispatch is the peer's single delivery goroutine: it drains the in-order
+// queue, calling deliver lock-free so handlers may call back into send.
+func (p *wirePeer) dispatch() {
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.qReady.Wait()
+		}
+		if len(p.queue) == 0 { // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		f := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		p.deliver(f)
+	}
+}
+
+// retransmitLoop replays unacked frames (in Seq order, chaos-free) every
+// rto while a connection is attached: the repair path for chaos drops and
+// for frames whose ack was lost to a dying connection.
+func (p *wirePeer) retransmitLoop() {
+	t := time.NewTicker(p.rto)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+		}
+		p.mu.Lock()
+		if conn := p.conn; conn != nil && len(p.unacked) > 0 {
+			p.held = p.held[:0] // held firsts are in unacked; replay covers them
+			for _, seq := range p.unackedSeqsLocked() {
+				p.writeLocked(conn, p.unacked[seq])
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *wirePeer) unackedSeqsLocked() []uint64 {
+	seqs := make([]uint64, 0, len(p.unacked))
+	for s := range p.unacked {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// waitDrained blocks until every sent frame has been acked (or the timeout
+// or close): the graceful path for "the kill grants actually arrived".
+func (p *wirePeer) waitDrained(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for {
+		p.mu.Lock()
+		drained := len(p.unacked) == 0 || p.closed
+		p.mu.Unlock()
+		if drained || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// close tears the peer down: the conn is closed, the dispatcher drains what
+// was already in order and exits, the retransmit loop stops. Idempotent.
+func (p *wirePeer) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+	close(p.done)
+	p.qReady.Broadcast()
+	p.mu.Unlock()
+}

@@ -2,6 +2,8 @@ package live
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -31,6 +33,18 @@ type YieldFrame struct {
 	Yield    sim.Yield
 	PanicVal any
 	Panicked bool
+
+	// Label and Active relay the process's post-step state label and active
+	// flag for transports whose workers live in other OS processes
+	// (WorkerHoster): the plane cannot read them off a local sim.Proc, so
+	// every yield carries them. The in-process transports leave both zero.
+	Label  string
+	Active bool
+	// Died marks a synthesized frame for a granted worker whose host
+	// process vanished (connection lost past the reconnect grace): the
+	// plane books it as a crash in the granted round, with no event
+	// committed — the same shape as an engine round-start crash.
+	Died bool
 }
 
 // YieldSink is where a transport lands inbound yield frames: the plane's
@@ -74,8 +88,33 @@ type Transport interface {
 	RecvGrant(pid int) (g Grant, ok bool)
 	// SendYield hands one yield frame toward the sink (worker side).
 	SendYield(f YieldFrame)
-	// Close tears the transport down after every worker has exited.
+	// Close tears the transport down after every worker has exited. Close
+	// is idempotent, and SendGrant/SendYield on a closed transport are
+	// defined no-ops — a worker yielding during plane teardown, or a late
+	// restart firing after shutdown, must not panic the plane.
 	Close()
+}
+
+// WorkerHoster is the optional Transport extension for transports whose
+// workers live in other OS processes. A Transport implementing it switches
+// Plane.Run into remote mode: the plane builds no local sim.Procs and spawns
+// no worker goroutines — process labels and active flags arrive with each
+// YieldFrame, crash checkpointing and revival are relayed as transport
+// operations, and a worker whose host process vanishes surfaces as a frame
+// with Died set, which the plane books as a crash in the granted round.
+type WorkerHoster interface {
+	Transport
+	// WorkerRecoverable reports whether pid's stepper supports crash
+	// checkpointing (sim.Recoverable) and its host process is still
+	// reachable — the remote counterpart of Proc.SnapshotState's boolean.
+	WorkerRecoverable(pid int) bool
+	// SnapshotWorker checkpoints pid at crash time: the remote counterpart
+	// of Proc.DropMail followed by Proc.SnapshotState. Only called after
+	// WorkerRecoverable(pid) reported true.
+	SnapshotWorker(pid int)
+	// RestoreWorker revives pid from the checkpoint SnapshotWorker took:
+	// the remote counterpart of Proc.RestoreState.
+	RestoreWorker(pid int)
 }
 
 // Latency models per-frame delivery delay on the yield path: Base plus a
@@ -118,7 +157,17 @@ type ChanTransport struct {
 	frames    chan YieldFrame // unbatched mode: the pump's inbound queue
 	pumpDone  chan struct{}
 	rngs      []*rand.Rand
-	closed    bool
+
+	// Shutdown never closes the grant or frame channels — a raw close racing
+	// a send is a data race even when the panic is recovered. Instead Close
+	// closes done, and every blocking channel operation selects against it:
+	// sends racing Close become defined no-ops, parked RecvGrants are
+	// released with ok=false, and the channels themselves are simply dropped
+	// to the collector. closed short-circuits the quiescent case; closeMu
+	// serializes Close itself (idempotent, safe from any goroutine).
+	done    chan struct{}
+	closed  atomic.Bool
+	closeMu sync.Mutex
 
 	// delayHook, when non-nil, observes every drawn delay before it is
 	// slept (test instrumentation; see export_test.go).
@@ -144,12 +193,15 @@ func NewUnbatchedChanTransport(lat Latency) *ChanTransport {
 // Open implements Transport.
 func (ct *ChanTransport) Open(n int, sink YieldSink) {
 	ct.sink = sink
-	if len(ct.grants) != n || ct.closed {
+	if len(ct.grants) != n || ct.closed.Load() {
 		ct.grants = make([]chan Grant, n)
 		for i := range ct.grants {
 			ct.grants[i] = make(chan Grant, 1)
 		}
-		ct.closed = false
+	}
+	if ct.done == nil || ct.closed.Load() {
+		ct.done = make(chan struct{})
+		ct.closed.Store(false)
 	}
 	if ct.lat.Base > 0 || ct.lat.Jitter > 0 {
 		// Fresh generators every run: the delay stream is a per-run
@@ -166,21 +218,48 @@ func (ct *ChanTransport) Open(n int, sink YieldSink) {
 	}
 }
 
-// pump drains the unbatched frame queue into the sink until Close.
+// pump drains the unbatched frame queue into the sink until Close, then
+// flushes whatever was already queued so no accepted frame is lost.
 func (ct *ChanTransport) pump() {
-	for f := range ct.frames {
-		ct.sink.Arrive(f)
+	defer close(ct.pumpDone)
+	for {
+		select {
+		case f := <-ct.frames:
+			ct.sink.Arrive(f)
+		case <-ct.done:
+			for {
+				select {
+				case f := <-ct.frames:
+					ct.sink.Arrive(f)
+				default:
+					return
+				}
+			}
+		}
 	}
-	close(ct.pumpDone)
 }
 
-// SendGrant implements Transport.
-func (ct *ChanTransport) SendGrant(pid int, g Grant) { ct.grants[pid] <- g }
+// SendGrant implements Transport. Sending on a closed transport is a no-op:
+// the flag check catches the quiescent case, the select the window where
+// Close lands mid-send.
+func (ct *ChanTransport) SendGrant(pid int, g Grant) {
+	if ct.closed.Load() {
+		return
+	}
+	select {
+	case ct.grants[pid] <- g:
+	case <-ct.done: // closed underneath the send: the worker is gone
+	}
+}
 
 // RecvGrant implements Transport.
 func (ct *ChanTransport) RecvGrant(pid int) (Grant, bool) {
-	g, ok := <-ct.grants[pid]
-	return g, ok
+	select {
+	case g := <-ct.grants[pid]:
+		return g, true
+	case <-ct.done:
+		return Grant{}, false
+	}
 }
 
 // SendYield implements Transport. The latency model runs here, on the
@@ -196,24 +275,43 @@ func (ct *ChanTransport) SendYield(f YieldFrame) {
 			time.Sleep(d)
 		}
 	}
+	if ct.closed.Load() {
+		return // transport torn down underneath a yielding worker: no-op
+	}
 	if ct.unbatched {
-		ct.frames <- f
+		ct.sendFrame(f)
 		return
 	}
+	// The batched path hands the frame straight to the sink; the RoundBatch
+	// drops frames for rounds it is not collecting, so no recover guard is
+	// needed (and none may wrap Arrive — it would swallow coordinator
+	// panics, not transport ones).
 	ct.sink.Arrive(f)
 }
 
-// Close implements Transport.
+// sendFrame queues one frame on the unbatched pump, tolerating a racing
+// Close exactly as SendGrant does.
+func (ct *ChanTransport) sendFrame(f YieldFrame) {
+	select {
+	case ct.frames <- f:
+	case <-ct.done:
+	}
+}
+
+// Close implements Transport. It is idempotent and safe to call
+// concurrently with sends (which become no-ops): shutdown is signalled
+// through done, never by closing a channel a sender might be touching.
 func (ct *ChanTransport) Close() {
-	if ct.closed {
+	ct.closeMu.Lock()
+	defer ct.closeMu.Unlock()
+	if ct.closed.Load() {
 		return
 	}
-	ct.closed = true
-	if ct.unbatched && ct.frames != nil {
-		close(ct.frames)
-		<-ct.pumpDone
+	ct.closed.Store(true)
+	if ct.done != nil { // Close before any Open: nothing to release
+		close(ct.done)
 	}
-	for _, ch := range ct.grants {
-		close(ch)
+	if ct.unbatched && ct.pumpDone != nil {
+		<-ct.pumpDone
 	}
 }

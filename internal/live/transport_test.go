@@ -127,4 +127,29 @@ func TestTransportLatencySeedReproducible(t *testing.T) {
 	if fmt.Sprint(a) == "" {
 		t.Fatal("empty stream")
 	}
+	if testing.Short() {
+		return // the TCP leg spawns socket clusters
+	}
+	// Cross-transport coherence: the same seed must reproduce the same
+	// per-PID delay streams when the workers live in socket-joined processes
+	// — a join's rng is seeded Seed+pid exactly as ChanTransport's, so where
+	// the work ran cannot show in the latency draws.
+	drawWire := func(seed int64) map[int][]time.Duration {
+		log := newDelayLog()
+		cc := wireCluster{
+			protocol: "b", n: n, tt: tt, joins: 2,
+			latency:   live.Latency{Base: time.Microsecond, Jitter: 50 * time.Microsecond, Seed: seed},
+			delayHook: log.hook,
+		}
+		if _, _, err := cc.run(t, func() sim.Adversary { return adversary.NewCascade(4, tt-1) }); err != nil {
+			t.Fatalf("wire run: %v", err)
+		}
+		return log.seq
+	}
+	if wa := drawWire(7); !reflect.DeepEqual(a, wa) {
+		t.Errorf("seed 7: wire delay streams diverge from ChanTransport's:\nchan: %v\nwire: %v", a, wa)
+	}
+	if wc := drawWire(8); !reflect.DeepEqual(c, wc) {
+		t.Errorf("seed 8: wire delay streams diverge from ChanTransport's:\nchan: %v\nwire: %v", c, wc)
+	}
 }

@@ -1,0 +1,223 @@
+package live
+
+// The wire protocol: how a serve-side Plane and its join-side workers talk
+// across OS processes. Every frame on a connection is length-prefixed —
+// a 4-byte big-endian body length followed by a self-contained gob encoding
+// of one wireFrame. Self-contained per frame (a fresh gob stream each time,
+// type descriptors included) costs a few bytes but is what lets the chaos
+// layer drop, duplicate or reorder whole frames without desynchronising a
+// persistent decoder state — and what makes resend-after-reconnect a plain
+// byte replay.
+//
+// Frame kinds split into two planes:
+//
+//   - Handshake (frameHello / frameWelcome / frameReady) travels raw on a
+//     fresh connection before the sequenced session starts, Seq 0.
+//   - Session traffic (frameGrant / frameYield / frameCrash / frameRestart)
+//     is sequenced by wirePeer: ascending Seq per direction, cumulative
+//     acks (frameAck, unsequenced), sender-side retransmission of unacked
+//     frames, receiver-side dedup and reordering. See peer.go.
+//
+// Message payloads cross as gob interface values; every concrete payload a
+// protocol sends must be gob.Registered (internal/core does this for the
+// DHW92 protocol suite in its wire.go).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Frame kinds. Values are part of the wire format; append only.
+const (
+	frameHello   uint8 = iota + 1 // join → serve: first frame on any connection
+	frameWelcome                  // serve → join: session id + run spec (fresh joins)
+	frameReady                    // join → serve: workers built, recoverability bits
+	frameGrant                    // serve → join: one step grant (or kill)
+	frameYield                    // join → serve: one step's yield
+	frameCrash                    // serve → join: checkpoint pid at crash time
+	frameRestart                  // serve → join: revive pid from its checkpoint
+	frameAck                      // either: cumulative ack of sequenced frames
+)
+
+// maxWireFrame bounds a frame body; a length prefix beyond it is rejected
+// before any allocation, so a corrupt or hostile peer cannot OOM the reader.
+const maxWireFrame = 16 << 20
+
+// WireSpec is the run configuration the serve side announces to each join in
+// its welcome frame: everything a join needs to build its slice of the
+// cluster. Lo/Hi is the join's contiguous PID range [Lo, Hi).
+type WireSpec struct {
+	Protocol string // protocol name the join resolves to steppers
+	Units    int    // n
+	Workers  int    // t, across the whole cluster
+	Lo, Hi   int
+	Latency  Latency // join-side yield latency model (per-PID seeded streams)
+}
+
+// wireFrame is the single envelope every wire message travels in. One flat
+// struct rather than a per-kind union: gob omits zero fields, so unused
+// fields cost nothing on the wire, and one decoder path covers every kind.
+type wireFrame struct {
+	Seq  uint64 // 0 on handshake and ack frames; ascending per direction otherwise
+	Kind uint8
+
+	// Session traffic (grant / yield / crash / restart).
+	PID      int
+	Round    int64
+	Kill     bool
+	Msgs     []sim.Message
+	Yield    sim.Yield
+	Panicked bool
+	PanicMsg string // panic value flattened to text; fmt renders it identically
+	Label    string
+	Active   bool
+
+	// frameAck: every sequenced frame up to and including AckUpTo arrived.
+	AckUpTo uint64
+
+	// Handshake.
+	Session     uint64
+	Rejoin      bool
+	Spec        WireSpec
+	Recoverable []bool // ready frame: per-PID (range-relative) sim.Recoverable bits
+}
+
+// encodeWireFrame renders one frame ready to write: 4-byte big-endian body
+// length, then the gob body.
+func encodeWireFrame(f *wireFrame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("live: wire frame encode: %w", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	return b, nil
+}
+
+// decodeWireFrame parses one frame body (the bytes after the length prefix),
+// rejecting loudly anything that is not a well-formed frame.
+func decodeWireFrame(body []byte) (*wireFrame, error) {
+	f := &wireFrame{}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(f); err != nil {
+		return nil, fmt.Errorf("live: wire frame decode: %w", err)
+	}
+	if f.Kind < frameHello || f.Kind > frameAck {
+		return nil, fmt.Errorf("live: wire frame kind %d unknown", f.Kind)
+	}
+	return f, nil
+}
+
+// readWireFrame reads one length-prefixed frame. A partial read — the
+// connection dying mid-frame — surfaces as io.ErrUnexpectedEOF, never as a
+// truncated frame handed onward.
+func readWireFrame(r io.Reader) (*wireFrame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxWireFrame {
+		return nil, fmt.Errorf("live: wire frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodeWireFrame(body)
+}
+
+// writeWireFrame encodes and writes one frame in a single Write call.
+func writeWireFrame(w io.Writer, f *wireFrame) error {
+	b, err := encodeWireFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// WireChaos injects deterministic frame-level faults on a peer's outbound
+// sequenced frames: each first transmission is dropped, duplicated, or held
+// for reordering with the configured probabilities, decided purely by
+// (Seed, frame seq) — the same seed reproduces the same fault pattern
+// regardless of timing. Chaos never touches retransmissions or acks, which
+// is what keeps every run live: a dropped frame sits in the sender's unacked
+// buffer until the retransmit tick replays it cleanly. Probabilities must be
+// in [0, 1] and sum to at most 1.
+type WireChaos struct {
+	Drop    float64
+	Dup     float64
+	Reorder float64
+	Seed    int64
+}
+
+func (c WireChaos) enabled() bool { return c.Drop > 0 || c.Dup > 0 || c.Reorder > 0 }
+
+func (c WireChaos) validate() error {
+	if c.Drop < 0 || c.Dup < 0 || c.Reorder < 0 || c.Drop+c.Dup+c.Reorder > 1 {
+		return fmt.Errorf("live: wire chaos probabilities must be non-negative and sum to at most 1 (drop=%v dup=%v reorder=%v)",
+			c.Drop, c.Dup, c.Reorder)
+	}
+	return nil
+}
+
+type chaosAction uint8
+
+const (
+	chaosNone chaosAction = iota
+	chaosDrop
+	chaosDup
+	chaosHold
+)
+
+// decide maps one sequenced frame to its chaos action: a pure function of
+// (Seed, seq) via a splitmix64 hash, so runs with the same seed fault the
+// same frames.
+func (c WireChaos) decide(seq uint64) chaosAction {
+	x := uint64(c.Seed) ^ (seq * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	u := float64(x>>11) / (1 << 53)
+	switch {
+	case u < c.Drop:
+		return chaosDrop
+	case u < c.Drop+c.Dup:
+		return chaosDup
+	case u < c.Drop+c.Dup+c.Reorder:
+		return chaosHold
+	}
+	return chaosNone
+}
+
+// yieldFromWire converts a received yield frame into the plane-side
+// YieldFrame, rehydrating the panic value as its text rendering (fmt.Errorf
+// of a string renders identically, so cross-plane error texts still match).
+func yieldFromWire(f *wireFrame) YieldFrame {
+	var pv any
+	if f.Panicked {
+		pv = f.PanicMsg
+	}
+	return YieldFrame{
+		PID: f.PID, Round: f.Round, Yield: f.Yield,
+		PanicVal: pv, Panicked: f.Panicked,
+		Label: f.Label, Active: f.Active,
+	}
+}
+
+// defaultRTO is the retransmit interval for unacked frames; small enough
+// that chaos-dropped frames stall a round barely perceptibly, large enough
+// that loopback acks always win the race.
+const defaultRTO = 20 * time.Millisecond

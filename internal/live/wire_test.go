@@ -1,0 +1,227 @@
+package live_test
+
+// Wire-format tests: frame codec round trips over the whole protocol
+// payload alphabet, partial-read and bounds behaviour of the length-prefixed
+// reader, chaos-decision determinism, and a decode fuzzer. These pin the
+// byte-level contract the cluster tests exercise end to end.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+// wireSampleFrames covers every frame kind, with session frames carrying
+// every gob-registered payload the DHW92 protocol suite sends — a missing
+// registration fails here at encode time instead of hanging a live cluster.
+func wireSampleFrames() []*live.WireFrame {
+	msgs := func(payload any) []sim.Message {
+		return []sim.Message{{From: 1, To: 2, SentAt: 7, Payload: payload}}
+	}
+	frames := []*live.WireFrame{
+		{Kind: live.FrameHello, Session: 12, Rejoin: true},
+		{Kind: live.FrameWelcome, Session: 12, Spec: live.WireSpec{
+			Protocol: "b", Units: 24, Workers: 8, Lo: 4, Hi: 8,
+			Latency: live.Latency{Base: 1000, Jitter: 2000, Seed: 42},
+		}},
+		{Kind: live.FrameReady, Session: 12, Recoverable: []bool{true, false, true}},
+		{Kind: live.FrameGrant, Seq: 1, PID: 3, Round: 9, Msgs: msgs(core.PartialCP{C: 4})},
+		{Kind: live.FrameGrant, Seq: 2, PID: 3, Round: 10, Kill: true},
+		{Kind: live.FrameYield, Seq: 3, PID: 3, Round: 9, Label: "b:coord", Active: true,
+			Yield: sim.Yield{Kind: sim.YieldAction, Action: sim.Action{
+				WorkUnit: 5,
+				Sends:    []sim.Send{{To: 0, Payload: core.FullCP{C: 4, G: 2}}},
+				Broadcast: sim.Broadcast{To: []int{0, 1, 2}, Payload: &core.DView{
+					Phase: 2, S: []uint64{0b1011}, T: []uint64{0b0100}, Done: false,
+				}},
+			}}},
+		{Kind: live.FrameYield, Seq: 4, PID: 5, Round: 11,
+			Yield: sim.Yield{Kind: sim.YieldSleep, Until: 272629760}},
+		{Kind: live.FrameYield, Seq: 5, PID: 6, Round: 12, Panicked: true,
+			PanicMsg: "sim: invariant violated at round 12"},
+		{Kind: live.FrameCrash, Seq: 6, PID: 2, Round: 3},
+		{Kind: live.FrameRestart, Seq: 7, PID: 2, Round: 6},
+		{Kind: live.FrameAck, AckUpTo: 7},
+	}
+	// One grant per remaining payload kind the protocols put on the wire.
+	for i, payload := range []any{
+		core.GoAhead{},
+		core.AreYouAlive{},
+		core.Alive{},
+		core.COrdinary{View: view.Snapshot{
+			Faulty: []bool{false, true}, Point: []int{3, 0}, Round: []int64{8, 2},
+		}, Value: core.PartialCP{C: 1}},
+		core.UniformDone{U: 6},
+		core.NaiveReport{},
+	} {
+		frames = append(frames, &live.WireFrame{
+			Kind: live.FrameGrant, Seq: uint64(10 + i), PID: 1, Round: 4, Msgs: msgs(payload),
+		})
+	}
+	return frames
+}
+
+// TestWireFrameRoundTrip pins encode → write → read → decode as the
+// identity over the full frame alphabet, both per-frame and as a packed
+// stream (frames must be self-delimiting back to back).
+func TestWireFrameRoundTrip(t *testing.T) {
+	t.Parallel()
+	var stream bytes.Buffer
+	frames := wireSampleFrames()
+	for i, f := range frames {
+		b, err := live.EncodeWireFrame(f)
+		if err != nil {
+			t.Fatalf("frame %d (kind %d): encode: %v", i, f.Kind, err)
+		}
+		got, err := live.ReadWireFrame(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("frame %d (kind %d): read back: %v", i, f.Kind, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Errorf("frame %d (kind %d) round trip diverges:\nsent: %+v\ngot:  %+v", i, f.Kind, f, got)
+		}
+		stream.Write(b)
+	}
+	for i := range frames {
+		got, err := live.ReadWireFrame(&stream)
+		if err != nil {
+			t.Fatalf("packed stream frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, frames[i]) {
+			t.Errorf("packed stream frame %d diverges: %+v", i, got)
+		}
+	}
+	if stream.Len() != 0 {
+		t.Errorf("%d trailing bytes after reading all frames", stream.Len())
+	}
+}
+
+// TestWireFrameTruncation pins the reader's behaviour on a connection dying
+// mid-frame: every proper prefix of a valid frame is an error — EOF only at
+// the clean boundary (zero bytes), io.ErrUnexpectedEOF anywhere inside —
+// and never a mangled frame handed onward.
+func TestWireFrameTruncation(t *testing.T) {
+	t.Parallel()
+	full, err := live.EncodeWireFrame(&live.WireFrame{
+		Kind: live.FrameYield, Seq: 8, PID: 1, Round: 3, Label: "b:worker",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		_, err := live.ReadWireFrame(bytes.NewReader(full[:cut]))
+		switch {
+		case err == nil:
+			t.Fatalf("cut at %d of %d: truncated frame accepted", cut, len(full))
+		case cut == 0 && err != io.EOF:
+			t.Errorf("cut at 0: want clean io.EOF, got %v", err)
+		case cut > 0 && cut < 4 && !errors.Is(err, io.ErrUnexpectedEOF):
+			t.Errorf("cut inside header at %d: want io.ErrUnexpectedEOF, got %v", cut, err)
+		case cut >= 4 && !errors.Is(err, io.ErrUnexpectedEOF):
+			t.Errorf("cut inside body at %d: want io.ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+// TestWireFrameBounds pins the pre-allocation header checks: zero-length
+// and over-limit length prefixes are rejected before any body read, and a
+// frame body that decodes to an unknown kind is refused.
+func TestWireFrameBounds(t *testing.T) {
+	t.Parallel()
+	read := func(hdr []byte) error {
+		_, err := live.ReadWireFrame(bytes.NewReader(hdr))
+		return err
+	}
+	if err := read([]byte{0, 0, 0, 0}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("zero-length frame: want out-of-range error, got %v", err)
+	}
+	// 64MB length prefix with no body: must be refused on the header alone,
+	// not by attempting (and failing) a 64MB allocation + read.
+	if err := read([]byte{0x04, 0, 0, 0}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("oversized frame: want out-of-range error, got %v", err)
+	}
+	if _, err := live.DecodeWireFrame(nil); err == nil {
+		t.Error("empty body decoded")
+	}
+	bad, err := live.EncodeWireFrame(&live.WireFrame{Kind: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.ReadWireFrame(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "unknown") {
+		t.Errorf("unknown kind: want rejection, got %v", err)
+	}
+}
+
+// TestWireChaosDeterministic pins that chaos decisions are a pure function
+// of (Seed, seq) — the property that makes chaotic cluster runs replayable —
+// and that the empirical action mix tracks the configured probabilities.
+func TestWireChaosDeterministic(t *testing.T) {
+	t.Parallel()
+	c := live.WireChaos{Drop: 0.2, Dup: 0.1, Reorder: 0.15, Seed: 99}
+	const trials = 20000
+	counts := map[uint8]int{}
+	for seq := uint64(1); seq <= trials; seq++ {
+		a := live.ChaosDecide(c, seq)
+		if b := live.ChaosDecide(c, seq); b != a {
+			t.Fatalf("seq %d: decision not deterministic (%d then %d)", seq, a, b)
+		}
+		counts[a]++
+	}
+	total := float64(trials)
+	for want, got := range map[float64]int{0.2: counts[1], 0.1: counts[2], 0.15: counts[3]} {
+		if f := float64(got) / total; f < want-0.02 || f > want+0.02 {
+			t.Errorf("action rate %.3f, want ~%.2f", f, want)
+		}
+	}
+	other := live.WireChaos{Drop: 0.2, Dup: 0.1, Reorder: 0.15, Seed: 100}
+	same := 0
+	for seq := uint64(1); seq <= 1000; seq++ {
+		if live.ChaosDecide(c, seq) == live.ChaosDecide(other, seq) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+// FuzzWireFrame feeds arbitrary bodies to the decoder: anything it accepts
+// must re-encode and decode back to the same frame (the codec is stable on
+// its accepted set), and anything else must be rejected loudly — never a
+// panic, never a silent truncation.
+func FuzzWireFrame(f *testing.F) {
+	for _, fr := range wireSampleFrames() {
+		b, err := live.EncodeWireFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b[4:]) // seed with the body, sans length prefix
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x81, 0x03, 0x01})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := live.DecodeWireFrame(body)
+		if err != nil {
+			return // rejected loudly: fine
+		}
+		b, err := live.EncodeWireFrame(fr)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v\nframe: %+v", err, fr)
+		}
+		again, err := live.ReadWireFrame(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not read back: %v\nframe: %+v", err, fr)
+		}
+		if !reflect.DeepEqual(again, fr) {
+			t.Fatalf("codec not stable:\nfirst:  %+v\nsecond: %+v", fr, again)
+		}
+	})
+}

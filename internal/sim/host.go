@@ -69,6 +69,12 @@ func (p *Proc) Deliver(m Message) { p.inbox = append(p.inbox, m) }
 // hosts read it between steps when building trace events.
 func (p *Proc) Label() string { return p.label }
 
+// Active reports whether the process currently flags itself active (see
+// SetActive). External hosts read it between steps — a remote worker host
+// relays it to its coordinator with every yield frame so the at-most-active
+// invariant can be checked across process boundaries.
+func (p *Proc) Active() bool { return p.active }
+
 // SnapshotState checkpoints the process body for crash recovery, reporting
 // whether the stepper is Recoverable. External hosts call it at crash time
 // when a restart may follow, exactly as the engine's crash path does; an
