@@ -153,6 +153,14 @@ func BenchmarkEngineBroadcastFanout(b *testing.B) { benchEngineCase(b, "EngineBr
 
 func BenchmarkEngineFaultStorm(b *testing.B) { benchEngineCase(b, "EngineFaultStorm") }
 
+// BenchmarkEngineGossip measures the successor protocol — leader-free epoch
+// gossip, all processes concurrent — through a crash cascade; the Capped
+// variant adds the congested-clique bandwidth cap, so its delta is the
+// deferred-send queue's cost under constant rumor overflow.
+func BenchmarkEngineGossip(b *testing.B) { benchEngineCase(b, "EngineGossip") }
+
+func BenchmarkEngineGossipCapped(b *testing.B) { benchEngineCase(b, "EngineGossipCapped") }
+
 // BenchmarkSweepReuse measures pooled engine reuse across a whole job sweep
 // on one worker (allocs/op ≈ total per-run setup cost); shared with
 // cmd/bench via internal/benchmarks like the Engine* cases.
@@ -213,6 +221,8 @@ func BenchmarkLiveProtocolB(b *testing.B) { benchLiveCase(b, "LiveProtocolB") }
 func BenchmarkLiveProtocolD(b *testing.B) { benchLiveCase(b, "LiveProtocolD") }
 
 func BenchmarkLiveFaultStorm(b *testing.B) { benchLiveCase(b, "LiveFaultStorm") }
+
+func BenchmarkLiveGossip(b *testing.B) { benchLiveCase(b, "LiveGossip") }
 
 func BenchmarkAgreementViaB(b *testing.B) {
 	b.ReportAllocs()

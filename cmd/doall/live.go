@@ -25,7 +25,7 @@ import (
 func runLive(args []string) error {
 	fs := flag.NewFlagSet("live", flag.ExitOnError)
 	var (
-		protoName = fs.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|single-checkpoint|naive")
+		protoName = fs.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|gossip|single-checkpoint|naive")
 		units     = fs.Int("units", 64, "number of work units (n)")
 		workers   = fs.Int("workers", 16, "number of processes (t), one goroutine each")
 		schedule  = fs.String("schedule", "", "crash schedule in the explore grammar, e.g. 0@a7:keep:p0,1@r4")
@@ -38,6 +38,7 @@ func runLive(args []string) error {
 		loss      = fs.Float64("loss", 0, "drop each delivered message with this probability (seeded, replayable)")
 		lossSeed  = fs.Int64("loss-seed", 1, "rng seed for -loss")
 		maxDrops  = fs.Int("max-drops", 8, "at most this many messages lost to -loss")
+		bandwidth = fs.Int("bandwidth", 0, "per-round per-process outbound message cap (congested clique; 0 = unlimited)")
 		crashes   crashFlags
 	)
 	fs.Var(&crashes, "crash", "scheduled crash PID@ROUND (repeatable, merged into the schedule)")
@@ -63,6 +64,7 @@ func runLive(args []string) error {
 	opt := planeOptions{
 		n: *units, t: *workers,
 		maxActive: 0,
+		bandwidth: *bandwidth,
 		newSteppers: func() (func(int) sim.Stepper, error) {
 			return core.SteppersFor(tg.NewProcs())
 		},
@@ -113,6 +115,9 @@ func printResultBlock(res sim.Result, units int) {
 		fmt.Printf("faults:    %d restarts, %d dropped in transit, %d sends omitted\n",
 			res.Restarts, res.Dropped, res.Omitted)
 	}
+	if res.Deferred > 0 {
+		fmt.Printf("deferred:  %d sends queued past the bandwidth cap\n", res.Deferred)
+	}
 	fmt.Printf("complete:  %v\n", res.Complete())
 }
 
@@ -158,6 +163,7 @@ func finishReport(res sim.Result, verbose, showTrace bool, rec *trace.Recorder) 
 type planeOptions struct {
 	n, t         int
 	maxActive    int
+	bandwidth    int
 	newSteppers  func() (func(int) sim.Stepper, error)
 	newAdversary func() sim.Adversary
 }
@@ -170,6 +176,7 @@ func runLivePlane(opt planeOptions, tr live.Transport, hook func(sim.Event)) (si
 	return live.Run(live.Config{
 		NumProcs: opt.t, NumUnits: opt.n,
 		Adversary: opt.newAdversary(), MaxActive: opt.maxActive,
+		Bandwidth:       opt.bandwidth,
 		DetailedMetrics: true, Tracer: hook, Transport: tr,
 	}, steppers)
 }
@@ -181,6 +188,7 @@ func runSimPlane(opt planeOptions, hook func(sim.Event)) (sim.Result, error) {
 	}
 	return core.RunSteppers(opt.n, opt.t, steppers, core.RunOptions{
 		Adversary: opt.newAdversary(), MaxActive: opt.maxActive,
+		Bandwidth:       opt.bandwidth,
 		DetailedMetrics: true, Tracer: hook,
 	})
 }

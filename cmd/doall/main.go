@@ -72,6 +72,7 @@ var protocols = map[string]doall.Protocol{
 	"single-checkpoint": doall.SingleCheckpoint,
 	"uniform":           doall.UniformCheckpoint,
 	"naive":             doall.NaiveSpread,
+	"gossip":            doall.Gossip,
 }
 
 func main() {
@@ -98,7 +99,7 @@ func main() {
 
 func run() error {
 	var (
-		protoName = flag.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|trivial|single-checkpoint|uniform|naive")
+		protoName = flag.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|gossip|trivial|single-checkpoint|uniform|naive")
 		units     = flag.Int("units", 64, "number of work units (n)")
 		workers   = flag.Int("workers", 16, "number of processes (t)")
 		failures  = flag.String("failures", "none", "failure pattern: none|random|cascade|schedule")
@@ -107,6 +108,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "failure seed (random)")
 		between   = flag.Int("units-between", -1, "units before each crash (cascade; -1 = n/t)")
 		k         = flag.Int("k", 0, "checkpoint count (uniform protocol)")
+		bandwidth = flag.Int("bandwidth", 0, "per-round per-process outbound message cap (congested clique; 0 = unlimited)")
 		verbose   = flag.Bool("v", false, "print per-worker stats")
 		showTrace = flag.Bool("trace", false, "print an ASCII execution timeline")
 		crashes   crashFlags
@@ -143,7 +145,7 @@ func run() error {
 	var rec *trace.Recorder
 	cfg := doall.Config{
 		Units: *units, Workers: *workers, Protocol: proto,
-		Failures: f, CheckpointK: *k, CheckInvariants: true,
+		Failures: f, CheckpointK: *k, Bandwidth: *bandwidth, CheckInvariants: true,
 	}
 	if *showTrace {
 		rec = trace.NewRecorder(0)
@@ -166,6 +168,9 @@ func run() error {
 	fmt.Printf("effort:    %d\n", res.Effort())
 	fmt.Printf("rounds:    %d (simulated %d events)\n", res.Rounds, res.Events)
 	fmt.Printf("processes: %d survived, %d crashed\n", res.Survivors, res.Crashes)
+	if res.Deferred > 0 {
+		fmt.Printf("deferred:  %d sends queued past the bandwidth cap of %d\n", res.Deferred, *bandwidth)
+	}
 	fmt.Printf("complete:  %v\n", res.Complete)
 	if *verbose {
 		fmt.Println("\nworker  status      work  sent  retired@")

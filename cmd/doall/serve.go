@@ -25,7 +25,7 @@ import (
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		protoName = fs.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|single-checkpoint|naive")
+		protoName = fs.String("protocol", "b", "protocol: a|b|c|c-lowmsg|d|gossip|single-checkpoint|naive")
 		units     = fs.Int("units", 64, "number of work units (n)")
 		workers   = fs.Int("workers", 16, "number of processes (t), split across the joins")
 		joins     = fs.Int("joins", 2, "join processes to wait for; PIDs are split evenly across them")
@@ -43,6 +43,7 @@ func runServe(args []string) error {
 		loss      = fs.Float64("loss", 0, "drop each delivered message with this probability (seeded, replayable)")
 		lossSeed  = fs.Int64("loss-seed", 1, "rng seed for -loss")
 		maxDrops  = fs.Int("max-drops", 8, "at most this many messages lost to -loss")
+		bandwidth = fs.Int("bandwidth", 0, "per-round per-process outbound message cap (congested clique; 0 = unlimited)")
 		compare   = fs.Bool("compare", false, "also run the sim plane and require identical Result and trace")
 		verbose   = fs.Bool("v", false, "print per-worker stats")
 		showTrace = fs.Bool("trace", false, "print an ASCII execution timeline")
@@ -72,6 +73,7 @@ func runServe(args []string) error {
 	}
 	opt := planeOptions{
 		n: *units, t: *workers,
+		bandwidth: *bandwidth,
 		newSteppers: func() (func(int) sim.Stepper, error) {
 			return core.SteppersFor(tg.NewProcs())
 		},
@@ -109,6 +111,7 @@ func runServe(args []string) error {
 	clusterRes, err := live.Run(live.Config{
 		NumProcs: *workers, NumUnits: *units,
 		Adversary: opt.newAdversary(), MaxActive: opt.maxActive,
+		Bandwidth:       opt.bandwidth,
 		DetailedMetrics: true, Tracer: rec.Hook(), Transport: wt,
 	}, nil)
 	if err != nil {

@@ -18,6 +18,11 @@
 //     ≤ 2t² messages when nothing fails; degrades gracefully, reverting to
 //     Protocol A if more than half the live processes die in one phase.
 //
+// A successor protocol from the literature that followed the paper is also
+// provided: Gossip, a leader-free epidemic strategy whose per-epoch
+// communication is bounded by construction, designed for the
+// congested-clique bandwidth cap (Config.Bandwidth).
+//
 // Baselines from the paper's motivating discussion (Trivial,
 // SingleCheckpoint, UniformCheckpoint, NaiveSpread) are included for
 // comparison, as is the §5 Byzantine agreement application (RunAgreement)
@@ -60,6 +65,12 @@ const (
 	// knowledgeable takes over, no fault detection; Θ(n + t²) worst-case
 	// effort.
 	NaiveSpread
+	// Gossip is the successor strategy in the epidemic/gossip style:
+	// leader-free two-round epochs in which every process works on the first
+	// missing unit of its private seeded order and gossips its done-view to
+	// ~log t rotating peers. Pairs naturally with Config.Bandwidth (the
+	// congested-clique cap).
+	Gossip
 )
 
 // String implements fmt.Stringer.
@@ -83,6 +94,8 @@ func (p Protocol) String() string {
 		return "uniform-checkpoint"
 	case NaiveSpread:
 		return "naive-spread"
+	case Gossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("Protocol(%d)", int(p))
 	}
@@ -122,6 +135,11 @@ type Config struct {
 	// MaxRound aborts runaway executions (0 = no limit; note Protocol C's
 	// deadlines are exponential in n + t by design).
 	MaxRound int64
+	// Bandwidth caps the point-to-point messages each process may transmit
+	// per round — the congested-clique model. Over-budget sends are queued
+	// on the sender and transmitted by later rounds (Result.Deferred counts
+	// them). 0 means unlimited.
+	Bandwidth int
 	// Observer, when non-nil, is called once per performed unit of work
 	// with the worker and unit (e.g. to drive a workload.Workload).
 	Observer func(worker, unit int)
@@ -153,6 +171,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	opt := core.RunOptions{
 		MaxRound:        cfg.MaxRound,
+		Bandwidth:       cfg.Bandwidth,
 		DetailedMetrics: true,
 	}
 	if cfg.Tracer != nil {
@@ -226,6 +245,8 @@ func buildProcs(cfg Config) (core.Procs, error) {
 		}))
 	case NaiveSpread:
 		return scripted(core.NaiveSpreadScripts(core.NaiveConfig{N: cfg.Units, T: cfg.Workers, Exec: exec}))
+	case Gossip:
+		return core.GossipProcs(core.GossipConfig{N: cfg.Units, T: cfg.Workers, Exec: exec})
 	default:
 		return core.Procs{}, fmt.Errorf("doall: unknown protocol %v", cfg.Protocol)
 	}

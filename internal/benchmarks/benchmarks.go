@@ -83,6 +83,29 @@ func EngineCases() []EngineCase {
 				)
 			},
 		},
+		{
+			// The successor protocol: leader-free epoch gossip at t=16, all
+			// processes working concurrently — the point-to-point-heavy
+			// counterweight to the broadcast-heavy A–D cases.
+			Name: "EngineGossip",
+			Cfg:  doall.Config{Units: 256, Workers: 16, Protocol: doall.Gossip},
+			Failures: func() doall.Failures {
+				return doall.CascadeFailures(16, 15)
+			},
+		},
+		{
+			// The same run under the congested-clique bandwidth cap of half
+			// the fanout: every epoch's rumor overflow exercises the
+			// deferred-send queue and the pump phase.
+			Name: "EngineGossipCapped",
+			Cfg: doall.Config{
+				Units: 256, Workers: 16, Protocol: doall.Gossip,
+				Bandwidth: (core.GossipFanout(16) + 1) / 2,
+			},
+			Failures: func() doall.Failures {
+				return doall.CascadeFailures(16, 15)
+			},
+		},
 	}
 }
 
@@ -228,6 +251,7 @@ type LiveCase struct {
 	Name        string
 	N, T        int
 	MaxActive   int
+	Bandwidth   int // > 0: congested-clique per-round outbound cap
 	NewSteppers func() (func(int) sim.Stepper, error)
 	Adversary   func() sim.Adversary // fresh per run (adversaries are stateful)
 }
@@ -275,6 +299,16 @@ func LiveCases() []LiveCase {
 				)
 			},
 		},
+		{
+			// The live twin of EngineGossip: 16 gossiping goroutines through
+			// the same crash cascade — the live plane under point-to-point
+			// (rather than broadcast-record) message pressure.
+			Name: "LiveGossip", N: 256, T: 16,
+			NewSteppers: func() (func(int) sim.Stepper, error) {
+				return core.SteppersFor(core.GossipProcs(core.GossipConfig{N: 256, T: 16}))
+			},
+			Adversary: func() sim.Adversary { return adversary.NewCascade(16, 15) },
+		},
 	}
 }
 
@@ -295,6 +329,7 @@ func RunLive(b *testing.B, c LiveCase) {
 		}
 		res, err := live.Run(live.Config{
 			NumProcs: c.T, NumUnits: c.N, Adversary: adv, MaxActive: c.MaxActive,
+			Bandwidth: c.Bandwidth,
 		}, steppers)
 		if err != nil {
 			b.Fatal(err)

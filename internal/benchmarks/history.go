@@ -150,6 +150,7 @@ var gapPairs = [][2]string{
 	{"LiveProtocolB", "EngineProtocolB"},
 	{"LiveProtocolD", "EngineProtocolD"},
 	{"LiveFaultStorm", "EngineFaultStorm"},
+	{"LiveGossip", "EngineGossip"},
 }
 
 // Gap is one live/engine ns-per-op ratio.

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/sim"
+)
+
+// Gossip is the successor Do-All strategy in the style of the
+// epidemic/gossip line of algorithms (Chlebus–Kowalski and successors)
+// rather than the paper's coordinator chains: leader-free, epoch-structured,
+// and communication-bounded by construction. Every process keeps a local
+// view of the done units and alternates two-round epochs:
+//
+//   - work round: merge every rumor delivered so far into the view, then
+//     perform the first unit of its private seeded permutation not yet in
+//     the view (idling once the view is complete);
+//   - gossip round: broadcast the view as a Rumor to the next fanout-many
+//     peers of its private seeded peer rotation.
+//
+// The rotation advances by the fanout every epoch, so any cover-many
+// consecutive epochs reach every peer; with fanout ~log t the per-epoch
+// message cost is O(t log t) while information still spreads within
+// O(t/log t) epochs. A process whose view completes gossips for cover-many
+// more epochs (the retirement lap, so its complete view reaches everyone
+// even if every other rumor was lost) and halts.
+//
+// Correctness needs no delivery assumptions: a live process with an
+// incomplete view performs an unknown unit every epoch, so its own work
+// alone completes its view in at most n epochs — rumors only shave the
+// duplicated work. A unit enters a view either by local work or by a rumor
+// from a process that confirmed the unit one round after emitting it, so
+// poisoned bits (work discarded by a KeepWork=false crash) never propagate:
+// the crash kills the process before its confirm step, and the crash-time
+// checkpoint clears the in-flight unit (see Snapshot), so even a restarted
+// process retries it.
+//
+// Unlike the paper's single-active protocols, all t processes work
+// concurrently (SingleActive does not hold); the protocol is seeded per PID,
+// so it is not symmetric under PID renaming either.
+
+// Rumor is the gossip payload: the sender's view of the done units as
+// bitset words (unit u = bit u; bit 0 unused). The slice is a
+// copy-on-write snapshot of the sender's live view — receivers only read
+// it (Union), senders never mutate published words.
+type Rumor struct {
+	Done []uint64
+}
+
+// Kind implements sim.Kinder.
+func (Rumor) Kind() string { return "rumor" }
+
+// GossipConfig configures the gossip Do-All protocol.
+type GossipConfig struct {
+	// N is the number of work units, T the number of processes.
+	N, T int
+	// Seed diversifies the per-process unit permutations and peer
+	// rotations. Any value works; runs are deterministic in (N, T, Seed,
+	// Fanout).
+	Seed int64
+	// Fanout is the number of peers gossiped to per epoch; 0 picks the
+	// default GossipFanout(T) ≈ log t, and values above T-1 are clamped.
+	Fanout int
+	// Exec performs one unit of work (default: sim.Proc.StepWork). A
+	// custom executor forces the script substrate.
+	Exec WorkExecutor
+}
+
+// gossipPlan is the resolved shape shared by every process of a run.
+type gossipPlan struct {
+	n, t  int
+	d     int // fanout, clamped to [0, t-1]
+	cover int // epochs for the rotation to reach every peer: ceil((t-1)/d)
+	seed  int64
+}
+
+func planGossip(cfg GossipConfig) (gossipPlan, error) {
+	if cfg.T <= 0 || cfg.N < 0 || cfg.Fanout < 0 {
+		return gossipPlan{}, fmt.Errorf("core: invalid gossip config n=%d t=%d fanout=%d", cfg.N, cfg.T, cfg.Fanout)
+	}
+	d := cfg.Fanout
+	if d == 0 {
+		d = GossipFanout(cfg.T)
+	}
+	if d > cfg.T-1 {
+		d = cfg.T - 1
+	}
+	pl := gossipPlan{n: cfg.N, t: cfg.T, d: d, seed: cfg.Seed}
+	if d > 0 {
+		pl.cover = (cfg.T - 2 + d) / d
+	}
+	return pl, nil
+}
+
+// splitmix64 is the SplitMix64 generator step: tiny, seedable and stable
+// across Go versions, unlike math/rand. Protocol determinism (and so
+// cross-plane conformance) rides on it.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// gossipSeed derives the per-process, per-purpose shuffle seed.
+func gossipSeed(seed int64, id int, salt uint64) uint64 {
+	s := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(id+1)*0xd1342543de82ef95 ^ salt
+	return splitmix64(&s)
+}
+
+// seededShuffle is a Fisher–Yates shuffle driven by splitmix64.
+func seededShuffle(vals []int, seed uint64) {
+	s := seed
+	for i := len(vals) - 1; i > 0; i-- {
+		j := int(splitmix64(&s) % uint64(i+1))
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+}
+
+const (
+	gossipWorkRound = iota // next step is the epoch's work round
+	gossipSendRound        // next step is the epoch's gossip round
+)
+
+// gossipMachine is one process's gossip state. It is both the machine for
+// the stepper substrate and the state core the script substrate drives, so
+// the two transliterations cannot drift.
+type gossipMachine struct {
+	plan  gossipPlan
+	id    int
+	done  *bitset.Set // view of done units, bits 1..n
+	perm  []int       // private unit order (immutable after build)
+	peers []int       // private peer rotation order (immutable after build)
+
+	permIdx int   // perm positions before this are all in done
+	cursor  int   // rotation position of the next gossip window
+	pending int   // unit emitted this epoch, confirmed done at the next step
+	lap     int   // retirement epochs left once complete; -1 = still working
+	phase   int   // gossipWorkRound or gossipSendRound
+	to      []int // recipient scratch for window
+}
+
+func newGossipState(pl gossipPlan, id int) *gossipMachine {
+	perm := make([]int, pl.n)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	seededShuffle(perm, gossipSeed(pl.seed, id, 0x776f726b)) // "work"
+	peers := make([]int, 0, pl.t-1)
+	for p := 0; p < pl.t; p++ {
+		if p != id {
+			peers = append(peers, p)
+		}
+	}
+	seededShuffle(peers, gossipSeed(pl.seed, id, 0x70656572)) // "peer"
+	return &gossipMachine{
+		plan:  pl,
+		id:    id,
+		done:  bitset.New(pl.n+1, false),
+		perm:  perm,
+		peers: peers,
+		lap:   -1,
+	}
+}
+
+// observe confirms the previous epoch's emitted unit (reaching this step
+// means the work action committed and the process outlived it) and merges
+// every delivered rumor into the view.
+func (m *gossipMachine) observe(msgs []sim.Message) {
+	if m.pending > 0 {
+		m.done.Add(m.pending)
+		m.pending = 0
+	}
+	for i := range msgs {
+		if r, ok := msgs[i].Payload.(Rumor); ok {
+			m.done.Union(r.Done)
+		}
+	}
+}
+
+// nextUnit returns the first unit of the private order not in the view, or
+// 0 when the view is complete. The scan cursor only ever advances over done
+// units, so a unit handed out but never confirmed is retried.
+func (m *gossipMachine) nextUnit() int {
+	for m.permIdx < len(m.perm) {
+		u := m.perm[m.permIdx]
+		if !m.done.Has(u) {
+			return u
+		}
+		m.permIdx++
+	}
+	return 0
+}
+
+// retired starts the retirement lap on the first complete-view work round
+// and reports whether the lap is over (time to halt).
+func (m *gossipMachine) retired() bool {
+	if m.lap < 0 {
+		m.lap = m.plan.cover
+	}
+	return m.lap == 0
+}
+
+// lapTick burns one retirement epoch, counted at the gossip round.
+func (m *gossipMachine) lapTick() {
+	if m.lap > 0 {
+		m.lap--
+	}
+}
+
+// window returns the next fanout-many peers of the rotation and advances
+// it. Consecutive positions of a ring walk, so any cover-many consecutive
+// windows visit every peer.
+func (m *gossipMachine) window() []int {
+	k := len(m.peers)
+	if k == 0 {
+		return nil
+	}
+	to := m.to[:0]
+	for i := 0; i < m.plan.d; i++ {
+		to = append(to, m.peers[(m.cursor+i)%k])
+	}
+	m.cursor = (m.cursor + m.plan.d) % k
+	m.to = to
+	return to
+}
+
+// Step implements sim.Stepper.
+func (m *gossipMachine) Step(p *sim.Proc) sim.Yield { return machineYield(m, p) }
+
+func (m *gossipMachine) step(p *sim.Proc) (sim.Yield, bool) {
+	m.observe(p.Drain())
+	if m.phase == gossipWorkRound {
+		m.phase = gossipSendRound
+		if u := m.nextUnit(); u > 0 {
+			m.pending = u
+			return workYield(u), false
+		}
+		if m.retired() {
+			return sim.Yield{}, true
+		}
+		return idleYield(), false
+	}
+	m.phase = gossipWorkRound
+	m.lapTick()
+	return broadcastYield(p, m.window(), Rumor{Done: m.done.Shared()}), false
+}
+
+// Snapshot implements sim.Recoverable. The pending unit is deliberately
+// dropped from the checkpoint: if the crash carried KeepWork=false the unit
+// was never performed, and a restarted process that still believed in it
+// would gossip a unit nobody did. Clearing it is sound in both cases — at
+// worst the restarted process redoes one unit.
+func (m *gossipMachine) Snapshot() any {
+	cp := *m
+	cp.done = m.done.Clone()
+	cp.pending = 0
+	cp.to = nil
+	return &cp
+}
+
+// Restore implements sim.Recoverable.
+func (m *gossipMachine) Restore(snap any) {
+	s := snap.(*gossipMachine)
+	*m = *s
+	m.done = s.done.Clone()
+}
+
+var _ sim.Recoverable = (*gossipMachine)(nil)
+
+// GossipSteppers builds the gossip protocol on the stepper substrate
+// (crash-recoverable).
+func GossipSteppers(cfg GossipConfig) (func(id int) sim.Stepper, error) {
+	if !steppable(cfg.Exec) {
+		return nil, errNeedsScripts
+	}
+	pl, err := planGossip(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return func(id int) sim.Stepper { return newGossipState(pl, id) }, nil
+}
+
+// GossipScripts builds the gossip protocol on the script substrate — a
+// literal transliteration of the machine (it drives the same state core),
+// kept for the substrate-equivalence suite and custom work executors.
+func GossipScripts(cfg GossipConfig) (func(id int) sim.Script, error) {
+	pl, err := planGossip(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ex := cfg.Exec
+	if ex == nil {
+		ex = defaultExec
+	}
+	return func(id int) sim.Script {
+		return func(p *sim.Proc) {
+			g := newGossipState(pl, id)
+			for {
+				// Work round.
+				g.observe(p.Drain())
+				if u := g.nextUnit(); u > 0 {
+					g.pending = u
+					ex(p, u)
+				} else if g.retired() {
+					return
+				} else {
+					p.StepIdle()
+				}
+				// Gossip round.
+				g.observe(p.Drain())
+				g.lapTick()
+				p.StepBroadcast(g.window(), Rumor{Done: g.done.Shared()})
+			}
+		}
+	}, nil
+}
+
+// GossipProcs builds a standalone gossip run on the fastest substrate the
+// config allows: steppers for the default work executor, scripts otherwise.
+func GossipProcs(cfg GossipConfig) (Procs, error) {
+	if steppable(cfg.Exec) {
+		steppers, err := GossipSteppers(cfg)
+		if err != nil {
+			return Procs{}, err
+		}
+		return Procs{Steppers: steppers}, nil
+	}
+	scripts, err := GossipScripts(cfg)
+	if err != nil {
+		return Procs{}, err
+	}
+	return Procs{Scripts: scripts}, nil
+}

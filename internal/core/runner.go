@@ -16,6 +16,9 @@ type RunOptions struct {
 	MaxActive int
 	// MaxRound aborts runaway executions (0 = engine default).
 	MaxRound int64
+	// Bandwidth caps per-process outbound transmissions per round
+	// (sim.Config.Bandwidth; 0 = unlimited).
+	Bandwidth int
 	// DetailedMetrics enables per-kind message counting.
 	DetailedMetrics bool
 	// Tracer receives one event per committed action when non-nil.
@@ -92,6 +95,7 @@ func engineConfig(n, t int, opt RunOptions) sim.Config {
 		Adversary:       opt.Adversary,
 		MaxRound:        opt.MaxRound,
 		MaxActive:       opt.MaxActive,
+		Bandwidth:       opt.Bandwidth,
 		DetailedMetrics: opt.DetailedMetrics,
 		Tracer:          opt.Tracer,
 	}

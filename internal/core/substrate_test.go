@@ -64,6 +64,16 @@ func substrateCases(n, t int) []substrateCase {
 				return ProtocolDScripts(DConfig{N: n, T: t, DisableRevert: true})
 			},
 		},
+		{
+			name:    "gossip",
+			procs:   func() (Procs, error) { return GossipProcs(GossipConfig{N: n, T: t}) },
+			scripts: func() (func(int) sim.Script, error) { return GossipScripts(GossipConfig{N: n, T: t}) },
+		},
+		{
+			name:    "gossip-seeded",
+			procs:   func() (Procs, error) { return GossipProcs(GossipConfig{N: n, T: t, Seed: 42}) },
+			scripts: func() (func(int) sim.Script, error) { return GossipScripts(GossipConfig{N: n, T: t, Seed: 42}) },
+		},
 	}
 	return cases
 }

@@ -19,4 +19,5 @@ func init() {
 	gob.Register(&DView{})
 	gob.Register(UniformDone{})
 	gob.Register(NaiveReport{})
+	gob.Register(Rumor{})
 }

@@ -1,7 +1,7 @@
 // Package experiments regenerates every table and figure of the paper's
 // evaluation: the worst-case bound theorems (T1–T9), the motivating
 // complexity comparisons (F1–F7) and reproduction-specific ablations and
-// model-checking sweeps (X1–X6). DESIGN.md carries the experiment index;
+// model-checking sweeps (X1–X7). DESIGN.md carries the experiment index;
 // cmd/experiments renders
 // the output of Run into EXPERIMENTS.md via the internal/batch fan-out
 // runner; bench_test.go exposes each experiment as a benchmark.
@@ -129,6 +129,7 @@ func All() []Experiment {
 		{ID: "X4", Run: X4ScheduleSpace},
 		{ID: "X5", Run: X5FaultSurvival},
 		{ID: "X6", Run: X6CertificationAtScale},
+		{ID: "X7", Run: X7SuccessorCertification},
 	}
 }
 

@@ -42,17 +42,23 @@ type Target struct {
 	// MaxRound aborts runaway executions; an abort is reported as a
 	// violation. 0 means the engine default.
 	MaxRound int64
-	NewProcs func() (core.Procs, error)
-	Bounds   Bounds
+	// Bandwidth caps per-process outbound transmissions per round (the
+	// congested-clique model; 0 = unlimited). The gossip-cap target
+	// certifies its bounds under this cap.
+	Bandwidth int
+	NewProcs  func() (core.Procs, error)
+	Bounds    Bounds
 }
 
 // NewTarget builds a certification target for a named protocol (the
-// cmd/doall names: a, b, c, c-lowmsg, d, trivial, single-checkpoint,
-// naive). maxCrashes is the f the bounds assume; use t-1 or less to
-// preserve the one-survivor guarantee. Protocols A-D get the paper's bounds
-// with this reproduction's model-adjusted round constants; trivial gets its
-// exact tn work bound; the other baselines certify the completion guarantee
-// and the single-active invariant only.
+// cmd/doall names: a, b, c, c-lowmsg, d, gossip, gossip-cap, trivial,
+// single-checkpoint, naive). maxCrashes is the f the bounds assume; use t-1
+// or less to preserve the one-survivor guarantee. Protocols A-D get the
+// paper's bounds with this reproduction's model-adjusted round constants;
+// gossip (and its bandwidth-capped variant) gets the CGKS-style work and
+// message bounds from core; trivial gets its exact tn work bound; the other
+// baselines certify the completion guarantee and the single-active
+// invariant only.
 func NewTarget(protocol string, n, t, maxCrashes int) (Target, error) {
 	if t <= 0 || n < 0 {
 		return Target{}, fmt.Errorf("explore: bad instance n=%d t=%d", n, t)
@@ -106,6 +112,23 @@ func NewTarget(protocol string, n, t, maxCrashes int) (Target, error) {
 			Work:     int64(4 * max(n, t)),
 			Messages: int64((4*f+2)*t*t) + int64(9*rootT/(2*math.Sqrt2)),
 			Rounds:   core.ProtocolDRoundBound(n, t, f),
+		}
+	case "gossip", "gossip-cap":
+		// The successor protocol: leader-free epoch gossip (see
+		// core/gossip_step.go). gossip-cap runs the same protocol under a
+		// congested-clique bandwidth cap of half the fanout, which defers
+		// each epoch's rumor overflow by one round (lag 1 in the bounds).
+		tg.NewProcs = func() (core.Procs, error) { return core.GossipProcs(core.GossipConfig{N: n, T: t}) }
+		tg.SingleActive = false
+		lag := 0
+		if protocol == "gossip-cap" {
+			lag = 1
+			tg.Bandwidth = max(1, (core.GossipFanout(t)+1)/2)
+		}
+		tg.Bounds = Bounds{
+			Work:     core.GossipWorkBound(n, t, f, lag),
+			Messages: core.GossipMessageBound(n, t, f, lag),
+			Rounds:   core.GossipRoundBound(n, t, f, lag),
 		}
 	case "trivial":
 		// The paper's §1 baseline: every process performs every unit and
@@ -168,7 +191,7 @@ func (tg Target) runVector(vec Vector) (sim.Result, *Adversary, error) {
 		return sim.Result{}, nil, err
 	}
 	adv := vec.Adversary()
-	opt := core.RunOptions{Adversary: adv, MaxRound: tg.MaxRound}
+	opt := core.RunOptions{Adversary: adv, MaxRound: tg.MaxRound, Bandwidth: tg.Bandwidth}
 	if tg.SingleActive {
 		opt.MaxActive = 1
 	}
@@ -185,7 +208,7 @@ func (tg Target) runProfiled(vec Vector, pid int) (sim.Result, *runProfile, erro
 	}
 	prof := &runProfile{pid: pid}
 	adv := &profilingAdversary{Adversary: vec.Adversary(), prof: prof}
-	opt := core.RunOptions{Adversary: adv, MaxRound: tg.MaxRound}
+	opt := core.RunOptions{Adversary: adv, MaxRound: tg.MaxRound, Bandwidth: tg.Bandwidth}
 	if tg.SingleActive {
 		opt.MaxActive = 1
 	}

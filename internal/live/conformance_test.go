@@ -84,6 +84,7 @@ func runBothTraced(t *testing.T, n, tt int, c planeCase, mkAdv func() sim.Advers
 	simRes, simErr := core.RunSteppers(n, tt, steppers, core.RunOptions{
 		Adversary:       mkAdv(),
 		MaxActive:       c.maxActive,
+		Bandwidth:       c.bandwidth,
 		DetailedMetrics: true,
 		Tracer:          func(e sim.Event) { simTrace = append(simTrace, e) },
 	})
@@ -97,6 +98,7 @@ func runBothTraced(t *testing.T, n, tt int, c planeCase, mkAdv func() sim.Advers
 		NumUnits:        n,
 		Adversary:       mkAdv(),
 		MaxActive:       c.maxActive,
+		Bandwidth:       c.bandwidth,
 		DetailedMetrics: true,
 		Tracer:          func(e sim.Event) { liveTrace = append(liveTrace, e) },
 	}, steppers)
@@ -141,7 +143,7 @@ func TestFaultConformanceWireTCP(t *testing.T) {
 		t.Skip("spawns socket clusters")
 	}
 	g := struct{ n, t int }{16, 4}
-	for _, proto := range []string{"a", "b", "c", "d"} {
+	for _, proto := range []string{"a", "b", "c", "d", "gossip"} {
 		for advName, mkAdv := range faultAdversaries(g.n, g.t) {
 			name := fmt.Sprintf("%s/n=%d,t=%d/%s", proto, g.n, g.t, advName)
 			proto, mkAdv := proto, mkAdv

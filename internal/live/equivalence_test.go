@@ -23,6 +23,9 @@ type planeCase struct {
 	name      string
 	steppers  func() (func(int) sim.Stepper, error)
 	maxActive int
+	// bandwidth, when > 0, runs both planes under the congested-clique
+	// per-round outbound cap (sim/live Config.Bandwidth).
+	bandwidth int
 }
 
 func planeCases(n, t int) []planeCase {
@@ -65,6 +68,22 @@ func planeCases(n, t int) []planeCase {
 		{
 			name:     "D",
 			steppers: func() (func(int) sim.Stepper, error) { return fromProcs(core.ProtocolDProcs(core.DConfig{N: n, T: t})) },
+		},
+		{
+			name: "gossip",
+			steppers: func() (func(int) sim.Stepper, error) {
+				return fromProcs(core.GossipProcs(core.GossipConfig{N: n, T: t}))
+			},
+		},
+		{
+			// The congested-clique leg: the same gossip machines under a
+			// bandwidth cap of half the fanout, so every epoch's rumor
+			// overflow exercises the deferred-send queue on both planes.
+			name: "gossip-cap",
+			steppers: func() (func(int) sim.Stepper, error) {
+				return fromProcs(core.GossipProcs(core.GossipConfig{N: n, T: t}))
+			},
+			bandwidth: max(1, (core.GossipFanout(t)+1)/2),
 		},
 	}
 }
@@ -115,6 +134,7 @@ func runBoth(t *testing.T, n, tt int, c planeCase, mkAdv func() sim.Adversary, t
 	simRes, simErr := core.RunSteppers(n, tt, steppers, core.RunOptions{
 		Adversary:       mkAdv(),
 		MaxActive:       c.maxActive,
+		Bandwidth:       c.bandwidth,
 		DetailedMetrics: true,
 	})
 	steppers, err = c.steppers() // protocol state is single-use; rebuild
@@ -126,6 +146,7 @@ func runBoth(t *testing.T, n, tt int, c planeCase, mkAdv func() sim.Adversary, t
 		NumUnits:        n,
 		Adversary:       mkAdv(),
 		MaxActive:       c.maxActive,
+		Bandwidth:       c.bandwidth,
 		DetailedMetrics: true,
 		Transport:       tr,
 	}, steppers)

@@ -64,6 +64,9 @@ type Config struct {
 	// MaxActive, when > 0, verifies the at-most-MaxActive invariant after
 	// every round.
 	MaxActive int
+	// Bandwidth, when > 0, caps the messages each process may transmit per
+	// round, deferring the overflow exactly as sim.Config.Bandwidth does.
+	Bandwidth int
 	// DetailedMetrics enables per-kind message counting.
 	DetailedMetrics bool
 	// Tracer, when non-nil, receives one event per committed action, in the
@@ -103,6 +106,15 @@ type procState struct {
 	snapped    bool
 	restartAts []int64
 	restarts   int64
+
+	// Bandwidth cap (mirrors the engine's Proc fields): sendq holds
+	// committed-but-untransmitted messages awaiting budget, sentInRound
+	// meters this round's transmissions (lazily restamped via sentRound),
+	// deferred totals the overflowed sends.
+	sendq       []sim.Message
+	sentRound   int64
+	sentInRound int
+	deferred    int64
 
 	retireRound int64
 	workDone    int64
@@ -347,11 +359,12 @@ func (pl *Plane) reset(cfg Config, steppers func(id int) sim.Stepper) {
 				ps.p.Rehost(pl, id, steppers(id))
 			}
 		}
-		p, restartAts, mail := ps.p, ps.restartAts[:0], ps.mail[:0]
+		p, restartAts, mail, sendq := ps.p, ps.restartAts[:0], ps.mail[:0], ps.sendq[:0]
 		*ps = procState{
 			p: p, status: sim.StatusRunning,
 			runnable:   true, // round 0: everyone steps, as in the engine
 			restartAts: restartAts, mail: mail,
+			sendq: sendq, sentRound: -1,
 		}
 	}
 }
@@ -372,6 +385,7 @@ func (pl *Plane) scrub() {
 	}
 	for _, ps := range pl.procs {
 		ps.mail = scrubSlice(ps.mail)
+		ps.sendq = scrubSlice(ps.sendq)
 		if ps.p != nil { // nil for procs only ever used by remote runs
 			ps.p.Scrub()
 		}
@@ -481,6 +495,7 @@ func (pl *Plane) turn(opening bool) {
 		pl.crashScheduled()
 		pl.deliver()
 		pl.wakeSleepers()
+		pl.pumpDeferred()
 		if pl.grantRunnable() > 0 {
 			return // token parked at the barrier until the batch completes
 		}
@@ -578,6 +593,7 @@ func (pl *Plane) crash(ps *procState, pid int, restartAt int64) {
 	ps.runnable = false
 	ps.sleeping = false
 	ps.stalled = false
+	ps.sendq = ps.sendq[:0] // bandwidth-deferred sends die with the sender
 	pl.live--
 	pl.metrics.Crashes++
 	if !pl.remote {
@@ -661,6 +677,7 @@ func (pl *Plane) transportCrash(ps *procState, pid int) {
 	ps.runnable = false
 	ps.sleeping = false
 	ps.stalled = false
+	ps.sendq = ps.sendq[:0] // bandwidth-deferred sends die with the sender
 	pl.live--
 	pl.metrics.Crashes++
 }
@@ -781,6 +798,93 @@ func (pl *Plane) wakeSleepers() {
 			ps.runnable = true
 		}
 	}
+}
+
+// budgetLeft returns the process's remaining transmissions this round under
+// the bandwidth cap, lazily resetting the per-round meter (the engine's
+// budgetLeft, on plane state).
+func (pl *Plane) budgetLeft(ps *procState) int {
+	if ps.sentRound != pl.now {
+		ps.sentRound = pl.now
+		ps.sentInRound = 0
+	}
+	return pl.cfg.Bandwidth - ps.sentInRound
+}
+
+// transmit books one capped-mode message onto the next-round buffer,
+// mirroring the engine's transmit: Messages advance at transmission, not
+// commit.
+func (pl *Plane) transmit(ps *procState, pid int, m sim.Message) {
+	pl.metrics.Messages++
+	ps.msgsSent++
+	ps.sentInRound++
+	if pl.metrics.MessagesByKind != nil {
+		pl.metrics.MessagesByKind[sim.PayloadKind(m.Payload)]++
+	}
+	if n := len(pl.pendingNext); n > 0 && pl.pendingNext[n-1].From > pid {
+		pl.pendingUnsorted = true
+	}
+	pl.pendingNext = append(pl.pendingNext, m)
+}
+
+// pumpDeferred drains bandwidth-deferred send queues into the next-round
+// buffer in ascending PID order, up to each process's round budget — the
+// engine's pump phase, run in the same slot of the round (after wakeups,
+// before this round's steps are granted, and so before their commits land).
+func (pl *Plane) pumpDeferred() {
+	if pl.cfg.Bandwidth <= 0 {
+		return
+	}
+	for pid, ps := range pl.procs {
+		q := ps.sendq
+		if len(q) == 0 {
+			continue
+		}
+		i := 0
+		for i < len(q) && pl.budgetLeft(ps) > 0 {
+			pl.transmit(ps, pid, q[i])
+			i++
+		}
+		if i > 0 {
+			rest := copy(q, q[i:])
+			clear(q[rest:]) // drop moved payload references
+			ps.sendq = q[:rest]
+		}
+	}
+}
+
+// commitCapped walks an action's virtual send list under the bandwidth cap,
+// transmitting while the budget lasts and queueing the remainder, exactly as
+// the engine's commitCapped (broadcasts flatten; error text and valid-prefix
+// accounting unchanged). Reports false when the run has failed.
+func (pl *Plane) commitCapped(ps *procState, pid int, sends []sim.Send, bcast sim.Broadcast) bool {
+	for _, s := range sends {
+		if s.To < 0 || s.To >= len(pl.procs) {
+			pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, s.To))
+			return false
+		}
+		pl.sendCapped(ps, pid, sim.Message{From: pid, To: s.To, SentAt: pl.now, Payload: s.Payload})
+	}
+	for _, to := range bcast.To {
+		if to < 0 || to >= len(pl.procs) {
+			pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, to))
+			return false
+		}
+		pl.sendCapped(ps, pid, sim.Message{From: pid, To: to, SentAt: pl.now, Payload: bcast.Payload})
+	}
+	return true
+}
+
+// sendCapped transmits one committed message within budget or defers it,
+// counting the deferral once at the overflowing commit.
+func (pl *Plane) sendCapped(ps *procState, pid int, m sim.Message) {
+	if pl.budgetLeft(ps) > 0 {
+		pl.transmit(ps, pid, m)
+		return
+	}
+	ps.sendq = append(ps.sendq, m)
+	ps.deferred++
+	pl.metrics.Deferred++
 }
 
 // grantRunnable arms the barrier and grants one step to every runnable
@@ -933,63 +1037,69 @@ func (pl *Plane) commitAction(ps *procState, pid int, a sim.Action) {
 			}
 		}
 	}
-	if len(sends) > 0 || len(bcast.To) > 0 {
-		if n := len(pl.pendingNext); n > 0 && pl.pendingNext[n-1].From > pid {
-			pl.pendingUnsorted = true
-		}
-		if n := len(pl.pendingBcast); n > 0 && pl.pendingBcast[n-1].from > pid {
-			pl.pendingUnsorted = true
-		}
-	}
-	var runKind string
-	var runCount int64
-	for _, s := range sends {
-		if s.To < 0 || s.To >= len(pl.procs) {
-			if runCount > 0 {
-				pl.metrics.MessagesByKind[runKind] += runCount
-			}
-			pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, s.To))
+	if pl.cfg.Bandwidth > 0 {
+		if !pl.commitCapped(ps, pid, sends, bcast) {
 			return
 		}
-		pl.metrics.Messages++
-		ps.msgsSent++
-		if pl.metrics.MessagesByKind != nil {
-			if k := sim.PayloadKind(s.Payload); k == runKind {
-				runCount++
-			} else {
+	} else {
+		if len(sends) > 0 || len(bcast.To) > 0 {
+			if n := len(pl.pendingNext); n > 0 && pl.pendingNext[n-1].From > pid {
+				pl.pendingUnsorted = true
+			}
+			if n := len(pl.pendingBcast); n > 0 && pl.pendingBcast[n-1].from > pid {
+				pl.pendingUnsorted = true
+			}
+		}
+		var runKind string
+		var runCount int64
+		for _, s := range sends {
+			if s.To < 0 || s.To >= len(pl.procs) {
 				if runCount > 0 {
 					pl.metrics.MessagesByKind[runKind] += runCount
 				}
-				runKind, runCount = k, 1
-			}
-		}
-		pl.pendingNext = append(pl.pendingNext, sim.Message{
-			From: pid, To: s.To, SentAt: pl.now, Payload: s.Payload,
-		})
-	}
-	if runCount > 0 {
-		pl.metrics.MessagesByKind[runKind] += runCount
-	}
-	if len(bcast.To) > 0 {
-		var counted int64
-		for _, to := range bcast.To {
-			if to < 0 || to >= len(pl.procs) {
-				if counted > 0 && pl.metrics.MessagesByKind != nil {
-					pl.metrics.MessagesByKind[sim.PayloadKind(bcast.Payload)] += counted
-				}
-				pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, to))
+				pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, s.To))
 				return
 			}
-			counted++
 			pl.metrics.Messages++
 			ps.msgsSent++
+			if pl.metrics.MessagesByKind != nil {
+				if k := sim.PayloadKind(s.Payload); k == runKind {
+					runCount++
+				} else {
+					if runCount > 0 {
+						pl.metrics.MessagesByKind[runKind] += runCount
+					}
+					runKind, runCount = k, 1
+				}
+			}
+			pl.pendingNext = append(pl.pendingNext, sim.Message{
+				From: pid, To: s.To, SentAt: pl.now, Payload: s.Payload,
+			})
 		}
-		if pl.metrics.MessagesByKind != nil {
-			pl.metrics.MessagesByKind[sim.PayloadKind(bcast.Payload)] += counted
+		if runCount > 0 {
+			pl.metrics.MessagesByKind[runKind] += runCount
 		}
-		pl.pendingBcast = append(pl.pendingBcast, bcastRec{
-			from: pid, sentAt: pl.now, payload: bcast.Payload, to: bcast.To,
-		})
+		if len(bcast.To) > 0 {
+			var counted int64
+			for _, to := range bcast.To {
+				if to < 0 || to >= len(pl.procs) {
+					if counted > 0 && pl.metrics.MessagesByKind != nil {
+						pl.metrics.MessagesByKind[sim.PayloadKind(bcast.Payload)] += counted
+					}
+					pl.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", pid, to))
+					return
+				}
+				counted++
+				pl.metrics.Messages++
+				ps.msgsSent++
+			}
+			if pl.metrics.MessagesByKind != nil {
+				pl.metrics.MessagesByKind[sim.PayloadKind(bcast.Payload)] += counted
+			}
+			pl.pendingBcast = append(pl.pendingBcast, bcastRec{
+				from: pid, sentAt: pl.now, payload: bcast.Payload, to: bcast.To,
+			})
+		}
 	}
 	pl.trace(ps, pid, a, verdict.Crash, false)
 	if verdict.Crash {
@@ -1086,7 +1196,7 @@ func (pl *Plane) finalize() {
 		pl.metrics.PerProc[i] = sim.ProcStats{
 			Status: ps.status, Work: ps.workDone, Sent: ps.msgsSent,
 			RetireRound: ps.retireRound, Actions: ps.actions,
-			Restarts: ps.restarts,
+			Restarts: ps.restarts, Deferred: ps.deferred,
 		}
 		if ps.status != sim.StatusRunning {
 			if ps.retireRound > last {

@@ -38,6 +38,7 @@ type wireCluster struct {
 	protocol   string
 	n, tt      int
 	joins      int
+	bandwidth  int    // > 0: congested-clique per-round outbound cap (serve-side)
 	network    string // "tcp" (default) or "unix"
 	latency    live.Latency
 	serveChaos live.WireChaos
@@ -114,9 +115,10 @@ func (cc wireCluster) run(t *testing.T, mkAdv func() sim.Adversary) (sim.Result,
 	var trace []sim.Event
 	res, runErr := live.Run(live.Config{
 		NumProcs: cc.tt, NumUnits: cc.n,
-		Adversary: mkAdv(), MaxActive: maxActive, DetailedMetrics: true,
-		Tracer:    func(e sim.Event) { trace = append(trace, e) },
-		Transport: wt,
+		Adversary: mkAdv(), MaxActive: maxActive, Bandwidth: cc.bandwidth,
+		DetailedMetrics: true,
+		Tracer:          func(e sim.Event) { trace = append(trace, e) },
+		Transport:       wt,
 	}, nil)
 	close(stopBounce)
 	for i := 0; i < joins; i++ {
@@ -129,7 +131,7 @@ func (cc wireCluster) run(t *testing.T, mkAdv func() sim.Adversary) (sim.Result,
 
 // engineReference runs the same configuration on the sim engine with a
 // trace.
-func engineReference(t *testing.T, protocol string, n, tt int, mkAdv func() sim.Adversary) (sim.Result, []sim.Event, error) {
+func engineReference(t *testing.T, protocol string, n, tt, bandwidth int, mkAdv func() sim.Adversary) (sim.Result, []sim.Event, error) {
 	t.Helper()
 	st, single, err := steppersByName(protocol, n, tt)
 	if err != nil {
@@ -141,8 +143,9 @@ func engineReference(t *testing.T, protocol string, n, tt int, mkAdv func() sim.
 	}
 	var trace []sim.Event
 	res, runErr := core.RunSteppers(n, tt, st, core.RunOptions{
-		Adversary: mkAdv(), MaxActive: maxActive, DetailedMetrics: true,
-		Tracer: func(e sim.Event) { trace = append(trace, e) },
+		Adversary: mkAdv(), MaxActive: maxActive, Bandwidth: bandwidth,
+		DetailedMetrics: true,
+		Tracer:          func(e sim.Event) { trace = append(trace, e) },
 	})
 	return res, trace, runErr
 }
@@ -151,7 +154,7 @@ func engineReference(t *testing.T, protocol string, n, tt int, mkAdv func() sim.
 // cluster and requires identical Result, error text and full trace.
 func requireWireConformance(t *testing.T, cc wireCluster, mkAdv func() sim.Adversary) sim.Result {
 	t.Helper()
-	simRes, simTrace, simErr := engineReference(t, cc.protocol, cc.n, cc.tt, mkAdv)
+	simRes, simTrace, simErr := engineReference(t, cc.protocol, cc.n, cc.tt, cc.bandwidth, mkAdv)
 	wireRes, wireTrace, wireErr := cc.run(t, mkAdv)
 	if fmt.Sprint(simErr) != fmt.Sprint(wireErr) {
 		t.Fatalf("errors diverge:\nsim:  %v\nwire: %v", simErr, wireErr)
@@ -177,7 +180,7 @@ func TestWireClusterConformance(t *testing.T) {
 		t.Skip("spawns socket clusters")
 	}
 	grids := []struct{ n, t int }{{16, 4}, {24, 8}}
-	protocols := []string{"a", "b", "c", "c-lowmsg", "d"}
+	protocols := []string{"a", "b", "c", "c-lowmsg", "d", "gossip"}
 	for _, g := range grids {
 		for _, proto := range protocols {
 			for advName, mkAdv := range planeAdversaries(g.n, g.t) {
@@ -190,6 +193,29 @@ func TestWireClusterConformance(t *testing.T) {
 				})
 			}
 		}
+	}
+}
+
+// TestWireClusterBandwidthCap is the congested-clique wire leg: gossip under
+// a per-round outbound cap of half its fanout, run as a loopback TCP cluster,
+// must match the capped engine exactly — the deferred-send queue and the
+// pump phase are plane-side state, so the wire plane inherits them unchanged.
+func TestWireClusterBandwidthCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns socket clusters")
+	}
+	n, tt := 24, 8
+	cap := max(1, (core.GossipFanout(tt)+1)/2)
+	for advName, mkAdv := range planeAdversaries(n, tt) {
+		advName, mkAdv := advName, mkAdv
+		t.Run(advName, func(t *testing.T) {
+			t.Parallel()
+			res := requireWireConformance(t,
+				wireCluster{protocol: "gossip", n: n, tt: tt, joins: 2, bandwidth: cap}, mkAdv)
+			if res.Deferred == 0 {
+				t.Fatalf("cap %d below fanout %d should defer rumors", cap, core.GossipFanout(tt))
+			}
+		})
 	}
 }
 
@@ -357,7 +383,7 @@ func TestWireClusterJoinDeath(t *testing.T) {
 	if err := vec.Validate(); err != nil {
 		t.Fatalf("reconstructed vector: %v", err)
 	}
-	simRes, _, simErr := engineReference(t, "b", n, tt, func() sim.Adversary { return vec.Adversary() })
+	simRes, _, simErr := engineReference(t, "b", n, tt, 0, func() sim.Adversary { return vec.Adversary() })
 	if simErr != nil {
 		t.Fatalf("engine replay: %v", simErr)
 	}

@@ -1,0 +1,244 @@
+package sim
+
+// Unit tests for the congested-clique bandwidth cap (Config.Bandwidth): the
+// per-round outbound budget, the deferred-send queue and its pump phase,
+// crash interaction, and the capped commit path's validation. Cross-plane
+// and cross-substrate agreement is pinned elsewhere (core substrate suite,
+// live conformance suite); these pin the engine-level semantics directly.
+
+import (
+	"strings"
+	"testing"
+)
+
+// sendBurst is a stepper that emits one action with burst sends to the same
+// recipient, then idles (so deferred sends can still pump while the sender
+// is alive but quiet) until haltAt.
+type sendBurst struct {
+	to     int
+	burst  int
+	haltAt int64
+	sent   bool
+}
+
+func (s *sendBurst) Step(p *Proc) Yield {
+	if !s.sent {
+		s.sent = true
+		sends := make([]Send, s.burst)
+		for i := range sends {
+			sends[i] = Send{To: s.to, Payload: i}
+		}
+		return Yield{Kind: YieldAction, Action: Action{Sends: sends}}
+	}
+	if p.Now() >= s.haltAt {
+		return Yield{Kind: YieldHalt}
+	}
+	return Yield{Kind: YieldAction, Action: Action{}}
+}
+
+// collector drains its inbox every round, recording each message's arrival
+// round, until deadline.
+type collector struct {
+	deadline int64
+	arrivals *[]int64
+	payloads *[]any
+}
+
+func (c *collector) Step(p *Proc) Yield {
+	for _, m := range p.Drain() {
+		*c.arrivals = append(*c.arrivals, p.Now())
+		*c.payloads = append(*c.payloads, m.Payload)
+	}
+	if p.Now() >= c.deadline {
+		return Yield{Kind: YieldHalt}
+	}
+	return Yield{Kind: YieldAction, Action: Action{}}
+}
+
+func TestBandwidthCapDefersOverBudget(t *testing.T) {
+	// One action sends 3 messages under a budget of 1: one transmits at the
+	// commit round, the other two pump out on the following rounds.
+	var arrivals []int64
+	var payloads []any
+	res, err := NewStepper(Config{NumProcs: 2, NumUnits: 0, Bandwidth: 1}, func(id int) Stepper {
+		if id == 0 {
+			return &sendBurst{to: 1, burst: 3, haltAt: 8}
+		}
+		return &collector{deadline: 8, arrivals: &arrivals, payloads: &payloads}
+	}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Messages != 3 {
+		t.Fatalf("messages = %d, want 3 (every deferred send eventually transmits)", res.Messages)
+	}
+	if res.Deferred != 2 || res.PerProc[0].Deferred != 2 {
+		t.Fatalf("deferred = %d (proc 0: %d), want 2/2", res.Deferred, res.PerProc[0].Deferred)
+	}
+	// Commit at round 0 transmits one message (delivered round 1); the queue
+	// pumps one per round after that.
+	if len(arrivals) != 3 || arrivals[0] != 1 || arrivals[1] != 2 || arrivals[2] != 3 {
+		t.Fatalf("arrival rounds = %v, want [1 2 3]", arrivals)
+	}
+	// Transmission preserves commit order.
+	for i, pl := range payloads {
+		if pl != i {
+			t.Fatalf("payloads = %v, want commit order [0 1 2]", payloads)
+		}
+	}
+}
+
+func TestBandwidthCapBroadcastFlattens(t *testing.T) {
+	// A broadcast under the cap is booked as flat per-recipient messages:
+	// with budget 1, recipient 1 hears at round 1 and recipient 2 at round 2,
+	// and per-kind counting still sees every copy.
+	var arr1, arr2 []int64
+	var pay1, pay2 []any
+	res, err := NewStepper(Config{NumProcs: 3, NumUnits: 0, Bandwidth: 1, DetailedMetrics: true},
+		func(id int) Stepper {
+			switch id {
+			case 0:
+				return funcStepper(func(p *Proc) Yield {
+					if p.Now() == 0 {
+						return Yield{Kind: YieldAction, Action: Action{
+							Broadcast: p.BroadcastTo([]int{1, 2}, "tok"),
+						}}
+					}
+					if p.Now() >= 4 {
+						return Yield{Kind: YieldHalt}
+					}
+					return Yield{Kind: YieldAction, Action: Action{}}
+				})
+			case 1:
+				return &collector{deadline: 6, arrivals: &arr1, payloads: &pay1}
+			default:
+				return &collector{deadline: 6, arrivals: &arr2, payloads: &pay2}
+			}
+		}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Messages != 2 || res.Deferred != 1 {
+		t.Fatalf("messages/deferred = %d/%d, want 2/1", res.Messages, res.Deferred)
+	}
+	if res.MessagesByKind["string"] != 2 {
+		t.Fatalf("by-kind = %v, want string:2", res.MessagesByKind)
+	}
+	if len(arr1) != 1 || arr1[0] != 1 || pay1[0] != "tok" {
+		t.Fatalf("recipient 1 arrivals %v payloads %v, want [1]/[tok]", arr1, pay1)
+	}
+	if len(arr2) != 1 || arr2[0] != 2 || pay2[0] != "tok" {
+		t.Fatalf("recipient 2 arrivals %v payloads %v, want [2]/[tok]", arr2, pay2)
+	}
+}
+
+func TestBandwidthCrashDropsDeferredQueue(t *testing.T) {
+	// The sender defers 2 of its 3 sends, then a scheduled crash at round 1
+	// kills it: the queue dies with the sender, so only the round-0
+	// transmission is ever delivered — but Deferred still records the
+	// overflow (it counts deferrals, not losses).
+	var arrivals []int64
+	var payloads []any
+	adv := scheduleAdv{at: map[int64][]int{1: {0}}}
+	res, err := NewStepper(Config{NumProcs: 2, NumUnits: 0, Bandwidth: 1, Adversary: adv},
+		func(id int) Stepper {
+			if id == 0 {
+				return &sendBurst{to: 1, burst: 3, haltAt: 8}
+			}
+			return &collector{deadline: 8, arrivals: &arrivals, payloads: &payloads}
+		}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Messages != 1 {
+		t.Fatalf("messages = %d, want 1 (deferred sends die with the sender)", res.Messages)
+	}
+	if res.Deferred != 2 {
+		t.Fatalf("deferred = %d, want 2", res.Deferred)
+	}
+	if len(arrivals) != 1 || arrivals[0] != 1 {
+		t.Fatalf("arrivals = %v, want [1]", arrivals)
+	}
+	if res.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", res.Crashes)
+	}
+}
+
+func TestBandwidthBudgetResetsPerRound(t *testing.T) {
+	// A process sending exactly the budget every round never defers: the
+	// per-round meter must reset between rounds.
+	var arrivals []int64
+	var payloads []any
+	res, err := NewStepper(Config{NumProcs: 2, NumUnits: 0, Bandwidth: 2}, func(id int) Stepper {
+		if id == 0 {
+			round := 0
+			return funcStepper(func(p *Proc) Yield {
+				if round++; round > 3 {
+					return Yield{Kind: YieldHalt}
+				}
+				return Yield{Kind: YieldAction, Action: Action{Sends: []Send{
+					{To: 1, Payload: "a"}, {To: 1, Payload: "b"},
+				}}}
+			})
+		}
+		return &collector{deadline: 8, arrivals: &arrivals, payloads: &payloads}
+	}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Messages != 6 || res.Deferred != 0 {
+		t.Fatalf("messages/deferred = %d/%d, want 6/0 (budget is per round)", res.Messages, res.Deferred)
+	}
+	if len(arrivals) != 6 {
+		t.Fatalf("arrivals = %v, want 6 deliveries", arrivals)
+	}
+}
+
+func TestBandwidthCapInvalidPID(t *testing.T) {
+	// The capped commit path keeps the uncapped path's validation and error
+	// text, for both explicit sends and broadcast recipients.
+	for name, action := range map[string]Action{
+		"send":      {Sends: []Send{{To: 9, Payload: "x"}}},
+		"broadcast": {Broadcast: Broadcast{To: []int{9}, Payload: "x"}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			action := action
+			_, err := NewStepper(Config{NumProcs: 2, NumUnits: 0, Bandwidth: 1}, func(id int) Stepper {
+				if id == 0 {
+					return funcStepper(func(p *Proc) Yield {
+						return Yield{Kind: YieldAction, Action: action}
+					})
+				}
+				return funcStepper(func(p *Proc) Yield { return Yield{Kind: YieldHalt} })
+			}).Run()
+			if err == nil || !strings.Contains(err.Error(), "sim: proc 0 sent to invalid pid 9") {
+				t.Fatalf("err = %v, want invalid-pid failure", err)
+			}
+		})
+	}
+}
+
+func TestBandwidthOmittedSendsSpendNoBudget(t *testing.T) {
+	// An omission verdict suppresses sends before the cap sees them: nothing
+	// transmits, nothing defers, and the budget is untouched for the pump.
+	adv := &scriptedAdversary{pid: 0, atCount: 1, verdict: Verdict{Omit: true}}
+	res, err := NewStepper(Config{NumProcs: 2, NumUnits: 0, Bandwidth: 1, Adversary: adv},
+		func(id int) Stepper {
+			if id == 0 {
+				return &sendBurst{to: 1, burst: 2, haltAt: 4}
+			}
+			return funcStepper(func(p *Proc) Yield {
+				if p.Now() >= 4 {
+					return Yield{Kind: YieldHalt}
+				}
+				return Yield{Kind: YieldAction, Action: Action{}}
+			})
+		}).Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Messages != 0 || res.Deferred != 0 || res.Omitted != 2 {
+		t.Fatalf("messages/deferred/omitted = %d/%d/%d, want 0/0/2",
+			res.Messages, res.Deferred, res.Omitted)
+	}
+}

@@ -26,6 +26,12 @@ type Config struct {
 	// most MaxActive processes have SetActive(true). Single-active protocols
 	// (A, B, C) set this to 1 in tests.
 	MaxActive int
+	// Bandwidth, when > 0, caps the point-to-point messages each process may
+	// transmit per round (the congested-clique model): an action's sends past
+	// the cap are queued on the sender and transmitted by later rounds' pump
+	// phase in commit order, competing with that round's fresh sends for the
+	// same budget. 0 means unlimited. See DESIGN.md "Bandwidth cap".
+	Bandwidth int
 	// DetailedMetrics enables per-kind message counting.
 	DetailedMetrics bool
 	// Tracer, when non-nil, receives one event per committed action.
@@ -76,6 +82,11 @@ type Result struct {
 	// (Verdict.Omit); unlike Dropped these never transmitted and are not in
 	// Messages.
 	Omitted int64
+	// Deferred counts sends postponed by the bandwidth cap
+	// (Config.Bandwidth), each counted once at the commit that overflowed the
+	// budget. A deferred send that later transmits also counts in Messages; a
+	// deferred send dropped by a crash of its sender counts here only.
+	Deferred int64
 	// Events counts script resumptions, i.e. the simulation work actually
 	// done; Rounds/Events measures the fast-forward speedup.
 	Events int64
@@ -102,6 +113,8 @@ type ProcStats struct {
 	Actions int64
 	// Restarts counts this process's crash-recovery revivals.
 	Restarts int64
+	// Deferred counts this process's sends postponed by the bandwidth cap.
+	Deferred int64
 }
 
 // Engine coordinates the lock-step execution of all process scripts.
@@ -256,6 +269,7 @@ func (e *Engine) Run() (Result, error) {
 		e.crashScheduled()
 		e.deliver()
 		e.wakeSleepers()
+		e.pumpDeferred()
 		e.stepRunnable()
 		if e.err != nil {
 			break
@@ -439,6 +453,62 @@ func (e *Engine) wakeSleepers() {
 	}
 }
 
+// budgetLeft returns the process's remaining transmissions this round under
+// the bandwidth cap, lazily resetting the per-round meter on first use each
+// round.
+func (e *Engine) budgetLeft(p *Proc) int {
+	if p.sentRound != e.now {
+		p.sentRound = e.now
+		p.sentInRound = 0
+	}
+	return e.cfg.Bandwidth - p.sentInRound
+}
+
+// transmit books one capped-mode message onto the next-round buffer:
+// Messages and the per-process meter advance at transmission, not commit, so
+// a queued send that never transmits (sender crashed) is never counted sent.
+func (e *Engine) transmit(p *Proc, m Message) {
+	e.metrics.Messages++
+	p.msgsSent++
+	p.sentInRound++
+	if e.metrics.MessagesByKind != nil {
+		e.metrics.MessagesByKind[payloadKind(m.Payload)]++
+	}
+	if n := len(e.pendingNext); n > 0 && e.pendingNext[n-1].From > p.id {
+		e.pendingUnsorted = true
+	}
+	e.pendingNext = append(e.pendingNext, m)
+}
+
+// pumpDeferred drains each process's bandwidth-deferred send queue into the
+// next-round buffer, up to the round's budget, in ascending PID order. It
+// runs before the round's steps, so backlog transmits ahead of (and meters
+// against the same budget as) the sends this round's actions commit. Crashes
+// drop the sender's queue, so only live and voluntarily-retired processes
+// pump here; a terminated process's tail keeps draining because the messages
+// were committed while it ran.
+func (e *Engine) pumpDeferred() {
+	if e.cfg.Bandwidth <= 0 {
+		return
+	}
+	for _, p := range e.procs {
+		q := p.sendq
+		if len(q) == 0 {
+			continue
+		}
+		i := 0
+		for i < len(q) && e.budgetLeft(p) > 0 {
+			e.transmit(p, q[i])
+			i++
+		}
+		if i > 0 {
+			rest := copy(q, q[i:])
+			clear(q[rest:]) // drop moved payload references
+			p.sendq = q[:rest]
+		}
+	}
+}
+
 // stepRunnable resumes, in ID order, every process on the run queue.
 func (e *Engine) stepRunnable() {
 	e.runq.forEachAscending(func(pid int) bool {
@@ -542,69 +612,76 @@ func (e *Engine) commit(p *Proc, a Action) {
 			}
 		}
 	}
-	if len(sends) > 0 || len(bcast.To) > 0 {
-		if n := len(e.pendingNext); n > 0 && e.pendingNext[n-1].From > p.id {
-			e.pendingUnsorted = true
-		}
-		if n := len(e.pendingBcast); n > 0 && e.pendingBcast[n-1].from > p.id {
-			e.pendingUnsorted = true
-		}
-	}
-	// Per-kind counts are accumulated per run of equal kinds rather than one
-	// map update per send; a whole broadcast costs a single map operation.
-	var runKind string
-	var runCount int64
-	for _, s := range sends {
-		if s.To < 0 || s.To >= len(e.procs) {
-			if runCount > 0 { // keep MessagesByKind consistent with Messages
-				e.metrics.MessagesByKind[runKind] += runCount
-			}
-			e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, s.To))
+	if e.cfg.Bandwidth > 0 {
+		if !e.commitCapped(p, sends, bcast) {
 			return
 		}
-		e.metrics.Messages++
-		p.msgsSent++
-		if e.metrics.MessagesByKind != nil {
-			if k := payloadKind(s.Payload); k == runKind {
-				runCount++
-			} else {
-				if runCount > 0 {
+	} else {
+		if len(sends) > 0 || len(bcast.To) > 0 {
+			if n := len(e.pendingNext); n > 0 && e.pendingNext[n-1].From > p.id {
+				e.pendingUnsorted = true
+			}
+			if n := len(e.pendingBcast); n > 0 && e.pendingBcast[n-1].from > p.id {
+				e.pendingUnsorted = true
+			}
+		}
+		// Per-kind counts are accumulated per run of equal kinds rather than
+		// one map update per send; a whole broadcast costs a single map
+		// operation.
+		var runKind string
+		var runCount int64
+		for _, s := range sends {
+			if s.To < 0 || s.To >= len(e.procs) {
+				if runCount > 0 { // keep MessagesByKind consistent with Messages
 					e.metrics.MessagesByKind[runKind] += runCount
 				}
-				runKind, runCount = k, 1
-			}
-		}
-		e.pendingNext = append(e.pendingNext, Message{
-			From: p.id, To: s.To, SentAt: e.now, Payload: s.Payload,
-		})
-	}
-	if runCount > 0 {
-		e.metrics.MessagesByKind[runKind] += runCount
-	}
-	if len(bcast.To) > 0 {
-		// One shared record regardless of fanout. Counters still advance per
-		// recipient (a broadcast is len(To) point-to-point messages in the
-		// model), mirroring the flat plane's valid-prefix accounting on the
-		// invalid-PID failure path.
-		var counted int64
-		for _, to := range bcast.To {
-			if to < 0 || to >= len(e.procs) {
-				if counted > 0 && e.metrics.MessagesByKind != nil {
-					e.metrics.MessagesByKind[payloadKind(bcast.Payload)] += counted
-				}
-				e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, to))
+				e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, s.To))
 				return
 			}
-			counted++
 			e.metrics.Messages++
 			p.msgsSent++
+			if e.metrics.MessagesByKind != nil {
+				if k := payloadKind(s.Payload); k == runKind {
+					runCount++
+				} else {
+					if runCount > 0 {
+						e.metrics.MessagesByKind[runKind] += runCount
+					}
+					runKind, runCount = k, 1
+				}
+			}
+			e.pendingNext = append(e.pendingNext, Message{
+				From: p.id, To: s.To, SentAt: e.now, Payload: s.Payload,
+			})
 		}
-		if e.metrics.MessagesByKind != nil {
-			e.metrics.MessagesByKind[payloadKind(bcast.Payload)] += counted
+		if runCount > 0 {
+			e.metrics.MessagesByKind[runKind] += runCount
 		}
-		e.pendingBcast = append(e.pendingBcast, bcastRec{
-			from: p.id, sentAt: e.now, payload: bcast.Payload, to: bcast.To,
-		})
+		if len(bcast.To) > 0 {
+			// One shared record regardless of fanout. Counters still advance
+			// per recipient (a broadcast is len(To) point-to-point messages in
+			// the model), mirroring the flat plane's valid-prefix accounting on
+			// the invalid-PID failure path.
+			var counted int64
+			for _, to := range bcast.To {
+				if to < 0 || to >= len(e.procs) {
+					if counted > 0 && e.metrics.MessagesByKind != nil {
+						e.metrics.MessagesByKind[payloadKind(bcast.Payload)] += counted
+					}
+					e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, to))
+					return
+				}
+				counted++
+				e.metrics.Messages++
+				p.msgsSent++
+			}
+			if e.metrics.MessagesByKind != nil {
+				e.metrics.MessagesByKind[payloadKind(bcast.Payload)] += counted
+			}
+			e.pendingBcast = append(e.pendingBcast, bcastRec{
+				from: p.id, sentAt: e.now, payload: bcast.Payload, to: bcast.To,
+			})
+		}
 	}
 	e.trace(p, a, verdict.Crash, false)
 	if verdict.Crash {
@@ -628,6 +705,45 @@ func (e *Engine) commit(p *Proc, a Action) {
 	}
 }
 
+// commitCapped books an action's sends under the bandwidth cap: the virtual
+// send list (explicit sends, then the broadcast per recipient) is walked in
+// order, transmitting while this round's budget lasts and queueing the
+// remainder on the sender. Broadcasts flatten to plain messages — a deferred
+// shared record would alias the sender's recipient scratch across rounds —
+// and the flat order matches the uncapped delivery merge exactly. Recipient
+// validation stays at commit with the uncapped path's error text and
+// valid-prefix accounting. Reports false when the run has failed.
+func (e *Engine) commitCapped(p *Proc, sends []Send, bcast Broadcast) bool {
+	for _, s := range sends {
+		if s.To < 0 || s.To >= len(e.procs) {
+			e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, s.To))
+			return false
+		}
+		e.sendCapped(p, Message{From: p.id, To: s.To, SentAt: e.now, Payload: s.Payload})
+	}
+	for _, to := range bcast.To {
+		if to < 0 || to >= len(e.procs) {
+			e.fail(fmt.Errorf("sim: proc %d sent to invalid pid %d", p.id, to))
+			return false
+		}
+		e.sendCapped(p, Message{From: p.id, To: to, SentAt: e.now, Payload: bcast.Payload})
+	}
+	return true
+}
+
+// sendCapped transmits one committed message if the sender has budget left
+// this round, deferring it otherwise. Deferred is counted here, once, at the
+// overflowing commit.
+func (e *Engine) sendCapped(p *Proc, m Message) {
+	if e.budgetLeft(p) > 0 {
+		e.transmit(p, m)
+		return
+	}
+	p.sendq = append(p.sendq, m)
+	p.deferred++
+	e.metrics.Deferred++
+}
+
 // crash marks a process crashed. For stepper-backed processes this is a pure
 // state flip; only the goroutine shim has anything to release. When the
 // adversary can schedule restarts by round (Restarter), every Recoverable
@@ -638,6 +754,7 @@ func (e *Engine) crash(p *Proc) {
 	e.setInactive(p)
 	p.retireRound = e.now
 	p.inbox = p.inbox[:0] // drop undelivered mail, keep the buffer for reuse
+	p.sendq = p.sendq[:0] // bandwidth-deferred sends die with the sender
 	e.live--
 	e.runq.remove(p.id)
 	e.metrics.Crashes++
@@ -727,7 +844,7 @@ func (e *Engine) finalize() {
 		e.metrics.PerProc[i] = ProcStats{
 			Status: p.status, Work: p.workDone, Sent: p.msgsSent,
 			RetireRound: p.retireRound, Actions: p.actions,
-			Restarts: p.restarts,
+			Restarts: p.restarts, Deferred: p.deferred,
 		}
 		if p.status != StatusRunning {
 			if p.retireRound > last {
@@ -787,6 +904,7 @@ func (e *Engine) scrub() {
 		p.inbox = scrubSlice(p.inbox)
 		p.inboxSpare = scrubSlice(p.inboxSpare)
 		p.sendScratch = scrubSlice(p.sendScratch)
+		p.sendq = scrubSlice(p.sendq)
 		p.stepper = nil
 		p.shim = nil
 		p.tap = nil

@@ -32,7 +32,7 @@ func (r Result) Fingerprint() uint64 {
 	for _, v := range []int64{
 		r.WorkTotal, int64(r.WorkDistinct), r.Messages, r.Rounds,
 		r.CompletedRound, int64(r.Survivors), int64(r.Crashes),
-		r.Restarts, r.Dropped, r.Omitted, int64(len(r.PerProc)),
+		r.Restarts, r.Dropped, r.Omitted, r.Deferred, int64(len(r.PerProc)),
 	} {
 		h = fnvMix(h, uint64(v))
 	}
@@ -43,6 +43,7 @@ func (r Result) Fingerprint() uint64 {
 		h = fnvMix(h, uint64(p.RetireRound))
 		h = fnvMix(h, uint64(p.Actions))
 		h = fnvMix(h, uint64(p.Restarts))
+		h = fnvMix(h, uint64(p.Deferred))
 	}
 	return h
 }

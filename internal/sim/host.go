@@ -117,6 +117,7 @@ func (p *Proc) Scrub() {
 	p.inbox = scrubSlice(p.inbox)
 	p.inboxSpare = scrubSlice(p.inboxSpare)
 	p.sendScratch = scrubSlice(p.sendScratch)
+	p.sendq = scrubSlice(p.sendq)
 	p.stepper = nil
 	p.shim = nil
 	p.tap = nil

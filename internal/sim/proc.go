@@ -59,6 +59,15 @@ type Proc struct {
 	sendScratch []Send
 	pidScratch  []int
 
+	// Bandwidth cap (Config.Bandwidth): sendq holds committed-but-
+	// untransmitted messages awaiting budget, in commit order; sentInRound
+	// meters this round's transmissions, lazily restamped per round via
+	// sentRound; deferred totals the sends that ever overflowed the budget.
+	sendq       []Message
+	sentRound   int64
+	sentInRound int
+	deferred    int64
+
 	// Rate degradation (Verdict.Slow): slowFactor is the persistent factor
 	// (0/1 = full speed); stalled marks the process as serving its k-1
 	// post-action stall rounds, during which incoming mail must not wake it.
@@ -124,6 +133,10 @@ func (p *Proc) rearm(h Host, id int, st Stepper) {
 	p.tap = nil
 	p.inbox = p.inbox[:0]
 	p.inboxSpare = p.inboxSpare[:0]
+	p.sendq = p.sendq[:0]
+	p.sentRound = -1
+	p.sentInRound = 0
+	p.deferred = 0
 	p.slowFactor = 0
 	p.stalled = false
 	p.snap = nil

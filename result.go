@@ -25,10 +25,12 @@ type Result struct {
 	// Restarts counts crash-recovery revivals; Dropped counts messages lost
 	// in transit (sent, and so paid for, but never delivered); Omitted
 	// counts sends suppressed at the source by omission faults (never sent,
-	// not in Messages).
+	// not in Messages); Deferred counts sends that overflowed the
+	// Config.Bandwidth budget and were queued for a later round.
 	Restarts int64
 	Dropped  int64
 	Omitted  int64
+	Deferred int64
 	// Events counts simulated script steps; Rounds/Events measures how much
 	// quiet time the engine fast-forwarded over.
 	Events int64
@@ -63,6 +65,7 @@ func newResult(res sim.Result) Result {
 		Restarts:       res.Restarts,
 		Dropped:        res.Dropped,
 		Omitted:        res.Omitted,
+		Deferred:       res.Deferred,
 		Events:         res.Events,
 		Workers:        make([]WorkerStats, len(res.PerProc)),
 	}
